@@ -1,0 +1,218 @@
+//! Memory, computation and bandwidth cost model (Section 5.2).
+//!
+//! The paper argues LITEWORP is lightweight by sizing its three data
+//! structures and its (rare) message exchanges:
+//!
+//! * **Neighbor list storage** — each node stores its own first-hop list and
+//!   the first-hop list of each neighbor (i.e. second-hop knowledge), at
+//!   5 bytes per entry (4-byte identity + 1-byte `MalC`):
+//!   `NBLS = 5 · (π r² d)²` bytes.
+//! * **Alert buffer** — γ entries of 4 bytes per suspected node.
+//! * **Watch buffer** — sized from the monitoring load: a route reply
+//!   traveling `h` hops is watched by the nodes inside a `2r × (h+1)r`
+//!   bounding box, `N_REP = 2r²(h+1)·d` of them, so each node watches
+//!   `(N_REP / N) · f` replies per unit time for route frequency `f`.
+//!   Each watch entry is 20 bytes (immediate source, immediate destination,
+//!   original source: 4 bytes each; sequence number: 8 bytes).
+//! * **Bandwidth** — messages are exchanged only at neighbor discovery
+//!   (3 one-hop broadcasts' worth per node) and on detection (one unicast
+//!   alert per neighbor of the detected node).
+
+use crate::geometry::GuardGeometry;
+
+/// Bytes used to encode a node identity (paper: 4).
+pub const NODE_ID_BYTES: usize = 4;
+/// Bytes used for a `MalC` counter alongside each neighbor entry (paper: 1).
+pub const MALC_BYTES: usize = 1;
+/// Bytes per watch-buffer entry (paper: 20).
+pub const WATCH_ENTRY_BYTES: usize = 20;
+
+/// Inputs to the Section 5.2 cost model.
+///
+/// # Example
+///
+/// The worked example from the paper — `N = 100`, `h = 4`, one route
+/// established every 4 time units — yields ~17 monitoring nodes per route
+/// reply and a watch load of about 4 replies per 100 time units:
+///
+/// ```
+/// use liteworp_analysis::cost::CostModel;
+///
+/// let m = CostModel {
+///     range: 30.0,
+///     density: 17.0 / (2.0 * 30.0 * 30.0 * 5.0), // chosen so N_REP = 17
+///     total_nodes: 100,
+///     avg_route_hops: 4.0,
+///     routes_per_time_unit: 0.25,
+///     confidence_index: 3,
+/// };
+/// assert!((m.monitoring_nodes_per_reply() - 17.0).abs() < 1e-9);
+/// let per_100 = 100.0 * m.reply_watch_load_per_node();
+/// assert!((per_100 - 4.25).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Communication range `r` in meters.
+    pub range: f64,
+    /// Node density `d` in nodes per square meter.
+    pub density: f64,
+    /// Total number of nodes `N` in the network.
+    pub total_nodes: usize,
+    /// Average route length `h` in hops.
+    pub avg_route_hops: f64,
+    /// Route establishment frequency `f` (routes per time unit).
+    pub routes_per_time_unit: f64,
+    /// Detection confidence index γ (alert-buffer entries per suspect).
+    pub confidence_index: usize,
+}
+
+impl CostModel {
+    /// Average first-hop neighbor list length, `π r² d` entries.
+    pub fn neighbor_list_entries(&self) -> f64 {
+        GuardGeometry::new(self.range).neighbors_from_density(self.density)
+    }
+
+    /// Total neighbor-list storage in bytes: `5 · (π r² d)²`
+    /// (own list plus each neighbor's list, 5 bytes per entry).
+    pub fn neighbor_storage_bytes(&self) -> f64 {
+        let n = self.neighbor_list_entries();
+        (NODE_ID_BYTES + MALC_BYTES) as f64 * n * n
+    }
+
+    /// Alert-buffer bytes per suspected node: `4 · γ`.
+    pub fn alert_buffer_bytes(&self) -> usize {
+        NODE_ID_BYTES * self.confidence_index
+    }
+
+    /// `N_REP = 2 r² (h + 1) d`: nodes inside the bounding box of a route
+    /// reply's path that may overhear (and hence watch) it.
+    pub fn monitoring_nodes_per_reply(&self) -> f64 {
+        2.0 * self.range * self.range * (self.avg_route_hops + 1.0) * self.density
+    }
+
+    /// Route replies each node watches per unit time:
+    /// `(N_REP / N) · f`.
+    pub fn reply_watch_load_per_node(&self) -> f64 {
+        assert!(self.total_nodes > 0, "total_nodes must be positive");
+        self.monitoring_nodes_per_reply() / self.total_nodes as f64 * self.routes_per_time_unit
+    }
+
+    /// Watch load when route *requests* are monitored too. The flood makes
+    /// every node see each request once, adding `f` watches per unit time.
+    pub fn request_and_reply_watch_load_per_node(&self) -> f64 {
+        self.routes_per_time_unit + self.reply_watch_load_per_node()
+    }
+
+    /// Recommended watch-buffer capacity (entries) for a watch-entry
+    /// lifetime of `delta` time units, with 100% headroom, at least 4.
+    pub fn recommended_watch_entries(&self, delta: f64) -> usize {
+        assert!(delta > 0.0, "watch timeout must be positive");
+        let in_flight = self.request_and_reply_watch_load_per_node() * delta;
+        (in_flight.ceil() as usize * 2).max(4)
+    }
+
+    /// Watch-buffer bytes for the recommended capacity.
+    pub fn watch_buffer_bytes(&self, delta: f64) -> usize {
+        self.recommended_watch_entries(delta) * WATCH_ENTRY_BYTES
+    }
+
+    /// Total steady-state memory per node in bytes (neighbor storage +
+    /// watch buffer + one alert buffer).
+    pub fn total_memory_bytes(&self, delta: f64) -> f64 {
+        self.neighbor_storage_bytes()
+            + self.watch_buffer_bytes(delta) as f64
+            + self.alert_buffer_bytes() as f64
+    }
+
+    /// One-time neighbor-discovery messages per node: the HELLO broadcast,
+    /// one authenticated reply per neighbor, and the neighbor-list
+    /// announcement.
+    pub fn discovery_messages_per_node(&self) -> f64 {
+        2.0 + self.neighbor_list_entries()
+    }
+
+    /// Alert unicasts sent per detection event (one per neighbor of the
+    /// detected node, from each alerting guard).
+    pub fn alert_messages_per_detection(&self) -> f64 {
+        self.neighbor_list_entries() * self.confidence_index as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> CostModel {
+        CostModel {
+            range: 30.0,
+            density: 17.0 / (2.0 * 30.0 * 30.0 * 5.0),
+            total_nodes: 100,
+            avg_route_hops: 4.0,
+            routes_per_time_unit: 0.25,
+            confidence_index: 3,
+        }
+    }
+
+    #[test]
+    fn ten_neighbors_is_under_half_a_kilobyte() {
+        // Paper: "for an average of 10 neighbors per node, NBLS is less
+        // than half a kilobyte".
+        let m = CostModel {
+            density: GuardGeometry::new(30.0).density_from_neighbors(10.0),
+            ..paper_example()
+        };
+        assert!((m.neighbor_list_entries() - 10.0).abs() < 1e-9);
+        let bytes = m.neighbor_storage_bytes();
+        assert!(bytes <= 512.0, "NBLS = {bytes} should be <= 0.5 KB");
+        assert!((bytes - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_watch_load_example() {
+        let m = paper_example();
+        assert!((m.monitoring_nodes_per_reply() - 17.0).abs() < 1e-9);
+        // ~4 route replies per 100 time units.
+        let per_100 = m.reply_watch_load_per_node() * 100.0;
+        assert!((per_100 - 4.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn four_watch_entries_suffice_for_paper_example() {
+        // Paper: "a watch buffer size of 4 entries is more than enough".
+        let m = paper_example();
+        assert_eq!(m.recommended_watch_entries(1.0), 4);
+        assert_eq!(m.watch_buffer_bytes(1.0), 80);
+    }
+
+    #[test]
+    fn alert_buffer_scales_with_gamma() {
+        let m = paper_example();
+        assert_eq!(m.alert_buffer_bytes(), 12);
+    }
+
+    #[test]
+    fn total_memory_is_kilobyte_scale() {
+        let m = CostModel {
+            density: GuardGeometry::new(30.0).density_from_neighbors(10.0),
+            ..paper_example()
+        };
+        let total = m.total_memory_bytes(1.0);
+        assert!(
+            total < 2048.0,
+            "total per-node memory {total} B should be tiny"
+        );
+    }
+
+    #[test]
+    fn discovery_traffic_is_constant_per_node() {
+        let m = paper_example();
+        let msgs = m.discovery_messages_per_node();
+        assert!(msgs < 2.0 + 20.0, "discovery messages bounded by degree");
+    }
+
+    #[test]
+    #[should_panic(expected = "watch timeout must be positive")]
+    fn rejects_zero_delta() {
+        paper_example().recommended_watch_entries(0.0);
+    }
+}

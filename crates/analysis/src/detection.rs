@@ -1,0 +1,330 @@
+//! Probability of wormhole detection (Section 5.1, Figure 6(a) and the
+//! analytical curve of Figure 10).
+//!
+//! The model: a malicious receiver fabricates `T` control packets within a
+//! time window. A guard misses each fabrication independently with the
+//! collision probability `P_C`, so it observes a given fabrication with
+//! probability `1 − P_C`. A guard raises an alert once it has seen at least
+//! `k` fabrications (enough for `MalC` to cross the threshold `C_t`):
+//!
+//! ```text
+//! P_alert = Σ_{i=k}^{T} C(T, i) (1 − P_C)^i P_C^{T−i}
+//! ```
+//!
+//! The wormhole is detected (the node isolated) when at least γ of the `g`
+//! guards alert:
+//!
+//! ```text
+//! P_detect = Σ_{j=γ}^{g} C(g, j) P_alert^j (1 − P_alert)^{g−j}
+//! ```
+//!
+//! which the paper writes as a regularized incomplete beta tail. The guard
+//! count is derived from the neighbor count via Equation (I), `g = 0.51·N_B`,
+//! and `P_C` grows linearly with the number of neighbors (`0.05` at
+//! `N_B = 3` in Figure 6).
+
+use crate::geometry::GuardGeometry;
+use crate::special::binomial_tail;
+
+/// How the per-packet collision probability scales with network density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollisionModel {
+    /// A constant collision probability regardless of density.
+    Constant(f64),
+    /// `P_C(N_B) = base · N_B / base_neighbors`, clamped to `[0, 1]` —
+    /// the scaling used for Figure 6 (`0.05` at `N_B = 3`).
+    Linear {
+        /// Collision probability at the reference neighbor count.
+        base: f64,
+        /// Reference neighbor count at which `base` applies.
+        base_neighbors: f64,
+    },
+}
+
+impl CollisionModel {
+    /// Convenience constructor for [`CollisionModel::Linear`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is outside `[0, 1]` or `base_neighbors <= 0`.
+    pub fn linear(base: f64, base_neighbors: f64) -> Self {
+        assert!((0.0..=1.0).contains(&base), "base must be in [0, 1]");
+        assert!(base_neighbors > 0.0, "base_neighbors must be positive");
+        CollisionModel::Linear {
+            base,
+            base_neighbors,
+        }
+    }
+
+    /// Collision probability at an average neighbor count `n_b`.
+    pub fn collision_probability(&self, n_b: f64) -> f64 {
+        match *self {
+            CollisionModel::Constant(p) => p,
+            CollisionModel::Linear {
+                base,
+                base_neighbors,
+            } => (base * n_b / base_neighbors).clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Analytical detection model of Section 5.1.
+///
+/// # Example
+///
+/// The Figure 6(a) parameters (`T = 7`, `k = 5`, `γ = 3`) produce a curve
+/// that rises with density and then collapses once collisions dominate:
+///
+/// ```
+/// use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+///
+/// let m = DetectionModel {
+///     window: 7,
+///     detections_needed: 5,
+///     confidence_index: 3,
+///     collisions: CollisionModel::linear(0.05, 3.0),
+/// };
+/// let mid = m.detection_probability(15.0);
+/// let dense = m.detection_probability(55.0);
+/// assert!(mid > 0.9 && dense < mid);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionModel {
+    /// `T`: number of fabrication opportunities within the watch window.
+    pub window: u64,
+    /// `k`: detections a single guard needs before its `MalC` crosses `C_t`.
+    pub detections_needed: u64,
+    /// `γ`: detection confidence index — alerts needed for isolation.
+    pub confidence_index: u64,
+    /// Collision model supplying `P_C` as a function of density.
+    pub collisions: CollisionModel,
+}
+
+impl DetectionModel {
+    /// Probability that a *single* guard accumulates enough evidence to
+    /// alert, given collision probability `p_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_c` is outside `[0, 1]`.
+    pub fn alert_probability(&self, p_c: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_c), "p_c must be in [0, 1]");
+        binomial_tail(self.window, self.detections_needed, 1.0 - p_c)
+    }
+
+    /// Number of guards available at an average neighbor count `n_b`,
+    /// by the paper's Equation (I) (rounded to the nearest whole guard).
+    pub fn guards(&self, n_b: f64) -> u64 {
+        GuardGeometry::paper_guards_from_neighbors(n_b).round() as u64
+    }
+
+    /// Probability of detecting (and isolating) the wormhole node at an
+    /// average neighbor count `n_b` — the quantity plotted in Figure 6(a).
+    pub fn detection_probability(&self, n_b: f64) -> f64 {
+        let g = self.guards(n_b);
+        let p_c = self.collisions.collision_probability(n_b);
+        self.detection_probability_with(g, p_c)
+    }
+
+    /// Detection probability for an explicit guard count and collision
+    /// probability (used to overlay the analytical curve on simulation
+    /// output in Figure 10).
+    pub fn detection_probability_with(&self, guards: u64, p_c: f64) -> f64 {
+        if self.confidence_index > guards {
+            return 0.0;
+        }
+        let p_alert = self.alert_probability(p_c);
+        binomial_tail(guards, self.confidence_index, p_alert)
+    }
+
+    /// The smallest average neighbor count `N_B` at which the detection
+    /// probability reaches `target` — the planning question the paper
+    /// poses in Section 5.1 ("we are able to compute the required network
+    /// density d to detect p% of the wormhole attacks for a given γ").
+    /// Returns `None` when no density on the rising branch achieves it
+    /// (collisions cap the attainable probability).
+    ///
+    /// Use [`crate::geometry::GuardGeometry::density_from_neighbors`] to
+    /// convert the result to a nodes-per-m² density.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` is in `(0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+    ///
+    /// let m = DetectionModel {
+    ///     window: 7,
+    ///     detections_needed: 5,
+    ///     confidence_index: 3,
+    ///     collisions: CollisionModel::linear(0.05, 3.0),
+    /// };
+    /// let n_b = m.required_neighbors(0.99).expect("attainable");
+    /// assert!(m.detection_probability(n_b) >= 0.99);
+    /// assert!(m.detection_probability(n_b - 1.0) < 0.99);
+    /// ```
+    pub fn required_neighbors(&self, target: f64) -> Option<f64> {
+        assert!(
+            target > 0.0 && target <= 1.0,
+            "target probability must be in (0, 1], got {target}"
+        );
+        // Walk up the rising branch in whole-guard steps, then refine by
+        // bisection over the fractional neighbor count.
+        let mut prev = 0.0f64;
+        let mut hit = None;
+        for i in 1..=400 {
+            let n_b = i as f64 * 0.5;
+            let p = self.detection_probability(n_b);
+            if p >= target {
+                hit = Some((n_b - 0.5, n_b));
+                break;
+            }
+            if p < prev - 0.05 {
+                // Past the peak and still below target: unattainable.
+                return None;
+            }
+            prev = p.max(prev);
+        }
+        let (mut lo, mut hi) = hit?;
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if self.detection_probability(mid) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig6_model() -> DetectionModel {
+        DetectionModel {
+            window: 7,
+            detections_needed: 5,
+            confidence_index: 3,
+            collisions: CollisionModel::linear(0.05, 3.0),
+        }
+    }
+
+    #[test]
+    fn alert_probability_no_collisions_is_certain() {
+        let m = fig6_model();
+        assert!((m.alert_probability(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alert_probability_total_collisions_is_zero() {
+        let m = fig6_model();
+        assert_eq!(m.alert_probability(1.0), 0.0);
+    }
+
+    #[test]
+    fn alert_probability_hand_computed() {
+        // T = 7, k = 5, P_C = 1/6 -> p = 5/6.
+        // P = C(7,5) p^5 q^2 + C(7,6) p^6 q + p^7.
+        let m = fig6_model();
+        let p: f64 = 5.0 / 6.0;
+        let q = 1.0 - p;
+        let expected = 21.0 * p.powi(5) * q * q + 7.0 * p.powi(6) * q + p.powi(7);
+        assert!((m.alert_probability(1.0 / 6.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_guards_means_no_detection() {
+        let m = fig6_model();
+        // N_B = 3 -> g = round(1.53) = 2 < gamma = 3.
+        assert_eq!(m.detection_probability(3.0), 0.0);
+    }
+
+    #[test]
+    fn figure_6a_shape_rises_then_falls() {
+        let m = fig6_model();
+        let sparse = m.detection_probability(8.0);
+        let mid = m.detection_probability(15.0);
+        let dense = m.detection_probability(55.0);
+        assert!(mid > sparse || sparse > 0.9, "curve should rise initially");
+        assert!(mid > 0.9, "detection near-certain at moderate density");
+        assert!(dense < 0.5, "collisions collapse detection when dense");
+    }
+
+    #[test]
+    fn figure_10_monotone_in_gamma() {
+        // At N_B = 15, detection probability decreases as gamma grows.
+        let mut prev = f64::INFINITY;
+        for gamma in 2..=8 {
+            let m = DetectionModel {
+                confidence_index: gamma,
+                ..fig6_model()
+            };
+            let p = m.detection_probability(15.0);
+            assert!(p <= prev, "P_detect must not increase with gamma");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn guards_follow_equation_i() {
+        let m = fig6_model();
+        assert_eq!(m.guards(15.0), 8); // 0.51 * 15 = 7.65 -> 8
+        assert_eq!(m.guards(8.0), 4); // 4.08 -> 4
+    }
+
+    #[test]
+    fn constant_collision_model() {
+        let c = CollisionModel::Constant(0.2);
+        assert_eq!(c.collision_probability(3.0), 0.2);
+        assert_eq!(c.collision_probability(100.0), 0.2);
+    }
+
+    #[test]
+    fn linear_collision_model_clamps() {
+        let c = CollisionModel::linear(0.05, 3.0);
+        assert!((c.collision_probability(3.0) - 0.05).abs() < 1e-12);
+        assert!((c.collision_probability(6.0) - 0.10).abs() < 1e-12);
+        assert_eq!(c.collision_probability(100.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be in [0, 1]")]
+    fn linear_rejects_bad_base() {
+        CollisionModel::linear(1.5, 3.0);
+    }
+
+    #[test]
+    fn required_neighbors_is_tight() {
+        let m = fig6_model();
+        for &target in &[0.9, 0.95, 0.99] {
+            let n_b = m.required_neighbors(target).expect("attainable");
+            assert!(m.detection_probability(n_b) >= target);
+            assert!(
+                m.detection_probability((n_b - 0.5).max(0.0)) < target,
+                "not the smallest density for target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn unattainable_targets_return_none() {
+        // With brutal collisions everywhere, 99.999% detection is out of
+        // reach at any density.
+        let m = DetectionModel {
+            collisions: CollisionModel::Constant(0.6),
+            ..fig6_model()
+        };
+        assert_eq!(m.required_neighbors(0.99999), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "target probability")]
+    fn required_neighbors_rejects_zero_target() {
+        fig6_model().required_neighbors(0.0);
+    }
+}

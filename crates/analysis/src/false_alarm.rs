@@ -1,0 +1,180 @@
+//! Probability of false alarm (Section 5.1, Figure 6(b)).
+//!
+//! A guard `G` falsely suspects an honest forwarder `D` of fabrication when:
+//!
+//! 1. `D` actually received the packet from `S` (so `D` forwards it),
+//! 2. `G` missed the original `S → D` transmission (collision at `G`), and
+//! 3. `G` *does* hear `D`'s forwarding transmission.
+//!
+//! With independent per-packet collision probability `P_C` this happens per
+//! packet with probability `P_fa = P_C · (1 − P_C)²`. `D` is falsely accused
+//! by one guard when at least `k` of the `T` packets in a window are falsely
+//! suspected, and a false *isolation* needs at least γ guards to be fooled:
+//!
+//! ```text
+//! P_FA(guard)  = Σ_{i=k}^{T} C(T, i) P_fa^i (1 − P_fa)^{T−i}
+//! P_FA(isolate) = Σ_{j=γ}^{g} C(g, j) P_FA(guard)^j (1 − P_FA(guard))^{g−j}
+//! ```
+//!
+//! The curve is non-monotonic in density: more neighbors mean more guards
+//! (more chances to be fooled), but eventually collisions are so common that
+//! a guard misses *both* transmissions and no false suspicion forms. The
+//! worst case stays negligible (`≪ 1e-6`), which is the paper's point.
+
+use crate::detection::{CollisionModel, DetectionModel};
+use crate::special::binomial_tail;
+
+/// Analytical false-alarm model of Section 5.1.
+///
+/// The structural parameters (`T`, `k`, γ, collision scaling) are shared
+/// with [`DetectionModel`]; this type wraps one and reinterprets the window
+/// as packets legitimately forwarded rather than fabricated.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+/// use liteworp_analysis::false_alarm::FalseAlarmModel;
+///
+/// let m = FalseAlarmModel::new(DetectionModel {
+///     window: 7,
+///     detections_needed: 5,
+///     confidence_index: 3,
+///     collisions: CollisionModel::linear(0.05, 3.0),
+/// });
+/// // False isolation of an honest node is vanishingly rare at any density.
+/// for n_b in [6.0, 12.0, 24.0, 48.0] {
+///     assert!(m.false_isolation_probability(n_b) < 1e-6);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FalseAlarmModel {
+    inner: DetectionModel,
+}
+
+impl FalseAlarmModel {
+    /// Wraps a [`DetectionModel`] whose parameters define the window size,
+    /// per-guard accusation threshold, confidence index and collision model.
+    pub fn new(inner: DetectionModel) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped detection model.
+    pub fn detection_model(&self) -> &DetectionModel {
+        &self.inner
+    }
+
+    /// Per-packet false-suspicion probability `P_fa = P_C (1 − P_C)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_c` is outside `[0, 1]`.
+    pub fn per_packet(&self, p_c: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_c), "p_c must be in [0, 1]");
+        p_c * (1.0 - p_c) * (1.0 - p_c)
+    }
+
+    /// Probability a single guard falsely accuses an honest neighbor within
+    /// one window, given collision probability `p_c`.
+    pub fn guard_false_accusation(&self, p_c: f64) -> f64 {
+        binomial_tail(
+            self.inner.window,
+            self.inner.detections_needed,
+            self.per_packet(p_c),
+        )
+    }
+
+    /// Probability an honest node is falsely *isolated* (γ guards fooled) at
+    /// an average neighbor count `n_b` — the quantity plotted in Fig 6(b).
+    pub fn false_isolation_probability(&self, n_b: f64) -> f64 {
+        let g = self.inner.guards(n_b);
+        let p_c = self.inner.collisions.collision_probability(n_b);
+        self.false_isolation_probability_with(g, p_c)
+    }
+
+    /// False-isolation probability for explicit guard count and collision
+    /// probability.
+    pub fn false_isolation_probability_with(&self, guards: u64, p_c: f64) -> f64 {
+        if self.inner.confidence_index > guards {
+            return 0.0;
+        }
+        let per_guard = self.guard_false_accusation(p_c);
+        binomial_tail(guards, self.inner.confidence_index, per_guard)
+    }
+}
+
+/// Convenience: the Figure 6 parameterization (`T = 7`, `k = 5`, `γ = 3`,
+/// `P_C = 0.05` at `N_B = 3`, scaling linearly).
+pub fn figure6_model() -> FalseAlarmModel {
+    FalseAlarmModel::new(DetectionModel {
+        window: 7,
+        detections_needed: 5,
+        confidence_index: 3,
+        collisions: CollisionModel::linear(0.05, 3.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_packet_is_zero_at_extremes() {
+        let m = figure6_model();
+        assert_eq!(m.per_packet(0.0), 0.0);
+        assert_eq!(m.per_packet(1.0), 0.0);
+    }
+
+    #[test]
+    fn per_packet_peaks_at_one_third() {
+        // d/dp [p(1-p)^2] = 0 at p = 1/3.
+        let m = figure6_model();
+        let peak = m.per_packet(1.0 / 3.0);
+        for &p in &[0.1, 0.2, 0.5, 0.8] {
+            assert!(m.per_packet(p) <= peak + 1e-12);
+        }
+    }
+
+    #[test]
+    fn false_isolation_negligible_everywhere() {
+        let m = figure6_model();
+        let mut worst: f64 = 0.0;
+        for i in 6..=60 {
+            worst = worst.max(m.false_isolation_probability(i as f64));
+        }
+        assert!(worst < 1e-6, "worst-case false alarm {worst} too large");
+        assert!(worst > 0.0, "false alarms possible in principle");
+    }
+
+    #[test]
+    fn non_monotonic_in_density() {
+        // Rises with guard count at first, falls when collisions saturate.
+        let m = figure6_model();
+        let low = m.false_isolation_probability(6.0);
+        let mid = m.false_isolation_probability(20.0);
+        let high = m.false_isolation_probability(58.0);
+        assert!(mid > low, "should rise as guards multiply ({low} -> {mid})");
+        assert!(
+            high < mid,
+            "should fall once collisions dominate ({mid} -> {high})"
+        );
+    }
+
+    #[test]
+    fn too_few_guards_means_no_false_isolation() {
+        let m = figure6_model();
+        assert_eq!(m.false_isolation_probability(3.0), 0.0);
+    }
+
+    #[test]
+    fn false_alarm_far_below_detection() {
+        // The protocol is only useful if detection vastly outpaces false alarm.
+        let fa = figure6_model();
+        let det = *fa.detection_model();
+        for &n_b in &[10.0, 15.0, 20.0, 30.0] {
+            let d = det.detection_probability(n_b);
+            let f = fa.false_isolation_probability(n_b);
+            assert!(d > 1e6 * f, "detection {d} vs false alarm {f} at N_B={n_b}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Closed-form coverage and cost analysis of LITEWORP (Section 5 of the paper).
+//!
+//! This crate is a dependency-free implementation of the analytical model in
+//! *LITEWORP: A Lightweight Countermeasure for the Wormhole Attack in Multihop
+//! Wireless Networks* (Khalil, Bagchi, Shroff — DSN 2005), Section 5:
+//!
+//! * [`geometry`] — the guard-region geometry of Figure 5(a): the area from
+//!   which a node can guard the link between two neighbors, its minimum and
+//!   expected value, and the paper's engineering approximation
+//!   `g ≈ 0.51 · N_B` (Equation I).
+//! * [`special`] — the numerical special functions the model needs
+//!   (log-gamma, regularized incomplete beta, binomial tails), implemented
+//!   in-repo because no special-function crate is used.
+//! * [`detection`] — probability of wormhole detection as a function of the
+//!   number of neighbors and the detection confidence index γ (Figure 6(a)
+//!   and the analytical curve of Figure 10).
+//! * [`false_alarm`] — probability of false alarm (Figure 6(b)).
+//! * [`cost`] — memory / bandwidth cost model (Section 5.2).
+//!
+//! # Example
+//!
+//! Reproduce one point of Figure 6(a):
+//!
+//! ```
+//! use liteworp_analysis::detection::{DetectionModel, CollisionModel};
+//!
+//! let model = DetectionModel {
+//!     window: 7,              // T: fabrication opportunities in the window
+//!     detections_needed: 5,   // k: detections for MalC to cross C_t
+//!     confidence_index: 3,    // γ: alerts needed to isolate
+//!     collisions: CollisionModel::linear(0.05, 3.0),
+//! };
+//! let p = model.detection_probability(15.0);
+//! assert!(p > 0.9, "detection should be near-certain at N_B = 15, got {p}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod detection;
+pub mod false_alarm;
+pub mod geometry;
+pub mod special;
+
+pub use detection::{CollisionModel, DetectionModel};
+pub use false_alarm::FalseAlarmModel;
+pub use geometry::GuardGeometry;

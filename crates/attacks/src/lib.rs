@@ -1,0 +1,26 @@
+//! All five wormhole attack modes of LITEWORP's taxonomy (Section 3,
+//! Table 1), implemented as adversarial node logic for the simulator.
+//!
+//! | Mode | Type | Implementation |
+//! |---|---|---|
+//! | 1 | packet encapsulation | [`wormhole::WormholeNode`] with nonzero tunnel latency |
+//! | 2 | out-of-band channel | [`wormhole::WormholeNode`] with zero tunnel latency |
+//! | 3 | high power transmission | [`solo::HighPowerNode`] |
+//! | 4 | packet relay | [`solo::RelayNode`] |
+//! | 5 | protocol deviation (rushing) | [`solo::RushingNode`] |
+//!
+//! Every attacker wraps an honest [`liteworp_routing::node::ProtocolNode`]
+//! and behaves impeccably until its activation time, matching the paper's
+//! threat model (insiders compromised after the secure neighbor-discovery
+//! window `T_CT`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mode;
+pub mod solo;
+pub mod wormhole;
+
+pub use mode::AttackMode;
+pub use solo::{HighPowerNode, RelayNode, RushingNode};
+pub use wormhole::{ForgeStrategy, WormholeConfig, WormholeNode};

@@ -1,0 +1,119 @@
+//! The wormhole attack taxonomy (Section 3, Table 1).
+
+use std::fmt;
+
+/// The five ways of launching a wormhole attack classified by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackMode {
+    /// Mode 1: the request is encapsulated and carried between colluders
+    /// over a normal multihop path, so the hop count does not grow
+    /// (Section 3.1).
+    PacketEncapsulation,
+    /// Mode 2: colluders share an out-of-band high-bandwidth channel
+    /// (wired link or long-range directional radio, Section 3.2).
+    OutOfBandChannel,
+    /// Mode 3: a single node broadcasts at high power to cross multiple
+    /// hops at once (Section 3.3).
+    HighPowerTransmission,
+    /// Mode 4: a single node relays packets verbatim between two
+    /// non-neighbors to convince them they are neighbors (Section 3.4).
+    PacketRelay,
+    /// Mode 5: a node skips the mandated MAC backoff so its forwards
+    /// always win route races — a form of rushing attack (Section 3.5).
+    ProtocolDeviation,
+}
+
+impl AttackMode {
+    /// All modes, in Table 1 order.
+    pub const ALL: [AttackMode; 5] = [
+        AttackMode::PacketEncapsulation,
+        AttackMode::OutOfBandChannel,
+        AttackMode::HighPowerTransmission,
+        AttackMode::PacketRelay,
+        AttackMode::ProtocolDeviation,
+    ];
+
+    /// Minimum number of compromised nodes needed (Table 1).
+    pub fn min_compromised_nodes(&self) -> usize {
+        match self {
+            AttackMode::PacketEncapsulation | AttackMode::OutOfBandChannel => 2,
+            _ => 1,
+        }
+    }
+
+    /// Special capability required (Table 1), if any.
+    pub fn special_requirement(&self) -> Option<&'static str> {
+        match self {
+            AttackMode::PacketEncapsulation => None,
+            AttackMode::OutOfBandChannel => Some("out-of-band link"),
+            AttackMode::HighPowerTransmission => Some("high energy source"),
+            AttackMode::PacketRelay => None,
+            AttackMode::ProtocolDeviation => None,
+        }
+    }
+
+    /// Whether LITEWORP handles the mode (Section 4.2.3: all but the
+    /// protocol deviation).
+    pub fn handled_by_liteworp(&self) -> bool {
+        !matches!(self, AttackMode::ProtocolDeviation)
+    }
+}
+
+impl fmt::Display for AttackMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AttackMode::PacketEncapsulation => "packet encapsulation",
+            AttackMode::OutOfBandChannel => "out-of-band channel",
+            AttackMode::HighPowerTransmission => "high power transmission",
+            AttackMode::PacketRelay => "packet relay",
+            AttackMode::ProtocolDeviation => "protocol deviations",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_minimums() {
+        assert_eq!(AttackMode::PacketEncapsulation.min_compromised_nodes(), 2);
+        assert_eq!(AttackMode::OutOfBandChannel.min_compromised_nodes(), 2);
+        assert_eq!(AttackMode::HighPowerTransmission.min_compromised_nodes(), 1);
+        assert_eq!(AttackMode::PacketRelay.min_compromised_nodes(), 1);
+        assert_eq!(AttackMode::ProtocolDeviation.min_compromised_nodes(), 1);
+    }
+
+    #[test]
+    fn table_1_requirements() {
+        assert_eq!(AttackMode::PacketEncapsulation.special_requirement(), None);
+        assert_eq!(
+            AttackMode::OutOfBandChannel.special_requirement(),
+            Some("out-of-band link")
+        );
+        assert_eq!(
+            AttackMode::HighPowerTransmission.special_requirement(),
+            Some("high energy source")
+        );
+        assert_eq!(AttackMode::PacketRelay.special_requirement(), None);
+        assert_eq!(AttackMode::ProtocolDeviation.special_requirement(), None);
+    }
+
+    #[test]
+    fn liteworp_handles_all_but_protocol_deviation() {
+        let handled: Vec<bool> = AttackMode::ALL
+            .iter()
+            .map(|m| m.handled_by_liteworp())
+            .collect();
+        assert_eq!(handled, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            AttackMode::OutOfBandChannel.to_string(),
+            "out-of-band channel"
+        );
+    }
+}

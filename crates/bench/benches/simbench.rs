@@ -1,0 +1,58 @@
+//! Criterion benchmarks of whole-simulation throughput: how fast the
+//! discrete-event substrate chews through the paper's workloads, with and
+//! without LITEWORP, across network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liteworp_bench::Scenario;
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_60s");
+    g.sample_size(10);
+    for &nodes in &[20usize, 50, 100] {
+        for protected in [false, true] {
+            let label = format!(
+                "{}{}",
+                nodes,
+                if protected { "_liteworp" } else { "_baseline" }
+            );
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(nodes, protected),
+                |b, &(nodes, protected)| {
+                    b.iter(|| {
+                        let mut run = Scenario {
+                            nodes,
+                            malicious: 2,
+                            protected,
+                            seed: 77,
+                            ..Scenario::default()
+                        }
+                        .build();
+                        run.run_until_secs(60.0);
+                        run.data_sent()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_scenario_build(c: &mut Criterion) {
+    // Deployment + colluder placement + oracle bootstrap cost.
+    c.bench_function("scenario_build_100", |b| {
+        b.iter(|| {
+            Scenario {
+                nodes: 100,
+                malicious: 2,
+                protected: true,
+                seed: 78,
+                ..Scenario::default()
+            }
+            .build()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulation_throughput, bench_scenario_build);
+criterion_main!(benches);

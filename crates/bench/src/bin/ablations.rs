@@ -1,0 +1,51 @@
+//! Ablation study: perturb one design choice at a time and measure what
+//! it costs (see `experiments::ablation` for the variant list).
+//!
+//! Flags: --seeds N (5), --duration S (800), --nodes N (50)
+
+use liteworp_bench::cli::Flags;
+use liteworp_bench::experiments::ablation::{run, AblationConfig};
+use liteworp_bench::report::render_table;
+
+fn main() {
+    let flags = Flags::from_env();
+    let cfg = AblationConfig {
+        nodes: flags.get_usize("nodes", 50),
+        seeds: flags.get_u64("seeds", 5),
+        duration: flags.get_f64("duration", 800.0),
+    };
+    eprintln!("running ablations: {cfg:?}");
+    let rows = run(&cfg);
+    println!(
+        "Ablation study ({} nodes, M = 2, {} runs per variant, {} s each)\n",
+        cfg.nodes, cfg.seeds, cfg.duration
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.2}", r.detection_rate),
+                format!("{:.1}", r.isolation_latency),
+                format!("{:.2}", r.isolation_rate),
+                format!("{:.1}", r.drops),
+                format!("{:.2}", r.false_isolations),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "variant",
+                "detection",
+                "isolation [s]",
+                "isolation rate",
+                "drops",
+                "false isolations"
+            ],
+            &table
+        )
+    );
+    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+}

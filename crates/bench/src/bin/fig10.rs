@@ -1,0 +1,51 @@
+//! Figure 10: detection probability (simulation + analytical) and
+//! isolation latency vs the detection confidence index gamma
+//! (N_B = 15, M = 2).
+//!
+//! Flags: --seeds N (10), --duration S (800), --nodes N (100)
+
+use liteworp_bench::cli::Flags;
+use liteworp_bench::experiments::fig10::{run, Fig10Config};
+use liteworp_bench::report::render_table;
+
+fn main() {
+    let flags = Flags::from_env();
+    let cfg = Fig10Config {
+        nodes: flags.get_usize("nodes", 100),
+        seeds: flags.get_u64("seeds", 10),
+        duration: flags.get_f64("duration", 800.0),
+        ..Fig10Config::default()
+    };
+    eprintln!("running fig10: {cfg:?}");
+    let rows = run(&cfg);
+    println!(
+        "Figure 10: detection probability and isolation latency vs gamma (N_B = {}, M = 2, {} runs each)\n",
+        cfg.avg_neighbors, cfg.seeds
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gamma.to_string(),
+                format!("{:.2}", r.sim_detection),
+                format!("{:.3}", r.analytic_detection),
+                format!("{:.1}", r.isolation_latency),
+                format!("{:.2}", r.isolation_completed),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "gamma",
+                "P(detect) sim",
+                "P(detect) analytic",
+                "isolation latency [s]",
+                "isolation completed",
+            ],
+            &table
+        )
+    );
+    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+}

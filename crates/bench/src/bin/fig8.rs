@@ -1,0 +1,56 @@
+//! Figure 8: cumulative packets dropped by the wormhole vs simulation
+//! time, 100 nodes, M in {2, 4}, with and without LITEWORP.
+//!
+//! Flags: --seeds N (default 10), --duration S (2000), --nodes N (100),
+//!        --sample S (50)
+
+use liteworp_bench::cli::Flags;
+use liteworp_bench::experiments::fig8::{run, Fig8Config};
+use liteworp_bench::report::render_table;
+
+fn main() {
+    let flags = Flags::from_env();
+    let cfg = Fig8Config {
+        nodes: flags.get_usize("nodes", 100),
+        seeds: flags.get_u64("seeds", 10),
+        duration: flags.get_f64("duration", 2000.0),
+        sample_every: flags.get_f64("sample", 50.0),
+        ..Fig8Config::default()
+    };
+    eprintln!("running fig8: {cfg:?}");
+    let series = run(&cfg);
+    println!(
+        "Figure 8: cumulative wormhole drops vs time ({} nodes, attack at 50 s, mean of {} runs)\n",
+        cfg.nodes, cfg.seeds
+    );
+    let header_refs = [
+        "t [s]",
+        "M=2 baseline",
+        "M=2 LITEWORP",
+        "M=4 baseline",
+        "M=4 LITEWORP",
+    ];
+    let find = |m: usize, p: bool| {
+        series
+            .iter()
+            .find(|s| s.colluders == m && s.protected == p)
+            .expect("series present")
+    };
+    let (b2, p2, b4, p4) = (find(2, false), find(2, true), find(4, false), find(4, true));
+    let rows: Vec<Vec<String>> = b2
+        .times
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            vec![
+                format!("{t:.0}"),
+                format!("{:.1}", b2.dropped[i]),
+                format!("{:.1}", p2.dropped[i]),
+                format!("{:.1}", b4.dropped[i]),
+                format!("{:.1}", p4.dropped[i]),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header_refs, &rows));
+    println!("\n{}", serde_json::to_string(&series).expect("serialize"));
+}

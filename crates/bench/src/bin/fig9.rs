@@ -1,0 +1,44 @@
+//! Figure 9: fraction of packets dropped and fraction of malicious routes
+//! vs number of compromised nodes, baseline vs LITEWORP (snapshot at
+//! t = 2000 s).
+//!
+//! Flags: --seeds N (10), --duration S (2000), --nodes N (100)
+
+use liteworp_bench::cli::Flags;
+use liteworp_bench::experiments::fig9::{run, Fig9Config};
+use liteworp_bench::report::render_table;
+
+fn main() {
+    let flags = Flags::from_env();
+    let cfg = Fig9Config {
+        nodes: flags.get_usize("nodes", 100),
+        seeds: flags.get_u64("seeds", 10),
+        duration: flags.get_f64("duration", 2000.0),
+        ..Fig9Config::default()
+    };
+    eprintln!("running fig9: {cfg:?}");
+    let rows = run(&cfg);
+    println!(
+        "Figure 9: wormhole impact at t = {:.0} s ({} nodes, mean of {} runs)\n",
+        cfg.duration, cfg.nodes, cfg.seeds
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.colluders.to_string(),
+                if r.protected { "LITEWORP" } else { "baseline" }.into(),
+                format!("{:.4}", r.fraction_dropped),
+                format!("{:.4}", r.fraction_malicious_routes),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["M", "system", "fr. dropped", "fr. malicious routes"],
+            &table
+        )
+    );
+    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+}

@@ -1,0 +1,18 @@
+//! Table 2: simulation input parameters — the paper's values next to the
+//! configuration this reproduction actually runs.
+
+use liteworp_bench::experiments::tables::table2;
+use liteworp_bench::report::render_table;
+
+fn main() {
+    println!("Table 2: input parameter values\n");
+    let rows = table2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.parameter.clone(), r.paper.clone(), r.ours.clone()])
+        .collect();
+    print!(
+        "{}",
+        render_table(&["parameter", "paper", "this repo"], &table)
+    );
+}

@@ -1,0 +1,106 @@
+//! Minimal flag parsing for the experiment binaries (`--key value` pairs).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_bench::cli::Flags;
+///
+/// let f = Flags::parse(["--seeds", "30", "--duration", "2000"]);
+/// assert_eq!(f.get_u64("seeds", 10), 30);
+/// assert_eq!(f.get_f64("duration", 500.0), 2000.0);
+/// assert_eq!(f.get_u64("nodes", 100), 100); // default
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a flag without a value or a bare positional argument, so
+    /// typos fail loudly rather than silently running the default.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = HashMap::new();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {arg:?}"))
+                .to_string();
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            values.insert(key, value);
+        }
+        Flags { values }
+    }
+
+    /// Integer flag with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// Float flag with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    /// `usize` flag with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get_parsed(key).unwrap_or(default)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.values.get(key).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("flag --{key}: cannot parse {v:?}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let f = Flags::parse(["--a", "1"]);
+        assert_eq!(f.get_u64("a", 9), 1);
+        assert_eq!(f.get_u64("b", 9), 9);
+        assert_eq!(f.get_usize("a", 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        Flags::parse(["--a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn positional_panics() {
+        Flags::parse(["oops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_number_panics() {
+        Flags::parse(["--a", "zzz"]).get_u64("a", 0);
+    }
+}

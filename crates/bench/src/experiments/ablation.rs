@@ -1,0 +1,233 @@
+//! Ablation study — design choices beyond the paper's headline results.
+//!
+//! Each variant perturbs one knob of the full system and reports what it
+//! costs: detection rate, time to complete isolation, wormhole damage,
+//! and false isolations of honest nodes.
+//!
+//! | Variant | Question it answers |
+//! |---|---|
+//! | `baseline-attack` | reference: full system vs default wormhole |
+//! | `forge-colluder` | what if colluders name each other as previous hop? (second-hop checks kill it instantly) |
+//! | `forge-fixed` | fixed innocent neighbor vs rotating — rotation spreads `MalC` but also spreads accusing guards |
+//! | `smart-reply` | colluders dodge drop detection by also forwarding replies legitimately |
+//! | `no-collision-grace` | judge through collisions: how many honest nodes get falsely isolated? |
+//! | `no-alert-relay` | alerts strictly one-hop: does isolation still complete? |
+//! | `noise-2pct` | unexplained channel loss (no collision indication): false-positive sensitivity |
+//! | `encapsulation-250ms` | slow tunnel: does the attack still win routes, is it still caught? |
+//! | `monitor-data` | data-plane monitoring extension: watch data packets too |
+
+use crate::report::mean;
+use crate::scenario::Scenario;
+use liteworp::config::Config;
+use liteworp_attacks::wormhole::ForgeStrategy;
+use liteworp_netsim::prelude::RadioConfig;
+use serde::Serialize;
+
+/// Parameters of the ablation study.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Network size.
+    pub nodes: usize,
+    /// Runs per variant.
+    pub seeds: u64,
+    /// Run length (seconds).
+    pub duration: f64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        AblationConfig {
+            nodes: 50,
+            seeds: 5,
+            duration: 800.0,
+        }
+    }
+}
+
+/// Result of one ablation variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Fraction of runs with every colluder detected.
+    pub detection_rate: f64,
+    /// Mean full-isolation latency (s) over completing runs.
+    pub isolation_latency: f64,
+    /// Fraction of runs where isolation completed.
+    pub isolation_rate: f64,
+    /// Mean wormhole drops per run.
+    pub drops: f64,
+    /// Mean honest nodes falsely isolated per run.
+    pub false_isolations: f64,
+}
+
+fn variants(base_nodes: usize) -> Vec<(&'static str, Scenario)> {
+    let base = Scenario {
+        nodes: base_nodes,
+        malicious: 2,
+        protected: true,
+        ..Scenario::default()
+    };
+    vec![
+        ("baseline-attack", base.clone()),
+        (
+            "forge-colluder",
+            Scenario {
+                forge: ForgeStrategy::Colluder,
+                ..base.clone()
+            },
+        ),
+        (
+            "forge-fixed",
+            Scenario {
+                forge: ForgeStrategy::InnocentNeighbor,
+                ..base.clone()
+            },
+        ),
+        (
+            "smart-reply",
+            Scenario {
+                smart_reply: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-collision-grace",
+            Scenario {
+                liteworp: Config {
+                    collision_grace_us: 0,
+                    ..Config::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "no-alert-relay",
+            Scenario {
+                relay_alerts: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "noise-2pct",
+            Scenario {
+                radio: RadioConfig {
+                    noise_loss: 0.02,
+                    ..RadioConfig::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "encapsulation-250ms",
+            Scenario {
+                tunnel_latency: 0.25,
+                ..base.clone()
+            },
+        ),
+        (
+            "monitor-data",
+            Scenario {
+                liteworp: Config {
+                    monitor_data: true,
+                    ..Config::default()
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs the ablation study.
+pub fn run(cfg: &AblationConfig) -> Vec<AblationRow> {
+    let mut out = Vec::new();
+    for (name, scenario) in variants(cfg.nodes) {
+        let mut detected = 0u64;
+        let mut latencies = Vec::new();
+        let mut drops = Vec::new();
+        let mut false_isolations = Vec::new();
+        for seed in 0..cfg.seeds {
+            let mut run = Scenario {
+                seed: 5000 + seed,
+                ..scenario.clone()
+            }
+            .build();
+            run.run_until_secs(cfg.duration);
+            if run.all_detected() {
+                detected += 1;
+            }
+            if let Some(lat) = run.isolation_latency_secs() {
+                latencies.push(lat);
+            }
+            drops.push(run.wormhole_dropped() as f64);
+            let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
+            let mut honest: std::collections::BTreeSet<u64> = Default::default();
+            for e in run.sim().trace().with_tag("isolated") {
+                if !malicious.contains(&e.value) {
+                    honest.insert(e.value);
+                }
+            }
+            false_isolations.push(honest.len() as f64);
+        }
+        out.push(AblationRow {
+            variant: name.to_string(),
+            detection_rate: detected as f64 / cfg.seeds as f64,
+            isolation_latency: mean(&latencies),
+            isolation_rate: latencies.len() as f64 / cfg.seeds as f64,
+            drops: mean(&drops),
+            false_isolations: mean(&false_isolations),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_list_is_complete() {
+        let v = variants(30);
+        assert_eq!(v.len(), 9);
+        assert!(v.iter().any(|(n, _)| *n == "no-collision-grace"));
+    }
+
+    #[test]
+    fn forge_colluder_never_wins_wormhole_routes() {
+        // Naming the colluder as previous hop is rejected outright by the
+        // second-hop checks, so the tunnel cannot attract routes: no
+        // forged rebroadcast is ever accepted and no reply flows back
+        // through the tunnel. (The colluders still blackhole data that
+        // crosses them on natural routes — data-plane dropping is outside
+        // LITEWORP's control-traffic monitoring.)
+        let build = |forge| Scenario {
+            nodes: 30,
+            malicious: 2,
+            protected: true,
+            seed: 5100,
+            forge,
+            ..Scenario::default()
+        };
+        // A tunnel-won route shows up as a *fake link* in the relay
+        // telemetry (the reply jumps the tunnel gap).
+        let mut naming = build(ForgeStrategy::Colluder).build();
+        naming.run_until_secs(400.0);
+        assert_eq!(
+            naming.fake_link_routes(),
+            0,
+            "a route crossed the tunnel despite colluder-naming"
+        );
+        // Positive control: without protection, neighbor-forging wins
+        // tunnel routes (visible as fake links) for the same seed.
+        let mut forging = Scenario {
+            protected: false,
+            ..build(ForgeStrategy::RotatingNeighbors)
+        }
+        .build();
+        forging.run_until_secs(400.0);
+        assert!(
+            forging.fake_link_routes() > 0,
+            "the neighbor-forging variant should win at least one tunnel route"
+        );
+    }
+}

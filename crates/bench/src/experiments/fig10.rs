@@ -1,0 +1,151 @@
+//! Figure 10 — detection probability (simulation + analytical) and
+//! isolation latency as the detection confidence index γ varies, with
+//! `N_B = 15` and `M = 2`.
+//!
+//! As γ grows, more guards must independently accuse before a neighbor
+//! isolates, so detection probability falls and isolation latency rises
+//! (the paper reports latencies that stay small, under ~30 s of attack
+//! time at their density).
+
+use crate::report::mean;
+use crate::scenario::Scenario;
+use liteworp::config::Config;
+use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+use serde::Serialize;
+
+/// Parameters of the Figure 10 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig10Config {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Average neighbors (paper: 15).
+    pub avg_neighbors: f64,
+    /// γ values to sweep (paper: 2..=8).
+    pub gammas: Vec<usize>,
+    /// Independent runs per γ.
+    pub seeds: u64,
+    /// Run duration in seconds.
+    pub duration: f64,
+    /// Fabrication opportunities per guard assumed by the analytical
+    /// overlay (the `T` of Section 5.1).
+    pub analytic_window: u64,
+    /// Collision probability assumed by the analytical overlay.
+    pub analytic_p_c: f64,
+}
+
+impl Default for Fig10Config {
+    fn default() -> Self {
+        Fig10Config {
+            nodes: 100,
+            avg_neighbors: 15.0,
+            gammas: (2..=8).collect(),
+            seeds: 10,
+            duration: 800.0,
+            // Overlay parameters: T = 5 fabrication opportunities per
+            // guard within the decision horizon, and the Figure 6 linear
+            // collision model evaluated at N_B = 15 (P_C = 0.25).
+            analytic_window: 5,
+            analytic_p_c: 0.25,
+        }
+    }
+}
+
+/// One γ point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    /// Detection confidence index γ.
+    pub gamma: usize,
+    /// Fraction of runs in which every colluder was detected (isolated by
+    /// at least one node).
+    pub sim_detection: f64,
+    /// Analytical detection probability at the same γ.
+    pub analytic_detection: f64,
+    /// Mean time (s, from attack start) until every honest neighbor of
+    /// every colluder isolated it, over the runs where that completed.
+    pub isolation_latency: f64,
+    /// Fraction of runs where isolation completed within the run.
+    pub isolation_completed: f64,
+}
+
+/// Runs the γ sweep.
+pub fn run(cfg: &Fig10Config) -> Vec<Fig10Row> {
+    let mut out = Vec::new();
+    for &gamma in &cfg.gammas {
+        let analytic = DetectionModel {
+            window: cfg.analytic_window,
+            detections_needed: Config::default().fabrications_to_accuse() as u64,
+            confidence_index: gamma as u64,
+            collisions: CollisionModel::Constant(cfg.analytic_p_c),
+        };
+        let mut detected = 0u64;
+        let mut latencies = Vec::new();
+        for seed in 0..cfg.seeds {
+            let mut run = Scenario {
+                nodes: cfg.nodes,
+                avg_neighbors: cfg.avg_neighbors,
+                malicious: 2,
+                protected: true,
+                liteworp: Config {
+                    confidence_index: gamma,
+                    ..Config::default()
+                },
+                seed: 3000 + seed,
+                ..Scenario::default()
+            }
+            .build();
+            run.run_until_secs(cfg.duration);
+            if run.all_detected() {
+                detected += 1;
+            }
+            if let Some(lat) = run.isolation_latency_secs() {
+                latencies.push(lat);
+            }
+        }
+        out.push(Fig10Row {
+            gamma,
+            sim_detection: detected as f64 / cfg.seeds as f64,
+            analytic_detection: analytic.detection_probability(cfg.avg_neighbors),
+            isolation_latency: mean(&latencies),
+            isolation_completed: latencies.len() as f64 / cfg.seeds as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_overlay_decreases_with_gamma() {
+        let cfg = Fig10Config::default();
+        let mut prev = f64::INFINITY;
+        for gamma in &cfg.gammas {
+            let m = DetectionModel {
+                window: cfg.analytic_window,
+                detections_needed: Config::default().fabrications_to_accuse() as u64,
+                confidence_index: *gamma as u64,
+                collisions: CollisionModel::Constant(cfg.analytic_p_c),
+            };
+            let p = m.detection_probability(cfg.avg_neighbors);
+            assert!(p <= prev);
+            prev = p;
+        }
+        assert!(prev < 1.0, "the curve must actually decline");
+    }
+
+    #[test]
+    fn tiny_sim_sweep_detects_at_low_gamma() {
+        let cfg = Fig10Config {
+            nodes: 30,
+            avg_neighbors: 10.0,
+            gammas: vec![2],
+            seeds: 1,
+            duration: 300.0,
+            ..Fig10Config::default()
+        };
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].sim_detection > 0.99, "{rows:?}");
+    }
+}

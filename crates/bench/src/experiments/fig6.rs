@@ -1,0 +1,95 @@
+//! Figure 6 — analytical coverage curves.
+//!
+//! * **Fig 6(a)**: probability of wormhole detection vs average number of
+//!   neighbors, with `T = 7`, `k = 5`, `γ = 3`, `M = 2`, and `P_C = 0.05`
+//!   at `N_B = 3` scaling linearly with density.
+//! * **Fig 6(b)**: probability of false alarm over the same sweep —
+//!   non-monotonic and negligible everywhere.
+
+use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+use liteworp_analysis::false_alarm::FalseAlarmModel;
+use serde::Serialize;
+
+/// One point of the Figure 6 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Average neighbors per node.
+    pub n_b: f64,
+    /// Guards available (Equation I).
+    pub guards: u64,
+    /// Collision probability at this density.
+    pub p_c: f64,
+    /// Probability of wormhole detection (Fig 6(a)).
+    pub p_detect: f64,
+    /// Probability of falsely isolating an honest node (Fig 6(b)).
+    pub p_false_alarm: f64,
+}
+
+/// The paper's Figure 6 parameterization.
+pub fn paper_model() -> DetectionModel {
+    DetectionModel {
+        window: 7,
+        detections_needed: 5,
+        confidence_index: 3,
+        collisions: CollisionModel::linear(0.05, 3.0),
+    }
+}
+
+/// Computes the Figure 6 sweep over `n_b` values.
+pub fn sweep(model: DetectionModel, n_b_values: impl IntoIterator<Item = f64>) -> Vec<Fig6Row> {
+    let fa = FalseAlarmModel::new(model);
+    n_b_values
+        .into_iter()
+        .map(|n_b| Fig6Row {
+            n_b,
+            guards: model.guards(n_b),
+            p_c: model.collisions.collision_probability(n_b),
+            p_detect: model.detection_probability(n_b),
+            p_false_alarm: fa.false_isolation_probability(n_b),
+        })
+        .collect()
+}
+
+/// The default sweep grid used by the `fig6a` / `fig6b` binaries.
+pub fn default_grid() -> Vec<f64> {
+    (2..=30).map(|i| (2 * i) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_match_the_paper() {
+        let rows = sweep(paper_model(), default_grid());
+        assert_eq!(rows.len(), 29);
+        // Detection: high plateau then collapse at extreme density.
+        let peak = rows
+            .iter()
+            .map(|r| r.p_detect)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 0.99, "peak detection {peak}");
+        let last = rows.last().unwrap();
+        assert!(
+            last.p_detect < 0.2,
+            "dense-collapse missing: {}",
+            last.p_detect
+        );
+        // False alarm: everywhere negligible.
+        assert!(rows.iter().all(|r| r.p_false_alarm < 1e-6));
+        // False alarm non-monotonic: rises then falls.
+        let max_idx = rows
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.p_false_alarm.total_cmp(&b.1.p_false_alarm))
+            .unwrap()
+            .0;
+        assert!(max_idx > 0 && max_idx < rows.len() - 1, "peak at {max_idx}");
+    }
+
+    #[test]
+    fn guards_follow_equation_i() {
+        let rows = sweep(paper_model(), [10.0]);
+        assert_eq!(rows[0].guards, 5); // 0.51 * 10 = 5.1 -> 5
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 9 — snapshot at t = 2000 s: fraction of data packets dropped by
+//! the wormhole and fraction of established routes that pass through it,
+//! for M ∈ 0..=4 compromised nodes, baseline vs LITEWORP.
+
+use crate::report::mean;
+use crate::scenario::Scenario;
+use serde::Serialize;
+
+/// Parameters of the Figure 9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig9Config {
+    /// Total nodes (paper: 100).
+    pub nodes: usize,
+    /// Colluder counts (paper: 0..=4).
+    pub colluder_counts: Vec<usize>,
+    /// Independent runs to average (paper: 30).
+    pub seeds: u64,
+    /// Snapshot time in seconds (paper: 2000).
+    pub duration: f64,
+}
+
+impl Default for Fig9Config {
+    fn default() -> Self {
+        Fig9Config {
+            nodes: 100,
+            colluder_counts: (0..=4).collect(),
+            seeds: 10,
+            duration: 2000.0,
+        }
+    }
+}
+
+/// One bar group of Figure 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Number of compromised nodes M.
+    pub colluders: usize,
+    /// LITEWORP enabled?
+    pub protected: bool,
+    /// Mean fraction of originated data packets swallowed by the wormhole.
+    pub fraction_dropped: f64,
+    /// Mean fraction of established routes that relay through a colluder.
+    pub fraction_malicious_routes: f64,
+}
+
+/// Runs the snapshot experiment.
+pub fn run(cfg: &Fig9Config) -> Vec<Fig9Row> {
+    let mut out = Vec::new();
+    for &m in &cfg.colluder_counts {
+        for protected in [false, true] {
+            let mut fr_drop = Vec::new();
+            let mut fr_mal = Vec::new();
+            for seed in 0..cfg.seeds {
+                let mut run = Scenario {
+                    nodes: cfg.nodes,
+                    malicious: m,
+                    protected,
+                    seed: 2000 + seed,
+                    ..Scenario::default()
+                }
+                .build();
+                run.run_until_secs(cfg.duration);
+                let sent = run.data_sent().max(1) as f64;
+                fr_drop.push(run.wormhole_dropped() as f64 / sent);
+                let (total, bad) = run.route_counts();
+                fr_mal.push(bad as f64 / total.max(1) as f64);
+            }
+            out.push(Fig9Row {
+                colluders: m,
+                protected,
+                fraction_dropped: mean(&fr_drop),
+                fraction_malicious_routes: mean(&fr_mal),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_colluders_mean_zero_fractions() {
+        let cfg = Fig9Config {
+            nodes: 20,
+            colluder_counts: vec![0],
+            seeds: 1,
+            duration: 200.0,
+        };
+        let rows = run(&cfg);
+        for r in &rows {
+            assert_eq!(r.fraction_dropped, 0.0);
+            assert_eq!(r.fraction_malicious_routes, 0.0);
+        }
+    }
+
+    #[test]
+    fn protection_reduces_both_fractions() {
+        let cfg = Fig9Config {
+            nodes: 30,
+            colluder_counts: vec![2],
+            seeds: 2,
+            duration: 500.0,
+        };
+        let rows = run(&cfg);
+        let base = rows.iter().find(|r| !r.protected).unwrap();
+        let prot = rows.iter().find(|r| r.protected).unwrap();
+        assert!(
+            prot.fraction_dropped <= base.fraction_dropped,
+            "dropped: {prot:?} vs {base:?}"
+        );
+        assert!(base.fraction_dropped > 0.0, "attack had no effect at all");
+    }
+}

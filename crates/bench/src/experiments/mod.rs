@@ -1,0 +1,10 @@
+//! Experiment implementations, one module per table/figure of the paper.
+
+pub mod ablation;
+pub mod cost;
+pub mod fig10;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod sweep;
+pub mod tables;

@@ -1,0 +1,14 @@
+//! Experiment harness for the LITEWORP reproduction: scenario builder and
+//! the code that regenerates every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod timeline;
+
+pub use scenario::{Scenario, ScenarioAttack, ScenarioRun};

@@ -1,0 +1,477 @@
+//! The Section 6 simulation setup: random deployment at fixed density,
+//! exponential data traffic, colluding wormhole nodes, with and without
+//! LITEWORP.
+//!
+//! A [`Scenario`] builds a ready-to-run [`Simulator`]; [`ScenarioRun`]
+//! wraps the simulator with the measurement queries the paper's figures
+//! need (cumulative wormhole drops, route classification, isolation
+//! latency, detection).
+
+use liteworp::config::Config;
+use liteworp::types::NodeId as CoreId;
+use liteworp_attacks::solo::{HighPowerNode, RelayNode, RushingNode};
+use liteworp_attacks::wormhole::{ForgeStrategy, WormholeConfig, WormholeNode};
+use liteworp_netsim::field::{Field, NodeId as SimId};
+use liteworp_netsim::prelude::{RadioConfig, SimDuration, SimTime, Simulator};
+use liteworp_routing::bootstrap::preload_liteworp;
+use liteworp_routing::node::{core_id, ProtocolNode};
+use liteworp_routing::packet::Packet;
+use liteworp_routing::params::{DiscoveryMode, NodeParams, RouteSelection};
+use liteworp_routing::stats::RouteRecord;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Which attack the malicious nodes mount.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioAttack {
+    /// Colluding wormhole (modes 1 and 2) — uses the scenario's
+    /// `tunnel_latency`, `forge` and `smart_reply` fields.
+    Wormhole,
+    /// Mode 3: each malicious node rebroadcasts requests at this range
+    /// multiplier.
+    HighPower(f64),
+    /// Mode 4: each malicious node relays overheard frames verbatim.
+    Relay,
+    /// Mode 5: rushing; `drop_data` selects whether attracted data is
+    /// swallowed.
+    Rushing {
+        /// Swallow attracted data packets.
+        drop_data: bool,
+    },
+}
+
+/// Full description of one simulation run (defaults = Table 2).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Total nodes `N` (Table 2: 20, 50, 100, 150).
+    pub nodes: usize,
+    /// Average neighbors per node `N_B` (Table 2: 8).
+    pub avg_neighbors: f64,
+    /// Number of colluding wormhole nodes `M` (Table 2: 0–4).
+    pub malicious: usize,
+    /// Run with LITEWORP (`true`) or the unprotected baseline (`false`).
+    pub protected: bool,
+    /// LITEWORP parameters (γ, `C_t`, `V_f`, `V_d`, δ ...).
+    pub liteworp: Config,
+    /// RNG seed (deployment, traffic, MAC backoffs).
+    pub seed: u64,
+    /// Attack start time in seconds (paper: 50).
+    pub attack_start: f64,
+    /// Wormhole tunnel latency in seconds (0 = out-of-band channel;
+    /// > 0 = packet encapsulation).
+    pub tunnel_latency: f64,
+    /// Previous-hop forging strategy of the colluders.
+    pub forge: ForgeStrategy,
+    /// Whether colluders also forward replies legitimately to dodge drop
+    /// detection.
+    pub smart_reply: bool,
+    /// Mean data inter-arrival per node in seconds (Table 2: 10).
+    pub data_mean: f64,
+    /// Mean time between destination changes in seconds (Table 2: 200).
+    pub dest_change_mean: f64,
+    /// Route cache lifetime in seconds (Table 2: 50).
+    pub route_timeout: f64,
+    /// Route selection policy (the paper's vulnerable default:
+    /// shortest-hops).
+    pub route_selection: RouteSelection,
+    /// Radio parameters (Table 2: 30 m range, 40 kbps).
+    pub radio: RadioConfig,
+    /// Attack mode mounted by the malicious nodes.
+    pub attack: ScenarioAttack,
+    /// Whether out-of-range alerts are relayed through a common neighbor
+    /// (ablation knob; default on).
+    pub relay_alerts: bool,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            nodes: 100,
+            avg_neighbors: 8.0,
+            malicious: 2,
+            protected: true,
+            liteworp: Config::default(),
+            seed: 1,
+            attack_start: 50.0,
+            tunnel_latency: 0.0,
+            forge: ForgeStrategy::RotatingNeighbors,
+            smart_reply: false,
+            data_mean: 10.0,
+            dest_change_mean: 200.0,
+            route_timeout: 50.0,
+            route_selection: RouteSelection::ShortestHops,
+            radio: RadioConfig::default(),
+            attack: ScenarioAttack::Wormhole,
+            relay_alerts: true,
+        }
+    }
+}
+
+/// A built, runnable scenario.
+pub struct ScenarioRun {
+    sim: Simulator<Packet>,
+    malicious: Vec<CoreId>,
+    attack_start: SimTime,
+}
+
+impl Scenario {
+    /// Deploys the field, picks colluders (pairwise more than two hops
+    /// apart, per Section 6), builds and bootstraps all nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected deployment or valid colluder placement can
+    /// be found for the given seed (try another seed or density).
+    pub fn build(&self) -> ScenarioRun {
+        assert!(self.malicious <= self.nodes, "more colluders than nodes");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let field = Field::connected_with_average_neighbors(
+            self.nodes,
+            self.avg_neighbors,
+            self.radio.range_m,
+            500,
+            &mut rng,
+        )
+        .expect("no connected deployment found");
+        let malicious = choose_colluders(&field, self.malicious, &mut rng)
+            .expect("no colluder placement more than 2 hops apart found");
+
+        let params = NodeParams {
+            total_nodes: self.nodes as u32,
+            liteworp: self.protected.then(|| self.liteworp.clone()),
+            key_seed: 0xBEEF ^ self.seed,
+            route_timeout: SimDuration::from_secs_f64(self.route_timeout),
+            data_interval_mean: Some(SimDuration::from_secs_f64(self.data_mean)),
+            dest_change_mean: SimDuration::from_secs_f64(self.dest_change_mean),
+            route_selection: self.route_selection,
+            discovery: DiscoveryMode::Preloaded,
+            relay_alerts: self.relay_alerts,
+            ..NodeParams::default()
+        };
+
+        let attack_start = SimTime::from_secs_f64(self.attack_start);
+        let mut sim = Simulator::new(field, self.radio.clone(), self.seed.wrapping_mul(31) + 7);
+        for i in 0..self.nodes {
+            let id = CoreId(i as u32);
+            let mut inner = ProtocolNode::new(id, params.clone());
+            if self.protected {
+                let lw = inner.liteworp_mut().expect("protection enabled");
+                preload_liteworp(lw, SimId(i as u32), sim.field());
+            }
+            if malicious.contains(&id) {
+                match self.attack {
+                    ScenarioAttack::Wormhole => {
+                        let attack = WormholeConfig {
+                            colluders: malicious.iter().copied().filter(|&m| m != id).collect(),
+                            active_from: attack_start,
+                            tunnel_latency: SimDuration::from_secs_f64(self.tunnel_latency),
+                            forge: self.forge,
+                            smart_reply: self.smart_reply,
+                        };
+                        sim.push_node(Box::new(WormholeNode::new(inner, attack)));
+                    }
+                    ScenarioAttack::HighPower(mult) => {
+                        sim.push_node(Box::new(HighPowerNode::new(inner, attack_start, mult)));
+                    }
+                    ScenarioAttack::Relay => {
+                        sim.push_node(Box::new(RelayNode::new(inner, attack_start)));
+                    }
+                    ScenarioAttack::Rushing { drop_data } => {
+                        sim.push_node(Box::new(RushingNode::new(inner, attack_start, drop_data)));
+                    }
+                }
+            } else {
+                sim.push_node(Box::new(inner));
+            }
+        }
+        ScenarioRun {
+            sim,
+            malicious,
+            attack_start,
+        }
+    }
+}
+
+/// Picks `m` colluders uniformly at random such that every pair is more
+/// than two hops apart (Section 6). Returns `None` when impossible.
+fn choose_colluders(field: &Field, m: usize, rng: &mut StdRng) -> Option<Vec<CoreId>> {
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    let mut ids: Vec<u32> = (0..field.len() as u32).collect();
+    for _attempt in 0..200 {
+        ids.shuffle(rng);
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        for &cand in &ids {
+            // Colluders should have neighbors to exploit.
+            if field.in_range_of(SimId(cand)).is_empty() {
+                continue;
+            }
+            let far_enough = chosen.iter().all(|&c| {
+                field
+                    .hop_distance(SimId(c), SimId(cand))
+                    .is_none_or(|h| h > 2)
+            });
+            if far_enough {
+                chosen.push(cand);
+                if chosen.len() == m {
+                    chosen.sort_unstable();
+                    return Some(chosen.into_iter().map(CoreId).collect());
+                }
+            }
+        }
+    }
+    None
+}
+
+impl ScenarioRun {
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<Packet> {
+        &self.sim
+    }
+
+    /// Advances the run to `t` seconds.
+    pub fn run_until_secs(&mut self, t: f64) {
+        self.sim.run_until(SimTime::from_secs_f64(t));
+    }
+
+    /// The colluding node ids.
+    pub fn malicious(&self) -> &[CoreId] {
+        &self.malicious
+    }
+
+    /// When the attack activates.
+    pub fn attack_start(&self) -> SimTime {
+        self.attack_start
+    }
+
+    /// Cumulative data packets swallowed by wormhole endpoints.
+    pub fn wormhole_dropped(&self) -> u64 {
+        self.sim.metrics().get("wormhole_dropped")
+    }
+
+    /// Cumulative data packets originated network-wide.
+    pub fn data_sent(&self) -> u64 {
+        self.sim.metrics().get("data_sent")
+    }
+
+    /// Cumulative data packets delivered to their final destinations.
+    pub fn data_delivered(&self) -> u64 {
+        self.sim.metrics().get("data_delivered")
+    }
+
+    /// Access a node's honest core, whether it is honest or a wormhole
+    /// wrapper.
+    pub fn protocol_node(&self, id: CoreId) -> &ProtocolNode {
+        let logic = self.sim.logic(SimId(id.0));
+        if let Some(p) = logic.as_any().downcast_ref::<ProtocolNode>() {
+            return p;
+        }
+        if let Some(w) = logic.as_any().downcast_ref::<WormholeNode>() {
+            return w.inner();
+        }
+        if let Some(a) = logic.as_any().downcast_ref::<HighPowerNode>() {
+            return a.inner();
+        }
+        if let Some(a) = logic.as_any().downcast_ref::<RelayNode>() {
+            return a.inner();
+        }
+        if let Some(a) = logic.as_any().downcast_ref::<RushingNode>() {
+            return a.inner();
+        }
+        panic!("node {id} has an unknown logic type");
+    }
+
+    /// All route records established at sources, flattened.
+    pub fn all_routes(&self) -> Vec<(CoreId, RouteRecord)> {
+        let mut out = Vec::new();
+        for i in 0..self.sim.node_count() {
+            let id = CoreId(i as u32);
+            for rec in self.protocol_node(id).route_log() {
+                out.push((id, rec.clone()));
+            }
+        }
+        out
+    }
+
+    /// Number of established routes that traverse a *fake link*: two
+    /// consecutive relays (or the last relay and the source) that are not
+    /// within radio range of each other. High-power and relay wormholes
+    /// manufacture exactly such links; LITEWORP's neighbor checks refuse
+    /// them.
+    pub fn fake_link_routes(&self) -> u64 {
+        let mut count = 0;
+        for (source, rec) in self.all_routes() {
+            let mut path: Vec<CoreId> = rec.relays.clone();
+            path.push(source);
+            let fake = path
+                .windows(2)
+                .any(|w| !self.sim.field().in_range(SimId(w[0].0), SimId(w[1].0)));
+            if fake {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// `(total routes, routes whose reply was relayed by a colluder)`.
+    pub fn route_counts(&self) -> (u64, u64) {
+        let mal: BTreeSet<CoreId> = self.malicious.iter().copied().collect();
+        let mut total = 0;
+        let mut bad = 0;
+        for (_, rec) in self.all_routes() {
+            total += 1;
+            if rec.relays.iter().any(|r| mal.contains(r)) {
+                bad += 1;
+            }
+        }
+        (total, bad)
+    }
+
+    /// The honest in-range neighbors of a colluder — the nodes that must
+    /// isolate it for isolation to be complete.
+    pub fn honest_neighbors_of(&self, m: CoreId) -> Vec<CoreId> {
+        self.sim
+            .field()
+            .in_range_of(SimId(m.0))
+            .into_iter()
+            .map(core_id)
+            .filter(|n| !self.malicious.contains(n))
+            .collect()
+    }
+
+    /// Whether *any* node has detected (isolated) colluder `m`.
+    pub fn detected(&self, m: CoreId) -> bool {
+        self.sim
+            .trace()
+            .with_tag("isolated")
+            .any(|e| e.value == m.0 as u64)
+    }
+
+    /// The time at which *every* honest neighbor of `m` had isolated it,
+    /// or `None` if isolation is still incomplete.
+    pub fn full_isolation_time(&self, m: CoreId) -> Option<SimTime> {
+        let neighbors = self.honest_neighbors_of(m);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let mut latest = SimTime::ZERO;
+        for n in neighbors {
+            let t = self
+                .sim
+                .trace()
+                .with_tag("isolated")
+                .filter(|e| e.value == m.0 as u64 && e.node == SimId(n.0))
+                .map(|e| e.time)
+                .next()?;
+            if t > latest {
+                latest = t;
+            }
+        }
+        Some(latest)
+    }
+
+    /// Whether every colluder has been detected somewhere.
+    pub fn all_detected(&self) -> bool {
+        self.malicious.iter().all(|&m| self.detected(m))
+    }
+
+    /// Isolation latency in seconds (attack start → all colluders fully
+    /// isolated by every honest neighbor), if complete.
+    pub fn isolation_latency_secs(&self) -> Option<f64> {
+        let mut worst: f64 = 0.0;
+        for &m in &self.malicious {
+            let t = self.full_isolation_time(m)?;
+            worst = worst.max(t.saturating_since(self.attack_start).as_secs_f64());
+        }
+        Some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(protected: bool, seed: u64) -> Scenario {
+        Scenario {
+            nodes: 30,
+            malicious: 2,
+            protected,
+            seed,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn colluders_are_far_apart() {
+        let run = small(true, 3).build();
+        let m = run.malicious();
+        assert_eq!(m.len(), 2);
+        let h = run.sim().field().hop_distance(SimId(m[0].0), SimId(m[1].0));
+        assert!(h.is_none_or(|h| h > 2), "colluders too close: {h:?}");
+    }
+
+    #[test]
+    fn baseline_wormhole_forms_and_drops_packets() {
+        let mut run = small(false, 5).build();
+        run.run_until_secs(400.0);
+        assert!(
+            run.wormhole_dropped() > 0,
+            "the wormhole should attract and drop data; metrics: {:?}",
+            run.sim().metrics()
+        );
+        let (total, bad) = run.route_counts();
+        assert!(total > 0, "routes should form");
+        assert!(bad > 0, "some routes should pass through the wormhole");
+    }
+
+    #[test]
+    fn liteworp_detects_and_isolates_the_wormhole() {
+        let mut run = small(true, 5).build();
+        run.run_until_secs(400.0);
+        assert!(
+            run.all_detected(),
+            "every colluder should be detected; trace: {:?}",
+            run.sim()
+                .trace()
+                .events()
+                .iter()
+                .take(40)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn liteworp_curbs_wormhole_drops() {
+        let mut base = small(false, 9).build();
+        let mut prot = small(true, 9).build();
+        base.run_until_secs(600.0);
+        prot.run_until_secs(600.0);
+        assert!(
+            prot.wormhole_dropped() < base.wormhole_dropped(),
+            "protected {} vs baseline {}",
+            prot.wormhole_dropped(),
+            base.wormhole_dropped()
+        );
+    }
+
+    #[test]
+    fn zero_malicious_runs_clean() {
+        let mut run = Scenario {
+            nodes: 20,
+            malicious: 0,
+            protected: true,
+            seed: 2,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(300.0);
+        assert_eq!(run.wormhole_dropped(), 0);
+        assert!(run.data_delivered() > 0, "traffic should flow");
+        assert!(!run.all_routes().is_empty());
+        // No honest node should ever be isolated.
+        assert_eq!(run.sim().trace().with_tag("isolated").count(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Human-readable chronology of a run: when the attack began, when each
+//! guard blew the whistle, when every neighborhood closed ranks, and when
+//! the damage stopped growing.
+
+use crate::scenario::ScenarioRun;
+use liteworp::types::NodeId as CoreId;
+use liteworp_netsim::field::NodeId as SimId;
+
+/// One line of the chronology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Event time in seconds.
+    pub time: f64,
+    /// What happened.
+    pub description: String,
+}
+
+/// Builds the chronology of a finished run.
+///
+/// Includes the attack start, each node's first suspicion / isolation
+/// event about each colluder (condensed: first and γ-th), per-colluder
+/// full-isolation instants, and route-establishment milestones.
+pub fn timeline(run: &ScenarioRun) -> Vec<TimelineEntry> {
+    let mut out = Vec::new();
+    let attack = run.attack_start().as_secs_f64();
+    out.push(TimelineEntry {
+        time: attack,
+        description: format!("attack starts (colluders: {:?})", run.malicious()),
+    });
+
+    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
+
+    // First suspicion and first isolation per suspect.
+    for &m in run.malicious() {
+        let first_susp = run
+            .sim()
+            .trace()
+            .with_tag("suspected")
+            .find(|e| e.value == m.0 as u64);
+        if let Some(e) = first_susp {
+            out.push(TimelineEntry {
+                time: e.time.as_secs_f64(),
+                description: format!("{} first suspected (by {})", m, e.node),
+            });
+        }
+        let first_iso = run
+            .sim()
+            .trace()
+            .with_tag("isolated")
+            .find(|e| e.value == m.0 as u64);
+        if let Some(e) = first_iso {
+            out.push(TimelineEntry {
+                time: e.time.as_secs_f64(),
+                description: format!("{} first isolated (by {})", m, e.node),
+            });
+        }
+        if let Some(t) = run.full_isolation_time(m) {
+            out.push(TimelineEntry {
+                time: t.as_secs_f64(),
+                description: format!(
+                    "{} fully isolated by all {} honest neighbors",
+                    m,
+                    run.honest_neighbors_of(m).len()
+                ),
+            });
+        }
+    }
+
+    // Any honest casualties.
+    let mut seen_honest = std::collections::BTreeSet::new();
+    for e in run.sim().trace().with_tag("isolated") {
+        if !malicious.contains(&e.value) && seen_honest.insert(e.value) {
+            out.push(TimelineEntry {
+                time: e.time.as_secs_f64(),
+                description: format!("HONEST node n{} falsely isolated (by {})", e.value, e.node),
+            });
+        }
+    }
+
+    // First wormhole-won route (fake link in the relay telemetry).
+    let mut first_bad: Option<(f64, CoreId)> = None;
+    for (source, rec) in run.all_routes() {
+        let mut path: Vec<CoreId> = rec.relays.clone();
+        path.push(source);
+        let fake = path
+            .windows(2)
+            .any(|w| !run.sim().field().in_range(SimId(w[0].0), SimId(w[1].0)));
+        if fake {
+            let t = rec.time.as_secs_f64();
+            if first_bad.is_none_or(|(bt, _)| t < bt) {
+                first_bad = Some((t, source));
+            }
+        }
+    }
+    if let Some((t, source)) = first_bad {
+        out.push(TimelineEntry {
+            time: t,
+            description: format!("first route through the wormhole (source {source})"),
+        });
+    }
+
+    out.sort_by(|a, b| a.time.total_cmp(&b.time));
+    out
+}
+
+/// Renders the chronology as text.
+pub fn render(entries: &[TimelineEntry]) -> String {
+    let mut s = String::new();
+    for e in entries {
+        s.push_str(&format!("{:>9.3} s  {}\n", e.time, e.description));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn chronology_is_ordered_and_complete() {
+        let mut run = Scenario {
+            nodes: 30,
+            malicious: 2,
+            protected: true,
+            seed: 5,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(400.0);
+        let tl = timeline(&run);
+        assert!(tl.len() >= 3, "chronology too thin: {tl:?}");
+        assert!(
+            tl.windows(2).all(|w| w[0].time <= w[1].time),
+            "entries out of order"
+        );
+        assert!(tl[0].description.contains("attack starts"));
+        let text = render(&tl);
+        assert!(text.contains("isolated"), "no isolation recorded:\n{text}");
+    }
+
+    #[test]
+    fn clean_run_has_only_the_attack_marker() {
+        let mut run = Scenario {
+            nodes: 20,
+            malicious: 0,
+            protected: true,
+            seed: 6,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(200.0);
+        let tl = timeline(&run);
+        assert_eq!(tl.len(), 1, "{tl:?}");
+    }
+}

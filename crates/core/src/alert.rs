@@ -1,0 +1,198 @@
+//! Alert collection and the isolation decision (Section 4.2.2).
+//!
+//! When a guard's `MalC` for a neighbor crosses `C_t`, it sends an
+//! authenticated alert to each neighbor of the suspect. A node collects
+//! alerts in a per-suspect buffer; once γ *distinct* guards have accused
+//! the same suspect (γ = the detection confidence index), the node
+//! isolates the suspect: it marks it revoked and exchanges no further
+//! packets with it.
+
+use crate::types::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of recording one alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertOutcome {
+    /// The alert was counted; `got` of `needed` distinct guards have now
+    /// accused the suspect.
+    Counted {
+        /// Distinct accusers so far.
+        got: usize,
+        /// The confidence index γ.
+        needed: usize,
+    },
+    /// This alert was the γ-th distinct accusation: isolate the suspect.
+    Isolate,
+    /// The suspect was already isolated; nothing changes.
+    AlreadyIsolated,
+    /// This guard had already accused this suspect; not double counted.
+    Duplicate,
+}
+
+/// Per-suspect alert accounting.
+///
+/// # Example
+///
+/// ```
+/// use liteworp::alert::{AlertBuffer, AlertOutcome};
+/// use liteworp::types::NodeId;
+///
+/// let mut buf = AlertBuffer::new(2);
+/// let suspect = NodeId(9);
+/// assert_eq!(
+///     buf.record(suspect, NodeId(1)),
+///     AlertOutcome::Counted { got: 1, needed: 2 }
+/// );
+/// assert_eq!(buf.record(suspect, NodeId(1)), AlertOutcome::Duplicate);
+/// assert_eq!(buf.record(suspect, NodeId(2)), AlertOutcome::Isolate);
+/// assert!(buf.is_isolated(suspect));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlertBuffer {
+    confidence_index: usize,
+    accusers: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    isolated: BTreeSet<NodeId>,
+}
+
+impl AlertBuffer {
+    /// Creates a buffer requiring `confidence_index` distinct accusers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence_index` is zero.
+    pub fn new(confidence_index: usize) -> Self {
+        assert!(confidence_index > 0, "confidence index must be positive");
+        AlertBuffer {
+            confidence_index,
+            accusers: BTreeMap::new(),
+            isolated: BTreeSet::new(),
+        }
+    }
+
+    /// Records that `guard` accused `suspect`; see [`AlertOutcome`].
+    pub fn record(&mut self, suspect: NodeId, guard: NodeId) -> AlertOutcome {
+        if self.isolated.contains(&suspect) {
+            return AlertOutcome::AlreadyIsolated;
+        }
+        let set = self.accusers.entry(suspect).or_default();
+        if !set.insert(guard) {
+            return AlertOutcome::Duplicate;
+        }
+        if set.len() >= self.confidence_index {
+            self.isolated.insert(suspect);
+            self.accusers.remove(&suspect);
+            AlertOutcome::Isolate
+        } else {
+            AlertOutcome::Counted {
+                got: set.len(),
+                needed: self.confidence_index,
+            }
+        }
+    }
+
+    /// Marks a suspect isolated without alert accounting — used when this
+    /// node is itself the accusing guard (a guard revokes immediately on
+    /// crossing `C_t`).
+    pub fn force_isolate(&mut self, suspect: NodeId) {
+        self.accusers.remove(&suspect);
+        self.isolated.insert(suspect);
+    }
+
+    /// Whether the suspect has been isolated.
+    pub fn is_isolated(&self, suspect: NodeId) -> bool {
+        self.isolated.contains(&suspect)
+    }
+
+    /// Distinct accusers recorded so far for a suspect (zero once
+    /// isolated, since the buffer entry is released).
+    pub fn accuser_count(&self, suspect: NodeId) -> usize {
+        self.accusers.get(&suspect).map_or(0, |s| s.len())
+    }
+
+    /// All isolated nodes in ascending id order.
+    pub fn isolated(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.isolated.iter().copied()
+    }
+
+    /// Storage per the Section 5.2 accounting: 4 bytes per buffered
+    /// accuser entry.
+    pub fn storage_bytes(&self) -> usize {
+        self.accusers.values().map(|s| s.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_guards_reach_isolation() {
+        let mut buf = AlertBuffer::new(3);
+        let s = NodeId(9);
+        assert_eq!(
+            buf.record(s, NodeId(1)),
+            AlertOutcome::Counted { got: 1, needed: 3 }
+        );
+        assert_eq!(
+            buf.record(s, NodeId(2)),
+            AlertOutcome::Counted { got: 2, needed: 3 }
+        );
+        assert_eq!(buf.record(s, NodeId(3)), AlertOutcome::Isolate);
+        assert!(buf.is_isolated(s));
+        assert_eq!(buf.record(s, NodeId(4)), AlertOutcome::AlreadyIsolated);
+    }
+
+    #[test]
+    fn duplicates_do_not_advance_the_count() {
+        let mut buf = AlertBuffer::new(2);
+        let s = NodeId(9);
+        buf.record(s, NodeId(1));
+        assert_eq!(buf.record(s, NodeId(1)), AlertOutcome::Duplicate);
+        assert_eq!(buf.accuser_count(s), 1);
+        assert!(!buf.is_isolated(s));
+    }
+
+    #[test]
+    fn suspects_are_tracked_independently() {
+        let mut buf = AlertBuffer::new(2);
+        buf.record(NodeId(8), NodeId(1));
+        buf.record(NodeId(9), NodeId(1));
+        assert_eq!(buf.accuser_count(NodeId(8)), 1);
+        assert_eq!(buf.accuser_count(NodeId(9)), 1);
+        assert_eq!(buf.record(NodeId(9), NodeId(2)), AlertOutcome::Isolate);
+        assert!(!buf.is_isolated(NodeId(8)));
+    }
+
+    #[test]
+    fn force_isolate_bypasses_counting() {
+        let mut buf = AlertBuffer::new(5);
+        buf.force_isolate(NodeId(9));
+        assert!(buf.is_isolated(NodeId(9)));
+        assert_eq!(
+            buf.record(NodeId(9), NodeId(1)),
+            AlertOutcome::AlreadyIsolated
+        );
+        assert_eq!(buf.isolated().collect::<Vec<_>>(), vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn gamma_one_isolates_immediately() {
+        let mut buf = AlertBuffer::new(1);
+        assert_eq!(buf.record(NodeId(9), NodeId(1)), AlertOutcome::Isolate);
+    }
+
+    #[test]
+    fn storage_accounting_releases_after_isolation() {
+        let mut buf = AlertBuffer::new(2);
+        buf.record(NodeId(9), NodeId(1));
+        assert_eq!(buf.storage_bytes(), 4);
+        buf.record(NodeId(9), NodeId(2));
+        assert_eq!(buf.storage_bytes(), 0, "buffer released on isolation");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_gamma_rejected() {
+        AlertBuffer::new(0);
+    }
+}

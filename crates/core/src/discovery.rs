@@ -1,0 +1,388 @@
+//! Secure one-time neighbor discovery (Section 4.2.1, "Building Neighbor
+//! Lists").
+//!
+//! On deployment a node `A`:
+//!
+//! 1. one-hop broadcasts a `HELLO`;
+//! 2. collects authenticated replies until a host-driven timeout, adding
+//!    each verified replier to its neighbor list `R_A`;
+//! 3. one-hop broadcasts `R_A`, authenticated individually to each member
+//!    with the pairwise shared key.
+//!
+//! A node `B` hearing the announcement verifies its own tag; if it
+//! verifies and `B ∈ R_A`, then `B` records `A` as a first-hop neighbor
+//! and stores `R_A` as second-hop knowledge. Plain `HELLO`s are
+//! unauthenticated and never grant neighbor status by themselves — that is
+//! what blocks an outsider from talking its way into a neighbor list.
+//!
+//! The state machine is sans-IO: methods return [`DiscoveryOut`] values
+//! the host turns into radio frames, and the host decides when the
+//! collection timeout elapses (calling [`Discovery::announce`]).
+
+use crate::keys::{KeyStore, Mac};
+use crate::neighbor::NeighborTable;
+use crate::types::NodeId;
+
+/// Messages exchanged during neighbor discovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryMsg {
+    /// Unauthenticated presence announcement.
+    Hello,
+    /// Authenticated reply to a `Hello`.
+    HelloReply {
+        /// Tag over the (replier, announcer) handshake.
+        mac: Mac,
+    },
+    /// The announcer's neighbor list, tagged per member.
+    ListAnnounce {
+        /// The announced `R_A`.
+        list: Vec<NodeId>,
+        /// One `(member, tag)` per member of the list.
+        tags: Vec<(NodeId, Mac)>,
+    },
+    /// A late-deployed node asking its freshly discovered neighbors to
+    /// re-announce their neighbor lists (the incremental-deployment /
+    /// mobility hook of Section 7: "incremental deployment of a node in
+    /// the network is identical to having a mobile node move to its
+    /// location").
+    ListRequest,
+}
+
+/// A message the host must transmit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscoveryOut {
+    /// One-hop broadcast.
+    Broadcast(DiscoveryMsg),
+    /// Unicast to a specific neighbor.
+    Unicast(NodeId, DiscoveryMsg),
+}
+
+/// Discovery phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Not started.
+    Idle,
+    /// `HELLO` sent; collecting replies.
+    Collecting,
+    /// Neighbor list announced; discovery complete.
+    Announced,
+}
+
+/// The per-node discovery state machine.
+///
+/// # Example
+///
+/// Two nodes discovering each other (host glue inlined):
+///
+/// ```
+/// use liteworp::discovery::{Discovery, DiscoveryMsg, DiscoveryOut};
+/// use liteworp::keys::KeyStore;
+/// use liteworp::neighbor::NeighborTable;
+/// use liteworp::types::NodeId;
+///
+/// let (a_id, b_id) = (NodeId(0), NodeId(1));
+/// let mut a = Discovery::new(KeyStore::new(7, a_id));
+/// let mut b = Discovery::new(KeyStore::new(7, b_id));
+/// let mut ta = NeighborTable::new(a_id);
+/// let mut tb = NeighborTable::new(b_id);
+///
+/// a.begin();                                   // A broadcasts HELLO
+/// let reply = b.on_hello(a_id);                // B replies (authenticated)
+/// let DiscoveryOut::Unicast(_, DiscoveryMsg::HelloReply { mac }) = reply else { panic!() };
+/// assert!(a.on_hello_reply(&mut ta, b_id, mac));
+/// let ann = a.announce(&ta);                   // collection timeout
+/// let DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { list, tags }) = ann else { panic!() };
+/// assert!(b.on_list_announce(&mut tb, a_id, &list, &tags));
+/// assert!(ta.is_active_neighbor(b_id));
+/// assert!(tb.is_active_neighbor(a_id));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    keys: KeyStore,
+    phase: Phase,
+}
+
+impl Discovery {
+    /// Creates the state machine for the owner of `keys`.
+    pub fn new(keys: KeyStore) -> Self {
+        Discovery {
+            keys,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Starts discovery: returns the `HELLO` broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if discovery already started (it is one-time per the paper's
+    /// static-network model; re-deployment constructs a fresh machine).
+    pub fn begin(&mut self) -> DiscoveryOut {
+        assert_eq!(self.phase, Phase::Idle, "discovery is one-time");
+        self.phase = Phase::Collecting;
+        DiscoveryOut::Broadcast(DiscoveryMsg::Hello)
+    }
+
+    /// Handles a `HELLO` from `announcer`: produces the authenticated
+    /// reply. Stateless — a node replies to HELLOs in any phase.
+    pub fn on_hello(&self, announcer: NodeId) -> DiscoveryOut {
+        let mac = self
+            .keys
+            .tag(announcer, &reply_bytes(self.keys.owner(), announcer));
+        DiscoveryOut::Unicast(announcer, DiscoveryMsg::HelloReply { mac })
+    }
+
+    /// Handles a reply to our `HELLO`. Returns whether the replier was
+    /// verified and added to the table.
+    pub fn on_hello_reply(&mut self, table: &mut NeighborTable, from: NodeId, mac: Mac) -> bool {
+        if self.phase != Phase::Collecting {
+            return false;
+        }
+        if from == self.keys.owner() {
+            return false;
+        }
+        if !self
+            .keys
+            .verify(from, &reply_bytes(from, self.keys.owner()), mac)
+        {
+            return false;
+        }
+        table.add_neighbor(from);
+        true
+    }
+
+    /// Ends the collection window: returns the authenticated neighbor-list
+    /// announcement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless called exactly once, after [`Discovery::begin`].
+    pub fn announce(&mut self, table: &NeighborTable) -> DiscoveryOut {
+        assert_eq!(self.phase, Phase::Collecting, "announce follows begin");
+        self.phase = Phase::Announced;
+        let list: Vec<NodeId> = table.active_neighbors().collect();
+        let me = self.keys.owner();
+        let body = list_bytes(me, &list);
+        let tags = list
+            .iter()
+            .map(|&member| (member, self.keys.tag(member, &body)))
+            .collect();
+        DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { list, tags })
+    }
+
+    /// Handles a `ListRequest` from a late joiner: if the requester is a
+    /// verified neighbor, produce a unicast re-announcement of our list so
+    /// the joiner gains second-hop knowledge of our neighborhood. Returns
+    /// `None` for strangers (an outsider cannot farm topology this way).
+    pub fn on_list_request(&self, table: &NeighborTable, from: NodeId) -> Option<DiscoveryOut> {
+        if !table.is_active_neighbor(from) {
+            return None;
+        }
+        let list: Vec<NodeId> = table.active_neighbors().collect();
+        let me = self.keys.owner();
+        let body = list_bytes(me, &list);
+        let tags = vec![(from, self.keys.tag(from, &body))];
+        Some(DiscoveryOut::Unicast(
+            from,
+            DiscoveryMsg::ListAnnounce { list, tags },
+        ))
+    }
+
+    /// Handles a neighbor-list announcement from `from`. On successful
+    /// verification (our tag verifies and we are in the list), records
+    /// `from` as a first-hop neighbor and stores `R_from`. Returns whether
+    /// the announcement was accepted.
+    pub fn on_list_announce(
+        &mut self,
+        table: &mut NeighborTable,
+        from: NodeId,
+        list: &[NodeId],
+        tags: &[(NodeId, Mac)],
+    ) -> bool {
+        let me = self.keys.owner();
+        if from == me {
+            return false;
+        }
+        let Some(&(_, mac)) = tags.iter().find(|(member, _)| *member == me) else {
+            return false;
+        };
+        if !list.contains(&me) {
+            return false;
+        }
+        if !self.keys.verify(from, &list_bytes(from, list), mac) {
+            return false;
+        }
+        if table.is_revoked(from) {
+            return false;
+        }
+        table.add_neighbor(from);
+        table.set_neighbor_list(from, list.iter().copied());
+        true
+    }
+}
+
+fn reply_bytes(replier: NodeId, announcer: NodeId) -> Vec<u8> {
+    let mut v = Vec::with_capacity(17);
+    v.extend_from_slice(b"hello-reply:");
+    v.extend_from_slice(&replier.0.to_le_bytes());
+    v.extend_from_slice(&announcer.0.to_le_bytes());
+    v
+}
+
+fn list_bytes(owner: NodeId, list: &[NodeId]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(10 + 4 * list.len());
+    v.extend_from_slice(b"nlist:");
+    v.extend_from_slice(&owner.0.to_le_bytes());
+    for id in list {
+        v.extend_from_slice(&id.0.to_le_bytes());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 7;
+
+    fn node(id: u32) -> (Discovery, NeighborTable) {
+        (
+            Discovery::new(KeyStore::new(SEED, NodeId(id))),
+            NeighborTable::new(NodeId(id)),
+        )
+    }
+
+    fn run_handshake(
+        a: &mut Discovery,
+        ta: &mut NeighborTable,
+        b: &mut Discovery,
+        tb: &mut NeighborTable,
+    ) {
+        a.begin();
+        let DiscoveryOut::Unicast(to, DiscoveryMsg::HelloReply { mac }) = b.on_hello(ta.owner())
+        else {
+            panic!("expected reply");
+        };
+        assert_eq!(to, ta.owner());
+        assert!(a.on_hello_reply(ta, tb.owner(), mac));
+        let DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { list, tags }) = a.announce(ta)
+        else {
+            panic!("expected announce");
+        };
+        assert!(b.on_list_announce(tb, ta.owner(), &list, &tags));
+    }
+
+    #[test]
+    fn full_handshake_builds_both_tables() {
+        let (mut a, mut ta) = node(0);
+        let (mut b, mut tb) = node(1);
+        run_handshake(&mut a, &mut ta, &mut b, &mut tb);
+        assert!(ta.is_active_neighbor(NodeId(1)));
+        assert!(tb.is_active_neighbor(NodeId(0)));
+        assert!(tb
+            .neighbor_list_of(NodeId(0))
+            .is_some_and(|l| l.contains(&NodeId(1))));
+        assert_eq!(a.phase(), Phase::Announced);
+    }
+
+    #[test]
+    fn forged_hello_reply_is_rejected() {
+        let (mut a, mut ta) = node(0);
+        a.begin();
+        // An outsider with the wrong seed cannot produce a valid tag.
+        let outsider = KeyStore::new(999, NodeId(5));
+        let forged = outsider.tag(NodeId(0), &reply_bytes(NodeId(5), NodeId(0)));
+        assert!(!a.on_hello_reply(&mut ta, NodeId(5), forged));
+        assert!(ta.is_empty());
+    }
+
+    #[test]
+    fn replies_outside_collection_window_are_ignored() {
+        let (mut a, mut ta) = node(0);
+        let (b, _tb) = node(1);
+        // Never called begin(): phase is Idle.
+        let DiscoveryOut::Unicast(_, DiscoveryMsg::HelloReply { mac }) = b.on_hello(NodeId(0))
+        else {
+            panic!()
+        };
+        assert!(!a.on_hello_reply(&mut ta, NodeId(1), mac));
+        // After announce the window is closed too.
+        a.begin();
+        a.announce(&ta);
+        assert!(!a.on_hello_reply(&mut ta, NodeId(1), mac));
+    }
+
+    #[test]
+    fn announcement_without_me_is_ignored() {
+        let (mut a, mut ta) = node(0);
+        let (mut c, mut tc) = node(2);
+        // A discovers only node 1, then announces. Node 2 overhears but is
+        // not in the list: it must not adopt A.
+        let (b, _) = node(1);
+        a.begin();
+        let DiscoveryOut::Unicast(_, DiscoveryMsg::HelloReply { mac }) = b.on_hello(NodeId(0))
+        else {
+            panic!()
+        };
+        assert!(a.on_hello_reply(&mut ta, NodeId(1), mac));
+        let DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { list, tags }) = a.announce(&ta)
+        else {
+            panic!()
+        };
+        assert!(!c.on_list_announce(&mut tc, NodeId(0), &list, &tags));
+        assert!(tc.is_empty());
+    }
+
+    #[test]
+    fn tampered_list_fails_verification() {
+        let (mut a, mut ta) = node(0);
+        let (mut b, mut tb) = node(1);
+        a.begin();
+        let DiscoveryOut::Unicast(_, DiscoveryMsg::HelloReply { mac }) = b.on_hello(NodeId(0))
+        else {
+            panic!()
+        };
+        assert!(a.on_hello_reply(&mut ta, NodeId(1), mac));
+        let DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { mut list, tags }) =
+            a.announce(&ta)
+        else {
+            panic!()
+        };
+        // A wormhole relay injects an extra "neighbor" into the list.
+        list.push(NodeId(9));
+        assert!(!b.on_list_announce(&mut tb, NodeId(0), &list, &tags));
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn revoked_announcer_is_not_readopted() {
+        let (mut a, mut ta) = node(0);
+        let (mut b, mut tb) = node(1);
+        tb.revoke(NodeId(0));
+        a.begin();
+        let DiscoveryOut::Unicast(_, DiscoveryMsg::HelloReply { mac }) = b.on_hello(NodeId(0))
+        else {
+            panic!()
+        };
+        assert!(a.on_hello_reply(&mut ta, NodeId(1), mac));
+        let DiscoveryOut::Broadcast(DiscoveryMsg::ListAnnounce { list, tags }) = a.announce(&ta)
+        else {
+            panic!()
+        };
+        assert!(!b.on_list_announce(&mut tb, NodeId(0), &list, &tags));
+        assert!(tb.is_revoked(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-time")]
+    fn begin_twice_panics() {
+        let (mut a, _) = node(0);
+        a.begin();
+        a.begin();
+    }
+}

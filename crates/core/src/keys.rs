@@ -1,0 +1,195 @@
+//! Pairwise keys and message authentication.
+//!
+//! LITEWORP assumes a pre-distributed pairwise key management scheme
+//! (Section 4.1, the paper's refs 18–20); keys are used only to authenticate
+//! neighbor-discovery replies and alert messages. This module provides a
+//! **simulation-grade** stand-in:
+//!
+//! * [`KeyStore`] derives a deterministic 64-bit pairwise key for any node
+//!   pair from a network-wide seed, modelling the post-bootstrap state of a
+//!   key-predistribution scheme.
+//! * [`Mac`] tags are 64-bit keyed hashes (an FNV-1a–based construction).
+//!
+//! # Security disclaimer
+//!
+//! This is **not** cryptographically secure — the keyed hash is trivially
+//! forgeable by cryptanalysis. It is sufficient here because the paper's
+//! adversary either holds the keys (insiders, who can produce valid tags
+//! anyway) or holds none (outsiders, modelled as not attempting forgery).
+//! The code paths exercised — tag-on-send, verify-or-reject on receive —
+//! are the same as with a real MAC.
+
+use crate::types::NodeId;
+
+/// A 64-bit message authentication tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Mac(pub u64);
+
+/// A pairwise symmetric key (simulation-grade, 64 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairwiseKey(u64);
+
+/// Derives pairwise keys and computes/verifies tags.
+///
+/// Each node holds a `KeyStore` with the shared network seed and its own
+/// identity; outsider nodes (no seed) simply cannot construct one that
+/// matches, modelling their lack of keys.
+///
+/// # Example
+///
+/// ```
+/// use liteworp::keys::KeyStore;
+/// use liteworp::types::NodeId;
+///
+/// let a = KeyStore::new(42, NodeId(1));
+/// let b = KeyStore::new(42, NodeId(2));
+/// let tag = a.tag(NodeId(2), b"hello");
+/// assert!(b.verify(NodeId(1), b"hello", tag));
+/// assert!(!b.verify(NodeId(1), b"tampered", tag));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyStore {
+    seed: u64,
+    me: NodeId,
+}
+
+impl KeyStore {
+    /// Creates the key store for node `me` with the shared network seed.
+    pub fn new(seed: u64, me: NodeId) -> Self {
+        KeyStore { seed, me }
+    }
+
+    /// This store's owner.
+    pub fn owner(&self) -> NodeId {
+        self.me
+    }
+
+    /// The pairwise key shared between this node and `peer`.
+    ///
+    /// Symmetric: `K(a, b) == K(b, a)`.
+    pub fn pairwise(&self, peer: NodeId) -> PairwiseKey {
+        let (lo, hi) = if self.me.0 <= peer.0 {
+            (self.me.0, peer.0)
+        } else {
+            (peer.0, self.me.0)
+        };
+        let mut h = Hasher::new(self.seed);
+        h.write_u64(0x6b65795f70616972); // "key_pair"
+        h.write_u64(lo as u64);
+        h.write_u64(hi as u64);
+        PairwiseKey(h.finish())
+    }
+
+    /// Computes the authentication tag for `message` under the key shared
+    /// with `peer`.
+    pub fn tag(&self, peer: NodeId, message: &[u8]) -> Mac {
+        let key = self.pairwise(peer);
+        let mut h = Hasher::new(key.0);
+        h.write_bytes(message);
+        Mac(h.finish())
+    }
+
+    /// Verifies a tag allegedly produced by `peer` over `message`.
+    pub fn verify(&self, peer: NodeId, message: &[u8], mac: Mac) -> bool {
+        self.tag(peer, message) == mac
+    }
+}
+
+/// FNV-1a–based 64-bit keyed hash (simulation grade).
+struct Hasher {
+    state: u64,
+}
+
+impl Hasher {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new(key: u64) -> Self {
+        // Mix the key into the offset basis.
+        let mut h = Hasher {
+            state: 0xcbf2_9ce4_8422_2325,
+        };
+        h.write_u64(key);
+        h
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        // Length strengthening.
+        self.write_u64(bytes.len() as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // Final avalanche (splitmix64 finalizer).
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_keys_are_symmetric() {
+        let a = KeyStore::new(7, NodeId(1));
+        let b = KeyStore::new(7, NodeId(2));
+        assert_eq!(a.pairwise(NodeId(2)), b.pairwise(NodeId(1)));
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_keys() {
+        let a = KeyStore::new(7, NodeId(1));
+        assert_ne!(a.pairwise(NodeId(2)), a.pairwise(NodeId(3)));
+    }
+
+    #[test]
+    fn different_seeds_give_different_keys() {
+        let a = KeyStore::new(7, NodeId(1));
+        let b = KeyStore::new(8, NodeId(1));
+        assert_ne!(a.pairwise(NodeId(2)), b.pairwise(NodeId(2)));
+    }
+
+    #[test]
+    fn tags_verify_and_reject() {
+        let a = KeyStore::new(7, NodeId(1));
+        let b = KeyStore::new(7, NodeId(2));
+        let tag = a.tag(NodeId(2), b"alert: n9 is a wormhole");
+        assert!(b.verify(NodeId(1), b"alert: n9 is a wormhole", tag));
+        assert!(!b.verify(NodeId(1), b"alert: n8 is a wormhole", tag));
+        // A third party's key does not verify.
+        let c = KeyStore::new(7, NodeId(3));
+        assert!(!c.verify(NodeId(1), b"alert: n9 is a wormhole", tag));
+    }
+
+    #[test]
+    fn outsider_without_seed_cannot_forge() {
+        let honest = KeyStore::new(7, NodeId(1));
+        let outsider = KeyStore::new(999, NodeId(2)); // wrong seed = no keys
+        let forged = outsider.tag(NodeId(1), b"msg");
+        assert!(!honest.verify(NodeId(2), b"msg", forged));
+    }
+
+    #[test]
+    fn tag_depends_on_message_length() {
+        let a = KeyStore::new(7, NodeId(1));
+        assert_ne!(a.tag(NodeId(2), b""), a.tag(NodeId(2), b"\0"));
+    }
+
+    #[test]
+    fn owner_is_recorded() {
+        assert_eq!(KeyStore::new(1, NodeId(5)).owner(), NodeId(5));
+    }
+}

@@ -1,0 +1,638 @@
+//! Local monitoring (Section 4.2.1) — the guard-side engine.
+//!
+//! Every overheard control packet is described to the monitor as a
+//! [`PacketObs`]. The monitor, consulting the node's [`NeighborTable`]:
+//!
+//! 1. **Checks forwards for fabrication** — if this node guards the link
+//!    `claimed_prev → sender`, the watch buffer must contain the matching
+//!    transmission by `claimed_prev`; otherwise `MalC(sender)` rises by
+//!    `V_f`.
+//! 2. **Arms the watch** for the packet just transmitted — unicasts to a
+//!    guarded receiver get a forwarding deadline δ (drop detection),
+//!    broadcasts are recorded for future fabrication checks.
+//! 3. **Accuses** — when a neighbor's `MalC` crosses `C_t`, emits a single
+//!    [`MonitorEvent::Accuse`] naming the suspect and revoking it locally.
+//!
+//! The monitor is sans-IO: the host forwards `Accuse` events as
+//! authenticated alert messages and calls [`LocalMonitor::expire`] on a
+//! timer to run drop detection.
+
+use crate::config::Config;
+use crate::malc::MalcTable;
+use crate::neighbor::NeighborTable;
+use crate::types::{Micros, Misbehavior, NodeId, PacketKind, PacketSig};
+use crate::watch::WatchBuffer;
+use std::collections::BTreeSet;
+
+/// A control-packet transmission as observed on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketObs {
+    /// The node announcing itself as this frame's transmitter.
+    pub sender: NodeId,
+    /// The previous hop the sender announces (`None` when the sender
+    /// originated the packet itself).
+    pub claimed_prev: Option<NodeId>,
+    /// The unicast next hop, or `None` for a broadcast.
+    pub link_dst: Option<NodeId>,
+    /// Hop-independent packet identity.
+    pub sig: PacketSig,
+    /// `true` when `link_dst` is the packet's final destination, so no
+    /// further forwarding is expected.
+    pub terminal: bool,
+}
+
+/// Events produced by the monitor for the host to act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// Misbehavior detected and counted; informational.
+    Suspected {
+        /// The misbehaving node.
+        suspect: NodeId,
+        /// What it did.
+        kind: Misbehavior,
+        /// Its `MalC` after the increment.
+        malc: u32,
+    },
+    /// `MalC` crossed `C_t`: the suspect has been revoked locally and the
+    /// host must send authenticated alerts to the suspect's neighbors.
+    Accuse {
+        /// The node to accuse.
+        suspect: NodeId,
+        /// Neighbors of the suspect (from stored second-hop knowledge)
+        /// that should receive the alert, excluding this node.
+        recipients: Vec<NodeId>,
+    },
+}
+
+/// The guard-side monitoring engine of one node.
+///
+/// # Example
+///
+/// A guard that neighbors `X(=1)` and `A(=2)` catches `A` fabricating:
+///
+/// ```
+/// use liteworp::config::Config;
+/// use liteworp::monitor::{LocalMonitor, MonitorEvent, PacketObs};
+/// use liteworp::neighbor::NeighborTable;
+/// use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
+///
+/// let mut table = NeighborTable::new(NodeId(0));
+/// table.add_neighbor(NodeId(1));
+/// table.add_neighbor(NodeId(2));
+/// table.set_neighbor_list(NodeId(2), [NodeId(0), NodeId(1)]);
+///
+/// let mut mon = LocalMonitor::new(Config::default());
+/// let sig = PacketSig {
+///     kind: PacketKind::RouteRequest,
+///     origin: NodeId(5),
+///     target: NodeId(6),
+///     seq: 1,
+/// };
+/// // A(=2) forwards claiming prev = X(=1), but X never transmitted it.
+/// let obs = PacketObs {
+///     sender: NodeId(2),
+///     claimed_prev: Some(NodeId(1)),
+///     link_dst: None,
+///     sig,
+///     terminal: false,
+/// };
+/// let events = mon.observe(&mut table, &obs, Micros(0));
+/// assert!(matches!(events[0], MonitorEvent::Suspected { suspect: NodeId(2), .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalMonitor {
+    config: Config,
+    watch: WatchBuffer,
+    malc: MalcTable,
+    accused: BTreeSet<NodeId>,
+    last_alert_round: std::collections::BTreeMap<NodeId, Micros>,
+    externally_suspected: BTreeSet<NodeId>,
+    last_collision: Option<Micros>,
+}
+
+impl LocalMonitor {
+    /// Creates a monitor with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: Config) -> Self {
+        config.validate().expect("invalid LITEWORP config");
+        let watch = WatchBuffer::new(config.watch_capacity);
+        let malc = MalcTable::new(config.malc_window_us);
+        LocalMonitor {
+            config,
+            watch,
+            malc,
+            accused: BTreeSet::new(),
+            last_alert_round: std::collections::BTreeMap::new(),
+            externally_suspected: BTreeSet::new(),
+            last_collision: None,
+        }
+    }
+
+    /// Records that another guard's alert named `node` as a suspect
+    /// (even before γ alerts arrive). The monitor then gives receivers of
+    /// `node`'s packets the benefit of the doubt: pending drop
+    /// expectations for its transmissions are cancelled, no new ones are
+    /// armed, and forwards claiming `node` as previous hop are not judged
+    /// (neighbors that already isolated `node` legitimately refuse its
+    /// packets, which would otherwise look like drops here).
+    pub fn note_external_suspicion(&mut self, node: NodeId) {
+        self.externally_suspected.insert(node);
+        self.watch.cancel_expectations_from(node);
+    }
+
+    /// Records that this node's radio lost a frame to a collision at
+    /// `now`. Within the configured grace window the guard abstains from
+    /// fabrication judgments, and drop accusations whose watch entry
+    /// overlaps a collision are suppressed — the lost frame may have been
+    /// the very transmission whose absence would be punished.
+    pub fn note_collision(&mut self, now: Micros) {
+        self.last_collision = Some(now);
+    }
+
+    fn in_collision_grace(&self, now: Micros) -> bool {
+        match (self.last_collision, self.config.collision_grace_us) {
+            (Some(t), grace) if grace > 0 => now.0.saturating_sub(t.0) < grace,
+            _ => false,
+        }
+    }
+
+    fn collision_since(&self, t: Micros) -> bool {
+        self.config.collision_grace_us > 0 && self.last_collision.is_some_and(|c| c >= t)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Read access to the watch buffer (diagnostics, cost accounting).
+    pub fn watch(&self) -> &WatchBuffer {
+        &self.watch
+    }
+
+    /// Current `MalC` for a node.
+    pub fn malc(&self, node: NodeId, now: Micros) -> u32 {
+        self.malc.value(node, now)
+    }
+
+    /// Processes one overheard transmission. Mutates `table` only to
+    /// revoke a freshly accused suspect.
+    pub fn observe(
+        &mut self,
+        table: &mut NeighborTable,
+        obs: &PacketObs,
+        now: Micros,
+    ) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+
+        // 0. Re-alert: an accused node still transmitting means some of
+        // its neighbors have not isolated it yet (or it simply refuses to
+        // stop) — refresh the alert round, rate-limited.
+        if self.accused.contains(&obs.sender) && self.config.realert_interval_us > 0 {
+            let due = match self.last_alert_round.get(&obs.sender) {
+                None => true,
+                Some(last) => now.0.saturating_sub(last.0) >= self.config.realert_interval_us,
+            };
+            if due {
+                self.last_alert_round.insert(obs.sender, now);
+                events.push(MonitorEvent::Accuse {
+                    suspect: obs.sender,
+                    recipients: Self::alert_recipients(table, obs.sender),
+                });
+            }
+        }
+
+        // 1. Fabrication check on the forward we just overheard.
+        if let Some(prev) = obs.claimed_prev {
+            if prev != obs.sender
+                && table.is_guard_of(prev, obs.sender)
+                && !self.accused.contains(&obs.sender)
+                && !self.externally_suspected.contains(&prev)
+                && !self.watch.confirm_forward(prev, &obs.sig, obs.sender)
+                && !self.in_collision_grace(now)
+            {
+                #[cfg(debug_assertions)]
+                if std::env::var_os("LITEWORP_DEBUG_FABRICATION").is_some() {
+                    eprintln!(
+                        "FAB guard={} sender={} prev={} sig={:?} t={}us",
+                        table.owner(),
+                        obs.sender,
+                        prev,
+                        obs.sig,
+                        now.0
+                    );
+                }
+                self.punish(
+                    table,
+                    obs.sender,
+                    Misbehavior::Fabrication,
+                    now,
+                    &mut events,
+                );
+            }
+        }
+
+        // 2. Arm the watch for this transmission.
+        let deadline = now.saturating_add(self.config.watch_timeout_us);
+        match obs.link_dst {
+            Some(dst) if !obs.terminal => {
+                // Unicast that must be forwarded: watch it if we guard the
+                // link sender -> dst (i.e., we can hear dst's forward).
+                // No expectation is armed for transmissions of revoked or
+                // already-accused nodes — receivers rightly discard those.
+                if table.is_guard_of(obs.sender, dst)
+                    && !table.is_revoked(obs.sender)
+                    && !self.accused.contains(&obs.sender)
+                    && !self.externally_suspected.contains(&obs.sender)
+                {
+                    self.watch
+                        .note_transmission_at(obs.sender, obs.sig, Some(dst), deadline, now);
+                }
+            }
+            Some(_) => {
+                // Terminal unicast: nothing to forward, nothing to watch.
+            }
+            None => {
+                // Broadcast (flood): record for fabrication checking when
+                // the sender is someone we can monitor.
+                if (obs.sender == table.owner() || table.is_neighbor(obs.sender))
+                    && obs.sig.kind == PacketKind::RouteRequest
+                {
+                    self.watch
+                        .note_transmission_at(obs.sender, obs.sig, None, deadline, now);
+                }
+            }
+        }
+        events
+    }
+
+    /// Runs drop detection: expires watch entries whose deadline passed
+    /// and charges the receivers that failed to forward.
+    pub fn expire(&mut self, table: &mut NeighborTable, now: Micros) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        for (dropper, _sig, armed_at) in self.watch.expire(now) {
+            // A node never charges itself: its own unforwarded receptions
+            // are either terminal or already rejected at admission. And a
+            // guard that suffered a collision while the entry was armed
+            // gives the benefit of the doubt — it may have missed the
+            // forward.
+            if dropper != table.owner()
+                && !self.accused.contains(&dropper)
+                && !self.collision_since(armed_at)
+            {
+                #[cfg(debug_assertions)]
+                if std::env::var_os("LITEWORP_DEBUG_DROP").is_some() {
+                    eprintln!(
+                        "DROP guard={} dropper={} sig={:?} t={}us",
+                        table.owner(),
+                        dropper,
+                        _sig,
+                        now.0
+                    );
+                }
+                self.punish(table, dropper, Misbehavior::Drop, now, &mut events);
+            }
+        }
+        events
+    }
+
+    /// Records that `forwarder` announced (via a route error) that it
+    /// cannot forward `sig`: its pending forward obligation is waived.
+    pub fn absolve(&mut self, forwarder: NodeId, sig: &PacketSig) {
+        self.watch.absolve(forwarder, sig);
+    }
+
+    /// Whether this monitor has already accused `node`.
+    pub fn has_accused(&self, node: NodeId) -> bool {
+        self.accused.contains(&node)
+    }
+
+    fn punish(
+        &mut self,
+        table: &mut NeighborTable,
+        suspect: NodeId,
+        kind: Misbehavior,
+        now: Micros,
+        events: &mut Vec<MonitorEvent>,
+    ) {
+        let weight = match kind {
+            Misbehavior::Fabrication => self.config.fabrication_weight,
+            Misbehavior::Drop => self.config.drop_weight,
+        };
+        let malc = self.malc.record(suspect, weight, now);
+        events.push(MonitorEvent::Suspected {
+            suspect,
+            kind,
+            malc,
+        });
+        if malc >= self.config.malc_threshold {
+            self.accused.insert(suspect);
+            self.last_alert_round.insert(suspect, now);
+            self.malc.clear(suspect);
+            // Revoke locally (the guard stops trusting the suspect now).
+            table.revoke(suspect);
+            events.push(MonitorEvent::Accuse {
+                suspect,
+                recipients: Self::alert_recipients(table, suspect),
+            });
+        }
+    }
+
+    /// The suspect's neighbors per stored second-hop knowledge — the
+    /// recipients of an alert round (falling back to our own neighbors
+    /// when no list was ever announced).
+    fn alert_recipients(table: &NeighborTable, suspect: NodeId) -> Vec<NodeId> {
+        table
+            .neighbor_list_of(suspect)
+            .map(|s| {
+                s.iter()
+                    .copied()
+                    .filter(|&n| n != table.owner() && n != suspect)
+                    .collect()
+            })
+            .unwrap_or_else(|| table.active_neighbors().filter(|&n| n != suspect).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(kind: PacketKind, seq: u64) -> PacketSig {
+        PacketSig {
+            kind,
+            origin: NodeId(10),
+            target: NodeId(11),
+            seq,
+        }
+    }
+
+    /// Guard 0 neighbors X=1 and A=2; R_2 = {0, 1, 3, 4}.
+    fn setup() -> (NeighborTable, LocalMonitor) {
+        let mut table = NeighborTable::new(NodeId(0));
+        table.add_neighbor(NodeId(1));
+        table.add_neighbor(NodeId(2));
+        table.set_neighbor_list(NodeId(1), [NodeId(0), NodeId(2)]);
+        table.set_neighbor_list(NodeId(2), [NodeId(0), NodeId(1), NodeId(3), NodeId(4)]);
+        (table, LocalMonitor::new(Config::default()))
+    }
+
+    fn forward_obs(seq: u64) -> PacketObs {
+        PacketObs {
+            sender: NodeId(2),
+            claimed_prev: Some(NodeId(1)),
+            link_dst: None,
+            sig: sig(PacketKind::RouteRequest, seq),
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn legitimate_forward_is_clean() {
+        let (mut table, mut mon) = setup();
+        // X=1 broadcasts the request...
+        let x_tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: None,
+            sig: sig(PacketKind::RouteRequest, 1),
+            terminal: false,
+        };
+        assert!(mon.observe(&mut table, &x_tx, Micros(0)).is_empty());
+        // ...then A=2 forwards claiming prev = 1: matches the watch buffer.
+        let events = mon.observe(&mut table, &forward_obs(1), Micros(10));
+        assert!(events.is_empty(), "no misbehavior: {events:?}");
+    }
+
+    #[test]
+    fn fabricated_forward_raises_malc_and_eventually_accuses() {
+        let (mut table, mut mon) = setup();
+        // Defaults: V_f = 2, C_t = 6 -> three fabrications to accuse.
+        let e1 = mon.observe(&mut table, &forward_obs(1), Micros(0));
+        assert_eq!(
+            e1,
+            vec![MonitorEvent::Suspected {
+                suspect: NodeId(2),
+                kind: Misbehavior::Fabrication,
+                malc: 2
+            }]
+        );
+        let e = mon.observe(&mut table, &forward_obs(2), Micros(2));
+        assert_eq!(e.len(), 1, "not yet accused after two fabrications");
+        let e2 = mon.observe(&mut table, &forward_obs(3), Micros(10));
+        assert_eq!(e2.len(), 2);
+        match &e2[1] {
+            MonitorEvent::Accuse {
+                suspect,
+                recipients,
+            } => {
+                assert_eq!(*suspect, NodeId(2));
+                // Neighbors of 2 per R_2, minus self and suspect.
+                assert_eq!(recipients, &vec![NodeId(1), NodeId(3), NodeId(4)]);
+            }
+            other => panic!("expected accusation, got {other:?}"),
+        }
+        assert!(table.is_revoked(NodeId(2)), "guard revokes immediately");
+        assert!(mon.has_accused(NodeId(2)));
+    }
+
+    #[test]
+    fn accused_node_is_not_accused_twice() {
+        let (mut table, mut mon) = setup();
+        for seq in 1..=3u64 {
+            mon.observe(&mut table, &forward_obs(seq), Micros(seq));
+        }
+        assert!(mon.has_accused(NodeId(2)));
+        let e = mon.observe(&mut table, &forward_obs(4), Micros(6));
+        assert!(e.is_empty(), "no further events after accusation: {e:?}");
+    }
+
+    #[test]
+    fn non_guard_does_not_judge() {
+        let (mut table, mut mon) = setup();
+        // Forward claims prev = 7, whom we do not neighbor: not our link.
+        let obs = PacketObs {
+            claimed_prev: Some(NodeId(7)),
+            ..forward_obs(1)
+        };
+        assert!(mon.observe(&mut table, &obs, Micros(0)).is_empty());
+    }
+
+    #[test]
+    fn unicast_drop_detection_accuses_receiver() {
+        let (mut table, mut mon) = setup();
+        // X=1 unicasts a reply to A=2 (we guard 1 -> 2). A never forwards.
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 5),
+            terminal: false,
+        };
+        assert!(mon.observe(&mut table, &tx, Micros(0)).is_empty());
+        // Before the deadline: nothing.
+        assert!(mon.expire(&mut table, Micros(100)).is_empty());
+        // After delta (2 s default): a drop is charged (V_d = 1).
+        let events = mon.expire(&mut table, Micros(2_000_000));
+        assert_eq!(
+            events,
+            vec![MonitorEvent::Suspected {
+                suspect: NodeId(2),
+                kind: Misbehavior::Drop,
+                malc: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn forwarded_unicast_is_not_a_drop() {
+        let (mut table, mut mon) = setup();
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 5),
+            terminal: false,
+        };
+        mon.observe(&mut table, &tx, Micros(0));
+        // A=2 forwards to 3 in time.
+        let fwd = PacketObs {
+            sender: NodeId(2),
+            claimed_prev: Some(NodeId(1)),
+            link_dst: Some(NodeId(3)),
+            sig: sig(PacketKind::RouteReply, 5),
+            terminal: false,
+        };
+        assert!(mon.observe(&mut table, &fwd, Micros(1000)).is_empty());
+        assert!(mon.expire(&mut table, Micros(600_000)).is_empty());
+    }
+
+    #[test]
+    fn terminal_delivery_expects_no_forward() {
+        let (mut table, mut mon) = setup();
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 5),
+            terminal: true,
+        };
+        mon.observe(&mut table, &tx, Micros(0));
+        assert!(mon.expire(&mut table, Micros(600_000)).is_empty());
+    }
+
+    #[test]
+    fn repeated_drops_accumulate_to_accusation() {
+        let (mut table, mut mon) = setup();
+        // V_d = 1, C_t = 6: six dropped replies.
+        for seq in 0..6u64 {
+            let tx = PacketObs {
+                sender: NodeId(1),
+                claimed_prev: None,
+                link_dst: Some(NodeId(2)),
+                sig: sig(PacketKind::RouteReply, seq),
+                terminal: false,
+            };
+            mon.observe(&mut table, &tx, Micros(seq * 1_000_000));
+        }
+        let events = mon.expire(&mut table, Micros(30_000_000));
+        let accuse = events
+            .iter()
+            .find(|e| matches!(e, MonitorEvent::Accuse { .. }));
+        assert!(accuse.is_some(), "6 drops should accuse: {events:?}");
+    }
+
+    #[test]
+    fn collision_grace_suppresses_fabrication_judgment() {
+        let (mut table, mut mon) = setup();
+        // A collision just happened at this guard: the "missing" upstream
+        // transmission may simply have been lost here.
+        mon.note_collision(Micros(1_000));
+        let e = mon.observe(&mut table, &forward_obs(1), Micros(2_000));
+        assert!(e.is_empty(), "graced: {e:?}");
+        // Past the grace window (2 s default) judgment resumes.
+        let e = mon.observe(&mut table, &forward_obs(2), Micros(4_000_000));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn collision_during_watch_suppresses_drop_accusation() {
+        let (mut table, mut mon) = setup();
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 5),
+            terminal: false,
+        };
+        mon.observe(&mut table, &tx, Micros(0));
+        // A collision while the entry is armed: the forward may have been
+        // transmitted and lost here.
+        mon.note_collision(Micros(100_000));
+        let events = mon.expire(&mut table, Micros(3_000_000));
+        assert!(events.is_empty(), "graced drop: {events:?}");
+    }
+
+    #[test]
+    fn collision_before_arming_does_not_excuse_drops() {
+        let (mut table, mut mon) = setup();
+        mon.note_collision(Micros(0));
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 6),
+            terminal: false,
+        };
+        // Armed *after* the collision: the old collision is irrelevant.
+        mon.observe(&mut table, &tx, Micros(10));
+        let events = mon.expire(&mut table, Micros(3_000_000));
+        assert_eq!(events.len(), 1, "drop must still be charged: {events:?}");
+    }
+
+    #[test]
+    fn external_suspicion_gives_receivers_benefit_of_the_doubt() {
+        let (mut table, mut mon) = setup();
+        // An alert names node 1 as a suspect. Receivers refusing node 1's
+        // packets must not be charged with drops.
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, 7),
+            terminal: false,
+        };
+        mon.observe(&mut table, &tx, Micros(0));
+        mon.note_external_suspicion(NodeId(1));
+        let events = mon.expire(&mut table, Micros(3_000_000));
+        assert!(
+            events.is_empty(),
+            "pending expectation not cancelled: {events:?}"
+        );
+        // And no new expectations are armed for its transmissions.
+        let tx2 = PacketObs {
+            sig: sig(PacketKind::RouteReply, 8),
+            ..tx
+        };
+        mon.observe(&mut table, &tx2, Micros(4_000_000));
+        let events = mon.expire(&mut table, Micros(8_000_000));
+        assert!(events.is_empty(), "armed for a suspect: {events:?}");
+    }
+
+    #[test]
+    fn own_transmissions_are_not_self_fabrications() {
+        let (mut table, mut mon) = setup();
+        // A forward where claimed_prev == sender is degenerate; ignore.
+        let obs = PacketObs {
+            sender: NodeId(2),
+            claimed_prev: Some(NodeId(2)),
+            link_dst: None,
+            sig: sig(PacketKind::RouteRequest, 1),
+            terminal: false,
+        };
+        assert!(mon.observe(&mut table, &obs, Micros(0)).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared vocabulary types for the LITEWORP protocol.
+//!
+//! The core crate is *sans-IO*: it never touches a radio or a clock. Time
+//! is passed in as [`Micros`] and node identities as [`NodeId`]; the host
+//! (a simulator, or conceivably a real sensor stack) drives the state
+//! machines and executes the effects they emit.
+
+use core::fmt;
+
+/// Identity of a network node.
+///
+/// Deliberately a separate type from any host/simulator id type; hosts
+/// convert at the boundary.
+///
+/// # Example
+///
+/// ```
+/// use liteworp::types::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A point in time, in microseconds since an arbitrary epoch.
+///
+/// LITEWORP needs no synchronized clocks (a design goal of the paper);
+/// every `Micros` is interpreted on the local node's clock only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Builds a time from floating-point seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid seconds {secs}");
+        Micros((secs * 1e6).round() as u64)
+    }
+
+    /// This time in floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a span in microseconds.
+    pub fn saturating_add(self, us: u64) -> Self {
+        Micros(self.0.saturating_add(us))
+    }
+}
+
+/// The class of a monitored control packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PacketKind {
+    /// A flooded route request.
+    RouteRequest,
+    /// A unicast route reply traveling the reverse path.
+    RouteReply,
+    /// A unicast application data packet (only monitored when
+    /// [`crate::config::Config::monitor_data`] is enabled — the
+    /// data-plane extension beyond the paper).
+    Data,
+}
+
+/// Identity of a control packet, independent of which hop carries it.
+///
+/// This mirrors the paper's watch-buffer entry: "the packet identification
+/// and type, the packet source, the packet destination" plus a sequence
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PacketSig {
+    /// Control packet class.
+    pub kind: PacketKind,
+    /// Originator of the packet (the flood source or replying destination).
+    pub origin: NodeId,
+    /// Final destination (for a request: the node being sought).
+    pub target: NodeId,
+    /// Originator-assigned sequence number.
+    pub seq: u64,
+}
+
+/// Why a guard increased a neighbor's malicious counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Misbehavior {
+    /// The node forwarded a packet it was never sent (claimed a previous
+    /// hop that did not transmit it): increment by `V_f`.
+    Fabrication,
+    /// The node failed to forward a packet within the watch deadline:
+    /// increment by `V_d`.
+    Drop,
+}
+
+impl fmt::Display for Misbehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Misbehavior::Fabrication => write!(f, "fabrication"),
+            Misbehavior::Drop => write!(f, "drop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_round_trip() {
+        let t = Micros::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+        assert_eq!(t.saturating_add(10).0, 1_500_010);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid seconds")]
+    fn micros_rejects_negative() {
+        Micros::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    fn packet_sig_equality_ignores_hop() {
+        let a = PacketSig {
+            kind: PacketKind::RouteReply,
+            origin: NodeId(1),
+            target: NodeId(2),
+            seq: 9,
+        };
+        let b = a;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(Misbehavior::Fabrication.to_string(), "fabrication");
+        assert_eq!(Misbehavior::Drop.to_string(), "drop");
+    }
+}

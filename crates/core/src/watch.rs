@@ -1,0 +1,342 @@
+//! The watch buffer (Section 4.2.1).
+//!
+//! When a guard overhears a packet travel a link it monitors, it saves the
+//! packet's identity with a deadline δ. The buffer answers two questions:
+//!
+//! * **Fabrication** — a node forwards a packet claiming previous hop `X`;
+//!   is there a matching entry proving `X` really transmitted it? If not,
+//!   the forwarder fabricated the packet.
+//! * **Drop** — an entry whose expected forwarder never forwarded before
+//!   the deadline convicts that forwarder of dropping the packet.
+//!
+//! Unicast transmissions (route replies) carry an *expected forwarder* and
+//! participate in drop detection; broadcast transmissions (route-request
+//! floods) are recorded for fabrication checking only, because duplicate
+//! suppression makes "did not rebroadcast" legitimate for a flood.
+
+use crate::types::{Micros, NodeId, PacketSig};
+use std::collections::VecDeque;
+
+/// One watched transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchEntry {
+    /// The node that transmitted the packet (the link's sending end).
+    pub prev: NodeId,
+    /// The packet's hop-independent identity.
+    pub sig: PacketSig,
+    /// For unicast: the receiver that must forward before the deadline.
+    /// `None` for broadcasts (fabrication checking only).
+    pub expected_forwarder: Option<NodeId>,
+    /// Local-clock deadline by which the forward must be overheard.
+    pub deadline: Micros,
+    /// When the entry was armed (used for collision-grace decisions).
+    pub armed_at: Micros,
+    satisfied: bool,
+}
+
+/// A bounded buffer of watched transmissions.
+///
+/// # Example
+///
+/// ```
+/// use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
+/// use liteworp::watch::WatchBuffer;
+///
+/// let sig = PacketSig {
+///     kind: PacketKind::RouteReply,
+///     origin: NodeId(9),
+///     target: NodeId(1),
+///     seq: 5,
+/// };
+/// let mut buf = WatchBuffer::new(8);
+/// // Guard overhears X(=2) send the reply to A(=3), due within 0.5 s.
+/// buf.note_transmission(NodeId(2), sig, Some(NodeId(3)), Micros(500_000));
+/// // A forwards it, claiming prev = 2: matches, so no fabrication.
+/// assert!(buf.confirm_forward(NodeId(2), &sig, NodeId(3)));
+/// // Nothing left to expire.
+/// assert!(buf.expire(Micros(600_000)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WatchBuffer {
+    capacity: usize,
+    entries: VecDeque<WatchEntry>,
+    evictions: u64,
+}
+
+impl WatchBuffer {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "watch buffer needs capacity");
+        WatchBuffer {
+            capacity,
+            entries: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Records an overheard transmission of `sig` by `prev`.
+    ///
+    /// `expected_forwarder` is the unicast receiver obliged to forward
+    /// (or `None` for a broadcast). If the buffer is full, the oldest
+    /// entry is evicted (counted in [`WatchBuffer::evictions`]).
+    ///
+    /// Duplicate `(prev, sig)` entries are ignored so retransmissions do
+    /// not double-arm drop detection.
+    pub fn note_transmission(
+        &mut self,
+        prev: NodeId,
+        sig: PacketSig,
+        expected_forwarder: Option<NodeId>,
+        deadline: Micros,
+    ) {
+        self.note_transmission_at(prev, sig, expected_forwarder, deadline, Micros(0));
+    }
+
+    /// Like [`WatchBuffer::note_transmission`], recording when the entry
+    /// was armed.
+    pub fn note_transmission_at(
+        &mut self,
+        prev: NodeId,
+        sig: PacketSig,
+        expected_forwarder: Option<NodeId>,
+        deadline: Micros,
+        armed_at: Micros,
+    ) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.prev == prev && e.sig == sig && e.expected_forwarder == expected_forwarder)
+        {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evictions += 1;
+        }
+        self.entries.push_back(WatchEntry {
+            prev,
+            sig,
+            expected_forwarder,
+            deadline,
+            armed_at,
+            satisfied: false,
+        });
+    }
+
+    /// Checks a forward of `sig` by `forwarder` claiming previous hop
+    /// `claimed_prev`. Returns `true` when a matching transmission was
+    /// overheard (no fabrication); `false` means the forwarder fabricated
+    /// the packet.
+    ///
+    /// A matching unicast entry whose expected forwarder is `forwarder`
+    /// is marked satisfied (obligation met). Entries — satisfied or not —
+    /// stay until their deadline: link-layer retransmissions of the same
+    /// forward and other legitimate forwarders must keep matching.
+    pub fn confirm_forward(
+        &mut self,
+        claimed_prev: NodeId,
+        sig: &PacketSig,
+        forwarder: NodeId,
+    ) -> bool {
+        let mut found = false;
+        for e in &mut self.entries {
+            if e.prev == claimed_prev && e.sig == *sig {
+                found = true;
+                if e.expected_forwarder == Some(forwarder) {
+                    e.satisfied = true;
+                }
+            }
+        }
+        found
+    }
+
+    /// Removes entries past their deadline; returns one accusation per
+    /// unicast entry whose expected forwarder never forwarded: the
+    /// `(accused, sig, armed_at)` triples.
+    pub fn expire(&mut self, now: Micros) -> Vec<(NodeId, PacketSig, Micros)> {
+        let mut accusations = Vec::new();
+        self.entries.retain(|e| {
+            if e.deadline > now {
+                return true;
+            }
+            if let Some(a) = e.expected_forwarder {
+                if !e.satisfied {
+                    accusations.push((a, e.sig, e.armed_at));
+                }
+            }
+            false
+        });
+        accusations
+    }
+
+    /// Marks satisfied every entry expecting `forwarder` to forward `sig`
+    /// — used when the forwarder broadcast a route error: failing to
+    /// forward for lack of a route is not a drop.
+    pub fn absolve(&mut self, forwarder: NodeId, sig: &PacketSig) {
+        for e in &mut self.entries {
+            if e.expected_forwarder == Some(forwarder) && e.sig == *sig {
+                e.satisfied = true;
+            }
+        }
+    }
+
+    /// Cancels pending *drop expectations* armed for transmissions of
+    /// `prev` (used when the node learns `prev` is suspected: receivers
+    /// rightly refusing its packets must not be charged with drops).
+    /// Broadcast entries are kept — they still validate honest forwards.
+    pub fn cancel_expectations_from(&mut self, prev: NodeId) {
+        self.entries
+            .retain(|e| e.prev != prev || e.expected_forwarder.is_none());
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted due to capacity pressure over the buffer's life.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Storage footprint per the Section 5.2 accounting: 20 bytes per
+    /// entry.
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.len() * 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PacketKind;
+
+    fn sig(seq: u64) -> PacketSig {
+        PacketSig {
+            kind: PacketKind::RouteReply,
+            origin: NodeId(9),
+            target: NodeId(1),
+            seq,
+        }
+    }
+
+    fn bsig(seq: u64) -> PacketSig {
+        PacketSig {
+            kind: PacketKind::RouteRequest,
+            origin: NodeId(1),
+            target: NodeId(9),
+            seq,
+        }
+    }
+
+    #[test]
+    fn matched_unicast_forward_clears_entry() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        assert!(buf.confirm_forward(NodeId(2), &sig(1), NodeId(3)));
+        // The satisfied entry stays until its deadline (retransmissions
+        // of the same forward must keep matching) and expires silently.
+        assert_eq!(buf.len(), 1);
+        assert!(
+            buf.confirm_forward(NodeId(2), &sig(1), NodeId(3)),
+            "retry matches"
+        );
+        assert!(buf.expire(Micros(200)).is_empty());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn unmatched_forward_is_fabrication() {
+        let mut buf = WatchBuffer::new(4);
+        // No transmission by node 2 was overheard.
+        assert!(!buf.confirm_forward(NodeId(2), &sig(1), NodeId(3)));
+    }
+
+    #[test]
+    fn wrong_prev_is_fabrication() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        // Claiming prev = 5 when only 2 transmitted: fabrication.
+        assert!(!buf.confirm_forward(NodeId(5), &sig(1), NodeId(3)));
+    }
+
+    #[test]
+    fn expired_unicast_accuses_the_receiver() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        let accused = buf.expire(Micros(100));
+        assert_eq!(accused, vec![(NodeId(3), sig(1), Micros(0))]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn broadcast_entries_match_many_forwarders_then_expire_silently() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), bsig(1), None, Micros(100));
+        assert!(buf.confirm_forward(NodeId(2), &bsig(1), NodeId(3)));
+        assert!(buf.confirm_forward(NodeId(2), &bsig(1), NodeId(4)));
+        assert_eq!(buf.len(), 1, "broadcast entry persists");
+        assert!(buf.expire(Micros(100)).is_empty(), "no drop accusation");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut buf = WatchBuffer::new(2);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        buf.note_transmission(NodeId(2), sig(2), Some(NodeId(3)), Micros(100));
+        buf.note_transmission(NodeId(2), sig(3), Some(NodeId(3)), Micros(100));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.evictions(), 1);
+        // The evicted first packet is now "unseen": fabrication if claimed.
+        assert!(!buf.confirm_forward(NodeId(2), &sig(1), NodeId(3)));
+    }
+
+    #[test]
+    fn duplicate_transmissions_are_not_double_armed() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(150));
+        assert_eq!(buf.len(), 1);
+        // Satisfy it once; expiry must accuse nobody.
+        assert!(buf.confirm_forward(NodeId(2), &sig(1), NodeId(3)));
+        assert!(buf.expire(Micros(200)).is_empty());
+    }
+
+    #[test]
+    fn forward_by_wrong_node_does_not_clear_obligation() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        // Node 4 forwarding (it also heard node 2) matches the signature,
+        // so it is not a fabrication by 4...
+        assert!(buf.confirm_forward(NodeId(2), &sig(1), NodeId(4)));
+        // ...but node 3's obligation stands and expires into an accusation.
+        assert_eq!(
+            buf.expire(Micros(100)),
+            vec![(NodeId(3), sig(1), Micros(0))]
+        );
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut buf = WatchBuffer::new(4);
+        buf.note_transmission(NodeId(2), sig(1), Some(NodeId(3)), Micros(100));
+        buf.note_transmission(NodeId(2), sig(2), None, Micros(100));
+        assert_eq!(buf.storage_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        WatchBuffer::new(0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests of the LITEWORP core invariants.
+
+use liteworp::alert::{AlertBuffer, AlertOutcome};
+use liteworp::config::Config;
+use liteworp::keys::KeyStore;
+use liteworp::malc::MalcTable;
+use liteworp::neighbor::NeighborTable;
+use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
+use liteworp::watch::WatchBuffer;
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..32).prop_map(NodeId)
+}
+
+fn arb_sig() -> impl Strategy<Value = PacketSig> {
+    (
+        prop_oneof![Just(PacketKind::RouteRequest), Just(PacketKind::RouteReply)],
+        0u32..32,
+        0u32..32,
+        0u64..1000,
+    )
+        .prop_map(|(kind, o, t, seq)| PacketSig {
+            kind,
+            origin: NodeId(o),
+            target: NodeId(t),
+            seq,
+        })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Keys: tags verify iff key, peer and message all match.
+    // ------------------------------------------------------------------
+    #[test]
+    fn mac_round_trip(seed in any::<u64>(), a in arb_node(), b in arb_node(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        let ka = KeyStore::new(seed, a);
+        let kb = KeyStore::new(seed, b);
+        let tag = ka.tag(b, &msg);
+        prop_assert!(kb.verify(a, &msg, tag));
+    }
+
+    #[test]
+    fn mac_rejects_tampering(seed in any::<u64>(), a in arb_node(), b in arb_node(), msg in proptest::collection::vec(any::<u8>(), 1..64), flip in 0usize..64) {
+        prop_assume!(a != b);
+        let ka = KeyStore::new(seed, a);
+        let kb = KeyStore::new(seed, b);
+        let tag = ka.tag(b, &msg);
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!kb.verify(a, &tampered, tag));
+    }
+
+    #[test]
+    fn mac_is_peer_bound(seed in any::<u64>(), a in arb_node(), b in arb_node(), c in arb_node(), msg in proptest::collection::vec(any::<u8>(), 0..32)) {
+        prop_assume!(a != b && b != c && a != c);
+        let ka = KeyStore::new(seed, a);
+        let kc = KeyStore::new(seed, c);
+        let tag = ka.tag(b, &msg);
+        // c cannot verify a tag meant for the (a, b) pair.
+        prop_assert!(!kc.verify(a, &msg, tag));
+    }
+
+    // ------------------------------------------------------------------
+    // Watch buffer: no forwarder that forwarded in time is ever accused,
+    // and capacity is never exceeded.
+    // ------------------------------------------------------------------
+    #[test]
+    fn watch_never_accuses_timely_forwarders(
+        sigs in proptest::collection::vec(arb_sig(), 1..20),
+        prev in arb_node(),
+        fwd in arb_node(),
+    ) {
+        prop_assume!(prev != fwd);
+        let mut buf = WatchBuffer::new(64);
+        for (i, sig) in sigs.iter().enumerate() {
+            buf.note_transmission(prev, *sig, Some(fwd), Micros(1000 + i as u64));
+        }
+        for sig in &sigs {
+            buf.confirm_forward(prev, sig, fwd);
+        }
+        let accused = buf.expire(Micros(u64::MAX));
+        prop_assert!(accused.is_empty(), "accused: {accused:?}");
+    }
+
+    #[test]
+    fn watch_accuses_exactly_the_unforwarded(
+        sigs in proptest::collection::vec((arb_sig(), any::<bool>()), 1..20),
+        prev in arb_node(),
+        fwd in arb_node(),
+    ) {
+        prop_assume!(prev != fwd);
+        // Deduplicate signatures so expectations are unambiguous.
+        let mut seen = std::collections::HashSet::new();
+        let sigs: Vec<_> = sigs.into_iter().filter(|(s, _)| seen.insert(*s)).collect();
+        let mut buf = WatchBuffer::new(sigs.len().max(1));
+        for (sig, _) in &sigs {
+            buf.note_transmission(prev, *sig, Some(fwd), Micros(1000));
+        }
+        for (sig, forwarded) in &sigs {
+            if *forwarded {
+                buf.confirm_forward(prev, sig, fwd);
+            }
+        }
+        let accused = buf.expire(Micros(2000));
+        let expected: usize = sigs.iter().filter(|(_, f)| !f).count();
+        prop_assert_eq!(accused.len(), expected);
+        prop_assert!(accused.iter().all(|(n, _, _)| *n == fwd));
+    }
+
+    #[test]
+    fn watch_respects_capacity(
+        cap in 1usize..16,
+        entries in proptest::collection::vec((arb_node(), arb_sig()), 0..64),
+    ) {
+        let mut buf = WatchBuffer::new(cap);
+        for (i, (prev, sig)) in entries.iter().enumerate() {
+            buf.note_transmission(*prev, *sig, None, Micros(i as u64 + 1));
+            prop_assert!(buf.len() <= cap);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MalC: windowed value never exceeds unbounded value; totals add up.
+    // ------------------------------------------------------------------
+    #[test]
+    fn windowed_malc_is_bounded_by_unbounded(
+        events in proptest::collection::vec((0u64..1_000_000, 1u32..5), 1..30),
+        window in 1u64..500_000,
+    ) {
+        let mut unbounded = MalcTable::new(0);
+        let mut windowed = MalcTable::new(window);
+        let node = NodeId(1);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.0);
+        for (t, w) in &sorted {
+            unbounded.record(node, *w, Micros(*t));
+            windowed.record(node, *w, Micros(*t));
+        }
+        let now = Micros(sorted.last().unwrap().0);
+        prop_assert!(windowed.value(node, now) <= unbounded.value(node, now));
+        let total: u32 = sorted.iter().map(|(_, w)| w).sum();
+        prop_assert_eq!(unbounded.value(node, now), total);
+    }
+
+    // ------------------------------------------------------------------
+    // Alert buffer: isolation happens exactly at γ distinct accusers.
+    // ------------------------------------------------------------------
+    #[test]
+    fn alerts_isolate_exactly_at_gamma(
+        gamma in 1usize..6,
+        accusers in proptest::collection::vec(arb_node(), 1..20),
+    ) {
+        let mut buf = AlertBuffer::new(gamma);
+        let suspect = NodeId(99);
+        let mut distinct = std::collections::BTreeSet::new();
+        for g in &accusers {
+            let before = distinct.len();
+            distinct.insert(*g);
+            let outcome = buf.record(suspect, *g);
+            match outcome {
+                AlertOutcome::Isolate => prop_assert_eq!(distinct.len(), gamma),
+                AlertOutcome::Counted { got, needed } => {
+                    prop_assert_eq!(needed, gamma);
+                    prop_assert_eq!(got, distinct.len());
+                    prop_assert!(got < gamma);
+                }
+                AlertOutcome::Duplicate => prop_assert_eq!(distinct.len(), before),
+                AlertOutcome::AlreadyIsolated => prop_assert!(distinct.len() >= gamma),
+            }
+        }
+        prop_assert_eq!(buf.is_isolated(suspect), distinct.len() >= gamma);
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbor table: revocation is sticky and excludes from all queries.
+    // ------------------------------------------------------------------
+    #[test]
+    fn revocation_is_sticky(
+        neighbors in proptest::collection::btree_set(1u32..32, 1..10),
+        revoke_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut t = NeighborTable::new(NodeId(0));
+        let ids: Vec<NodeId> = neighbors.iter().map(|&n| NodeId(n)).collect();
+        for &n in &ids {
+            t.add_neighbor(n);
+        }
+        let victim = *revoke_idx.get(&ids);
+        t.revoke(victim);
+        t.add_neighbor(victim); // must not resurrect
+        prop_assert!(t.is_revoked(victim));
+        prop_assert!(!t.is_active_neighbor(victim));
+        prop_assert!(t.active_neighbors().all(|n| n != victim));
+        prop_assert!(!t.link_plausible(NodeId(0), victim));
+    }
+
+    #[test]
+    fn link_plausibility_is_consistent_with_stored_lists(
+        list in proptest::collection::btree_set(2u32..32, 0..10),
+        probe in 2u32..32,
+    ) {
+        let mut t = NeighborTable::new(NodeId(0));
+        t.add_neighbor(NodeId(1));
+        t.set_neighbor_list(NodeId(1), list.iter().map(|&n| NodeId(n)));
+        let expected = list.contains(&probe);
+        prop_assert_eq!(t.link_plausible(NodeId(probe), NodeId(1)), expected);
+    }
+
+    // ------------------------------------------------------------------
+    // Config: accusation counts are consistent with the weights.
+    // ------------------------------------------------------------------
+    #[test]
+    fn accusation_counts_cover_threshold(
+        vf in 1u32..10, vd in 1u32..10, ct in 1u32..50,
+    ) {
+        let cfg = Config {
+            fabrication_weight: vf,
+            drop_weight: vd,
+            malc_threshold: ct,
+            ..Config::default()
+        };
+        // k events of weight w must reach the threshold, k-1 must not.
+        let k = cfg.fabrications_to_accuse();
+        prop_assert!(k * vf >= ct);
+        prop_assert!(k == 0 || (k - 1) * vf < ct);
+        let kd = cfg.drops_to_accuse();
+        prop_assert!(kd * vd >= ct);
+        prop_assert!(kd == 0 || (kd - 1) * vd < ct);
+    }
+}

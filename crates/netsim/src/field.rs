@@ -1,0 +1,349 @@
+//! Node identities, positions, and deployment fields.
+//!
+//! The paper deploys nodes uniformly at random over a square field whose
+//! side scales with the node count to hold the average density constant
+//! (Section 6: "the field size varies (80×80 m …) with the number of
+//! nodes"). [`Field`] reproduces that, and answers the geometric queries the
+//! rest of the system needs: who is in range of whom, connectivity, and
+//! distance.
+
+use rand::Rng;
+use std::fmt;
+
+/// Identity of a node in the simulated network.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_netsim::field::NodeId;
+///
+/// let id = NodeId(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// This identity as a `usize` index into per-node arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A position on the 2-D deployment field, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A square deployment field with node positions.
+///
+/// # Example
+///
+/// Deploy 50 nodes at an average density of 8 neighbors per node within a
+/// 30 m range, then check the field side matches the density:
+///
+/// ```
+/// use liteworp_netsim::field::Field;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let field = Field::with_average_neighbors(50, 8.0, 30.0, &mut rng);
+/// assert_eq!(field.len(), 50);
+/// let n_b: f64 = (0..50)
+///     .map(|i| field.in_range_of(liteworp_netsim::field::NodeId(i as u32)).len() as f64)
+///     .sum::<f64>() / 50.0;
+/// assert!(n_b > 4.0, "average degree {n_b} unexpectedly low");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Field {
+    side: f64,
+    range: f64,
+    positions: Vec<Position>,
+}
+
+impl Field {
+    /// Creates a field from explicit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` or `range` is not positive, or a position lies
+    /// outside the field.
+    pub fn from_positions(side: f64, range: f64, positions: Vec<Position>) -> Self {
+        assert!(side > 0.0, "field side must be positive");
+        assert!(range > 0.0, "communication range must be positive");
+        for (i, p) in positions.iter().enumerate() {
+            assert!(
+                (0.0..=side).contains(&p.x) && (0.0..=side).contains(&p.y),
+                "position {i} ({}, {}) outside the {side} m field",
+                p.x,
+                p.y
+            );
+        }
+        Field {
+            side,
+            range,
+            positions,
+        }
+    }
+
+    /// Deploys `count` nodes uniformly at random over a square of the given
+    /// side length.
+    pub fn uniform_random<R: Rng>(count: usize, side: f64, range: f64, rng: &mut R) -> Self {
+        assert!(side > 0.0, "field side must be positive");
+        let positions = (0..count)
+            .map(|_| Position::new(rng.gen_range(0.0..=side), rng.gen_range(0.0..=side)))
+            .collect();
+        Field::from_positions(side, range, positions)
+    }
+
+    /// Deploys `count` nodes so the *average* number of neighbors per node
+    /// is `n_b` for communication range `range` — the paper's density
+    /// control (`N_B = π r² d`, `side = sqrt(N / d)`).
+    pub fn with_average_neighbors<R: Rng>(count: usize, n_b: f64, range: f64, rng: &mut R) -> Self {
+        assert!(n_b > 0.0, "average neighbor count must be positive");
+        let density = n_b / (std::f64::consts::PI * range * range);
+        let side = (count as f64 / density).sqrt();
+        Field::uniform_random(count, side, range, rng)
+    }
+
+    /// Number of deployed nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The side length of the square field, in meters.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// The nominal communication range, in meters.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn position(&self, id: NodeId) -> Position {
+        self.positions[id.index()]
+    }
+
+    /// All node positions, indexed by [`NodeId::index`].
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Distance between two nodes in meters.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance_to(&self.position(b))
+    }
+
+    /// Whether two distinct nodes are within communication range.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.distance(a, b) <= self.range
+    }
+
+    /// All nodes within communication range of `id` (excluding itself),
+    /// in ascending id order.
+    pub fn in_range_of(&self, id: NodeId) -> Vec<NodeId> {
+        (0..self.positions.len() as u32)
+            .map(NodeId)
+            .filter(|&other| self.in_range(id, other))
+            .collect()
+    }
+
+    /// Number of hops on the shortest path between `a` and `b` over the
+    /// disc graph, or `None` if disconnected.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let n = self.positions.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[a.index()] = 0;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for v in self.in_range_of(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    if v == b {
+                        return Some(dist[v.index()]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the disc graph over all nodes is connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.positions.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in self.in_range_of(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Re-deploys until the field is connected, up to `attempts` tries.
+    /// Returns `None` if no connected deployment was found.
+    pub fn connected_with_average_neighbors<R: Rng>(
+        count: usize,
+        n_b: f64,
+        range: f64,
+        attempts: usize,
+        rng: &mut R,
+    ) -> Option<Self> {
+        for _ in 0..attempts {
+            let f = Field::with_average_neighbors(count, n_b, range, rng);
+            if f.is_connected() {
+                return Some(f);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_field() -> Field {
+        // Nodes in a line 25 m apart with range 30: a chain.
+        let positions = (0..5)
+            .map(|i| Position::new(25.0 * i as f64, 0.0))
+            .collect();
+        Field::from_positions(100.0, 30.0, positions)
+    }
+
+    #[test]
+    fn distance_and_range() {
+        let f = line_field();
+        assert_eq!(f.distance(NodeId(0), NodeId(1)), 25.0);
+        assert!(f.in_range(NodeId(0), NodeId(1)));
+        assert!(!f.in_range(NodeId(0), NodeId(2)));
+        assert!(!f.in_range(NodeId(2), NodeId(2)), "self is not a neighbor");
+    }
+
+    #[test]
+    fn in_range_of_lists_neighbors_sorted() {
+        let f = line_field();
+        assert_eq!(f.in_range_of(NodeId(2)), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(f.in_range_of(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn hop_distance_on_chain() {
+        let f = line_field();
+        assert_eq!(f.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(f.hop_distance(NodeId(1), NodeId(1)), Some(0));
+    }
+
+    #[test]
+    fn hop_distance_disconnected() {
+        let positions = vec![Position::new(0.0, 0.0), Position::new(90.0, 0.0)];
+        let f = Field::from_positions(100.0, 30.0, positions);
+        assert_eq!(f.hop_distance(NodeId(0), NodeId(1)), None);
+        assert!(!f.is_connected());
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        assert!(line_field().is_connected());
+    }
+
+    #[test]
+    fn density_targets_average_degree() {
+        // With enough nodes, the empirical mean degree approaches N_B
+        // (edge effects bias it slightly low).
+        let mut rng = StdRng::seed_from_u64(42);
+        let f = Field::with_average_neighbors(400, 8.0, 30.0, &mut rng);
+        let mean: f64 = (0..400)
+            .map(|i| f.in_range_of(NodeId(i as u32)).len() as f64)
+            .sum::<f64>()
+            / 400.0;
+        assert!(
+            (5.5..9.0).contains(&mean),
+            "mean degree {mean} far from target 8"
+        );
+    }
+
+    #[test]
+    fn field_side_scales_with_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f20 = Field::with_average_neighbors(20, 8.0, 30.0, &mut rng);
+        let f100 = Field::with_average_neighbors(100, 8.0, 30.0, &mut rng);
+        assert!((f100.side() / f20.side() - (5.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_is_deterministic_per_seed() {
+        let a = Field::uniform_random(10, 100.0, 30.0, &mut StdRng::seed_from_u64(9));
+        let b = Field::uniform_random(10, 100.0, 30.0, &mut StdRng::seed_from_u64(9));
+        for i in 0..10 {
+            assert_eq!(a.position(NodeId(i)), b.position(NodeId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_field_positions() {
+        Field::from_positions(10.0, 5.0, vec![Position::new(11.0, 0.0)]);
+    }
+
+    #[test]
+    fn connected_retry_finds_connected_field() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Field::connected_with_average_neighbors(30, 8.0, 30.0, 100, &mut rng)
+            .expect("should find a connected deployment");
+        assert!(f.is_connected());
+    }
+}

@@ -1,0 +1,211 @@
+//! Frames on the wireless medium.
+//!
+//! A [`Frame`] is what the radio delivers: the transmitter's identity, the
+//! link-layer destination, the wire size, the transmit power, and the
+//! protocol payload. The simulator is generic over the payload type, so
+//! higher layers define their own packet enums.
+//!
+//! Every in-range node receives every frame (wireless is a broadcast
+//! medium); the link destination is advisory and is what makes *overhearing*
+//! — the heart of LITEWORP's local monitoring — possible.
+
+use crate::field::NodeId;
+use crate::time::SimDuration;
+
+/// Link-layer destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// One-hop broadcast: addressed to every node in range.
+    Broadcast,
+    /// Addressed to a specific neighbor (others still overhear it).
+    Unicast(NodeId),
+}
+
+impl Dest {
+    /// Whether this destination addresses `node`.
+    pub fn addresses(&self, node: NodeId) -> bool {
+        match *self {
+            Dest::Broadcast => true,
+            Dest::Unicast(d) => d == node,
+        }
+    }
+}
+
+/// Transmit power for a frame.
+///
+/// Normal transmissions propagate to the nominal communication range; a
+/// high-power transmission (wormhole mode 3, Section 3.3) multiplies it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TxPower {
+    /// The nominal power every legitimate node uses.
+    Normal,
+    /// Boosted power: range is multiplied by the given factor (> 1).
+    High(f64),
+}
+
+impl TxPower {
+    /// Effective range for a nominal range `r`.
+    pub fn effective_range(&self, r: f64) -> f64 {
+        match *self {
+            TxPower::Normal => r,
+            TxPower::High(mult) => r * mult,
+        }
+    }
+}
+
+/// A request to transmit, produced by node logic.
+#[derive(Debug, Clone)]
+pub struct FrameSpec<P> {
+    /// Link-layer destination.
+    pub dest: Dest,
+    /// Protocol payload.
+    pub payload: P,
+    /// Wire size in bytes (drives transmission duration at the channel
+    /// bitrate).
+    pub bytes: usize,
+    /// Transmit power.
+    pub power: TxPower,
+    /// When `true` the MAC skips the random backoff — the *protocol
+    /// deviation* (rushing) behavior of Section 3.5. Honest nodes leave
+    /// this `false`.
+    pub rushed: bool,
+}
+
+impl<P> FrameSpec<P> {
+    /// A normal-power, non-rushed frame.
+    pub fn new(dest: Dest, payload: P, bytes: usize) -> Self {
+        FrameSpec {
+            dest,
+            payload,
+            bytes,
+            power: TxPower::Normal,
+            rushed: false,
+        }
+    }
+
+    /// Same frame at high power (range multiplied by `mult`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mult <= 1.0` (use [`TxPower::Normal`] instead).
+    pub fn with_high_power(mut self, mult: f64) -> Self {
+        assert!(
+            mult > 1.0,
+            "high-power multiplier must exceed 1, got {mult}"
+        );
+        self.power = TxPower::High(mult);
+        self
+    }
+
+    /// Same frame with the MAC backoff skipped (rushing).
+    pub fn rushed(mut self) -> Self {
+        self.rushed = true;
+        self
+    }
+}
+
+/// A frame as delivered to a receiver.
+#[derive(Debug, Clone)]
+pub struct Frame<P> {
+    /// The node whose radio transmitted this frame.
+    pub transmitter: NodeId,
+    /// Link-layer destination.
+    pub dest: Dest,
+    /// Protocol payload.
+    pub payload: P,
+    /// Wire size in bytes.
+    pub bytes: usize,
+    /// Power it was sent at.
+    pub power: TxPower,
+}
+
+impl<P> Frame<P> {
+    /// Whether this frame is link-addressed to `node` (broadcasts address
+    /// everyone). A `false` result means `node` merely overheard it.
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        self.dest.addresses(node)
+    }
+
+    /// Transmission duration at `bitrate_bps` bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitrate_bps` is zero.
+    pub fn airtime(&self, bitrate_bps: u64) -> SimDuration {
+        airtime(self.bytes, bitrate_bps)
+    }
+}
+
+/// Airtime of a `bytes`-long frame at `bitrate_bps`.
+///
+/// # Panics
+///
+/// Panics if `bitrate_bps` is zero.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_netsim::frame::airtime;
+///
+/// // 40 kbps channel (the paper's Table 2): a 50-byte frame is 10 ms.
+/// assert_eq!(airtime(50, 40_000).as_micros(), 10_000);
+/// ```
+pub fn airtime(bytes: usize, bitrate_bps: u64) -> SimDuration {
+    assert!(bitrate_bps > 0, "bitrate must be positive");
+    let bits = bytes as u64 * 8;
+    SimDuration::from_micros(bits * 1_000_000 / bitrate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_addressing() {
+        assert!(Dest::Broadcast.addresses(NodeId(3)));
+        assert!(Dest::Unicast(NodeId(3)).addresses(NodeId(3)));
+        assert!(!Dest::Unicast(NodeId(3)).addresses(NodeId(4)));
+    }
+
+    #[test]
+    fn power_scales_range() {
+        assert_eq!(TxPower::Normal.effective_range(30.0), 30.0);
+        assert_eq!(TxPower::High(3.0).effective_range(30.0), 90.0);
+    }
+
+    #[test]
+    fn airtime_on_40kbps() {
+        // Table 2 channel: 40 kbps. 100 bytes = 800 bits = 20 ms.
+        assert_eq!(airtime(100, 40_000).as_micros(), 20_000);
+        assert_eq!(airtime(0, 40_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = FrameSpec::new(Dest::Broadcast, (), 10)
+            .with_high_power(2.0)
+            .rushed();
+        assert_eq!(spec.power, TxPower::High(2.0));
+        assert!(spec.rushed);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn rejects_weak_high_power() {
+        FrameSpec::new(Dest::Broadcast, (), 10).with_high_power(0.5);
+    }
+
+    #[test]
+    fn frame_addressing_matches_dest() {
+        let f = Frame {
+            transmitter: NodeId(1),
+            dest: Dest::Unicast(NodeId(2)),
+            payload: (),
+            bytes: 4,
+            power: TxPower::Normal,
+        };
+        assert!(f.addressed_to(NodeId(2)));
+        assert!(!f.addressed_to(NodeId(9)));
+        assert_eq!(f.airtime(8_000_000).as_micros(), 4);
+    }
+}

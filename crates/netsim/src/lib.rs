@@ -1,0 +1,65 @@
+//! A from-scratch discrete-event wireless network simulator — the substrate
+//! the LITEWORP reproduction runs on (the paper used ns-2).
+//!
+//! The simulator models exactly what the paper's evaluation depends on:
+//!
+//! * **Disc radio model** with a nominal communication range (default 30 m)
+//!   and optional high-power transmissions (wormhole mode 3).
+//! * **A broadcast medium**: every node within range receives every frame,
+//!   so protocols can *overhear* their neighbors — the mechanism behind
+//!   LITEWORP's local monitoring.
+//! * **CSMA-style MAC** with carrier sense and random backoff (and a
+//!   `rushed` escape hatch modelling the protocol-deviation attack).
+//! * **Per-receiver collisions** including hidden terminals and half-duplex
+//!   radios, plus optional random channel noise.
+//! * **Out-of-band tunnels** between colluding nodes with configurable
+//!   latency (instantaneous = the paper's out-of-band wormhole channel).
+//! * **Deterministic execution**: a seeded RNG and a totally ordered event
+//!   queue make every run reproducible.
+//!
+//! # Quick start
+//!
+//! ```
+//! use liteworp_netsim::prelude::*;
+//! use std::any::Any;
+//!
+//! struct Hello;
+//! impl NodeLogic<u8> for Hello {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+//!         ctx.send(FrameSpec::new(Dest::Broadcast, 42, 8));
+//!     }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! #[derive(Default)]
+//! struct Count(usize);
+//! impl NodeLogic<u8> for Count {
+//!     fn on_frame(&mut self, _: &mut Context<'_, u8>, _: &Frame<u8>) { self.0 += 1 }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! let field = Field::from_positions(50.0, 30.0,
+//!     vec![Position::new(0.0, 0.0), Position::new(15.0, 0.0)]);
+//! let mut sim = Simulator::new(field, RadioConfig::default(), 1);
+//! sim.push_node(Box::new(Hello));
+//! sim.push_node(Box::new(Count::default()));
+//! sim.run_until(SimTime::from_secs_f64(1.0));
+//! assert_eq!(sim.logic(NodeId(1)).as_any().downcast_ref::<Count>().unwrap().0, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod frame;
+pub mod medium;
+pub mod metrics;
+pub mod node;
+pub mod radio;
+pub mod sim;
+pub mod time;
+
+pub use sim::prelude;
+pub use sim::Simulator;

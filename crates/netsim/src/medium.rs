@@ -1,0 +1,253 @@
+//! The shared wireless medium: in-flight transmissions, carrier sense, and
+//! collision determination.
+//!
+//! The model is the classic disc model with per-receiver collisions:
+//!
+//! * a transmission from position `o` at effective range `R` is *receivable*
+//!   by nodes within `R` of `o`;
+//! * a receiver loses a frame if any **other** transmission whose
+//!   interference disc covers the receiver overlaps it in time (this
+//!   includes the hidden-terminal case), or if the receiver's own radio was
+//!   transmitting at any point during the frame (half duplex);
+//! * carrier sense at a prospective transmitter reports busy while any
+//!   transmission's interference disc covers it.
+
+use crate::field::{NodeId, Position};
+use crate::time::{SimDuration, SimTime};
+
+/// One transmission on the air (or recently completed).
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Unique, monotonically increasing transmission id.
+    pub seq: u64,
+    /// Transmitting node.
+    pub transmitter: NodeId,
+    /// Where the transmitter is.
+    pub origin: Position,
+    /// When the first bit left the antenna.
+    pub start: SimTime,
+    /// When the last bit leaves the antenna.
+    pub end: SimTime,
+    /// Effective reception range in meters (already includes any
+    /// high-power multiplier).
+    pub range: f64,
+}
+
+impl TxRecord {
+    fn overlaps(&self, start: SimTime, end: SimTime) -> bool {
+        self.start < end && self.end > start
+    }
+}
+
+/// Tracks transmissions long enough to answer collision queries.
+#[derive(Debug, Default)]
+pub struct Medium {
+    records: Vec<TxRecord>,
+    max_airtime: SimDuration,
+    interference_factor: f64,
+}
+
+impl Medium {
+    /// Creates a medium with the given interference-range factor
+    /// (see [`crate::radio::RadioConfig::interference_factor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interference_factor < 1.0`.
+    pub fn new(interference_factor: f64) -> Self {
+        assert!(
+            interference_factor >= 1.0,
+            "interference factor must be >= 1, got {interference_factor}"
+        );
+        Medium {
+            records: Vec::new(),
+            max_airtime: SimDuration::ZERO,
+            interference_factor,
+        }
+    }
+
+    /// Registers a transmission that is starting now.
+    pub fn begin(&mut self, record: TxRecord) {
+        let airtime = record.end.saturating_since(record.start);
+        if airtime > self.max_airtime {
+            self.max_airtime = airtime;
+        }
+        self.records.push(record);
+    }
+
+    /// Looks up a transmission by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&TxRecord> {
+        self.records.iter().find(|r| r.seq == seq)
+    }
+
+    /// Carrier sense: if the channel is busy at `pos` at time `at`, returns
+    /// the time the last currently-audible transmission ends.
+    pub fn busy_until(&self, pos: Position, at: SimTime) -> Option<SimTime> {
+        self.records
+            .iter()
+            .filter(|r| r.start <= at && r.end > at)
+            .filter(|r| pos.distance_to(&r.origin) <= r.range * self.interference_factor)
+            .map(|r| r.end)
+            .max()
+    }
+
+    /// Whether the reception of transmission `seq` at `receiver` (located
+    /// at `pos`) is destroyed by a concurrent transmission or by the
+    /// receiver's own radio being busy (half duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is unknown (already pruned or never begun).
+    pub fn collides(&self, seq: u64, receiver: NodeId, pos: Position) -> bool {
+        let subject = self
+            .get(seq)
+            .expect("collision query for unknown transmission");
+        let (start, end) = (subject.start, subject.end);
+        self.records.iter().any(|other| {
+            other.seq != seq && other.overlaps(start, end) && {
+                // Half duplex: the receiver's own transmissions block reception.
+                other.transmitter == receiver
+                    || pos.distance_to(&other.origin) <= other.range * self.interference_factor
+            }
+        })
+    }
+
+    /// Discards records that can no longer affect any collision query.
+    ///
+    /// A record `B` is needed only while some in-flight transmission `A`
+    /// could overlap it; since `A.end − A.start ≤ max_airtime`, any `B`
+    /// with `B.end ≤ now − max_airtime` is unreachable.
+    pub fn prune(&mut self, now: SimTime) {
+        let keep_span = self.max_airtime + SimDuration::from_micros(1);
+        let cutoff = SimTime::ZERO + now.saturating_since(SimTime::ZERO + keep_span);
+        self.records.retain(|r| r.end > cutoff);
+    }
+
+    /// Number of records currently retained (for tests / diagnostics).
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, node: u32, x: f64, start: u64, end: u64, range: f64) -> TxRecord {
+        TxRecord {
+            seq,
+            transmitter: NodeId(node),
+            origin: Position::new(x, 0.0),
+            start: SimTime::from_micros(start),
+            end: SimTime::from_micros(end),
+            range,
+        }
+    }
+
+    #[test]
+    fn busy_while_in_range_transmission_ongoing() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        let p = Position::new(25.0, 0.0);
+        assert_eq!(
+            m.busy_until(p, SimTime::from_micros(15)),
+            Some(SimTime::from_micros(20))
+        );
+        // Before start and at/after end: idle.
+        assert_eq!(m.busy_until(p, SimTime::from_micros(9)), None);
+        assert_eq!(m.busy_until(p, SimTime::from_micros(20)), None);
+        // Out of range: idle.
+        let far = Position::new(40.0, 0.0);
+        assert_eq!(m.busy_until(far, SimTime::from_micros(15)), None);
+    }
+
+    #[test]
+    fn busy_until_reports_latest_end() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        m.begin(rec(2, 1, 5.0, 12, 40, 30.0));
+        let p = Position::new(10.0, 0.0);
+        assert_eq!(
+            m.busy_until(p, SimTime::from_micros(15)),
+            Some(SimTime::from_micros(40))
+        );
+    }
+
+    #[test]
+    fn overlapping_in_range_transmissions_collide() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        m.begin(rec(2, 1, 10.0, 15, 25, 30.0));
+        // Receiver at x=5 hears both: collision for both frames.
+        let p = Position::new(5.0, 0.0);
+        assert!(m.collides(1, NodeId(9), p));
+        assert!(m.collides(2, NodeId(9), p));
+    }
+
+    #[test]
+    fn disjoint_times_do_not_collide() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        m.begin(rec(2, 1, 10.0, 20, 30, 30.0)); // starts exactly at end
+        let p = Position::new(5.0, 0.0);
+        assert!(!m.collides(1, NodeId(9), p));
+        assert!(!m.collides(2, NodeId(9), p));
+    }
+
+    #[test]
+    fn hidden_terminal_collides_at_receiver_only() {
+        // Transmitters at x=0 and x=50 cannot hear each other (range 30),
+        // but a receiver at x=25 is inside both discs: hidden terminal.
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        m.begin(rec(2, 1, 50.0, 12, 22, 30.0));
+        let mid = Position::new(25.0, 0.0);
+        assert!(m.collides(1, NodeId(9), mid));
+        // A receiver near x=0 only hears the first: no collision there.
+        let near = Position::new(2.0, 0.0);
+        assert!(!m.collides(1, NodeId(9), near));
+    }
+
+    #[test]
+    fn half_duplex_blocks_own_reception() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        // Node 7 transmits far away (out of interference range of anyone
+        // near x=0) but overlapping in time.
+        m.begin(rec(2, 7, 500.0, 12, 14, 30.0));
+        let p = Position::new(5.0, 0.0);
+        // Another node at the same spot is fine...
+        assert!(!m.collides(1, NodeId(9), p));
+        // ...but node 7 itself was transmitting: it misses the frame.
+        assert!(m.collides(1, NodeId(7), p));
+    }
+
+    #[test]
+    fn interference_factor_extends_collision_reach() {
+        let mut m = Medium::new(2.0);
+        m.begin(rec(1, 0, 0.0, 10, 20, 30.0));
+        m.begin(rec(2, 1, 100.0, 12, 22, 30.0));
+        // x=55 is outside reception range of tx2 (30 m) but inside its
+        // 60 m interference disc.
+        let p = Position::new(55.0, 0.0);
+        assert!(m.collides(1, NodeId(9), p));
+    }
+
+    #[test]
+    fn prune_keeps_recent_records() {
+        let mut m = Medium::new(1.0);
+        m.begin(rec(1, 0, 0.0, 0, 10, 30.0));
+        m.begin(rec(2, 1, 0.0, 100, 110, 30.0));
+        m.prune(SimTime::from_micros(110));
+        // Record 1 ended at 10; horizon = 110 - 10 - 1 = 99 > 10: dropped.
+        assert_eq!(m.record_count(), 1);
+        assert!(m.get(1).is_none());
+        assert!(m.get(2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown transmission")]
+    fn collides_panics_for_unknown_seq() {
+        Medium::new(1.0).collides(99, NodeId(0), Position::default());
+    }
+}

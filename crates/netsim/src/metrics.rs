@@ -1,0 +1,172 @@
+//! Run metrics and the trace of notable protocol events.
+
+use crate::field::NodeId;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Counters accumulated over a simulation run.
+///
+/// The radio layer maintains the built-in fields; protocols add their own
+/// named counters through [`Metrics::incr`] / [`Metrics::add`].
+///
+/// # Example
+///
+/// ```
+/// use liteworp_netsim::metrics::Metrics;
+///
+/// let mut m = Metrics::default();
+/// m.incr("routes_established");
+/// m.add("routes_established", 2);
+/// assert_eq!(m.get("routes_established"), 3);
+/// assert_eq!(m.get("never_touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Frames put on the air.
+    pub frames_sent: u64,
+    /// Frame receptions delivered to node logic (one per receiver).
+    pub frames_delivered: u64,
+    /// Frame receptions destroyed by a collision.
+    pub frames_collided: u64,
+    /// Frame receptions lost to channel noise.
+    pub frames_lost_noise: u64,
+    /// Messages carried over out-of-band tunnels.
+    pub tunnel_messages: u64,
+    /// MAC deferrals due to a busy channel.
+    pub mac_deferrals: u64,
+    custom: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Increments a named counter by one.
+    pub fn incr(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.custom.entry(key).or_insert(0) += n;
+    }
+
+    /// Reads a named counter (zero if never written).
+    pub fn get(&self, key: &str) -> u64 {
+        self.custom.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates over all named counters in key order.
+    pub fn iter_custom(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.custom.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Fraction of frame receptions destroyed by collisions — the empirical
+    /// counterpart of the analysis parameter `P_C`.
+    pub fn collision_fraction(&self) -> f64 {
+        let attempts = self.frames_delivered + self.frames_collided + self.frames_lost_noise;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.frames_collided as f64 / attempts as f64
+        }
+    }
+}
+
+/// One notable protocol event, recorded for post-run analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Node that reported it.
+    pub node: NodeId,
+    /// Event tag (e.g. `"isolated"`, `"route_established"`).
+    pub tag: &'static str,
+    /// Event-specific value (often a peer node id).
+    pub value: u64,
+}
+
+/// An append-only log of [`TraceEvent`]s.
+///
+/// Protocols record rare, analysis-relevant events here (detections,
+/// isolations, route establishment), not per-packet chatter.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Appends an event.
+    pub fn record(&mut self, time: SimTime, node: NodeId, tag: &'static str, value: u64) {
+        self.events.push(TraceEvent {
+            time,
+            node,
+            tag,
+            value,
+        });
+    }
+
+    /// All events in insertion (chronological) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Time of the first event with the tag, if any.
+    pub fn first_time(&self, tag: &str) -> Option<SimTime> {
+        self.with_tag(tag).map(|e| e.time).next()
+    }
+
+    /// Time of the last event with the tag, if any.
+    pub fn last_time(&self, tag: &str) -> Option<SimTime> {
+        self.with_tag(tag).map(|e| e.time).last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_counters() {
+        let mut m = Metrics::default();
+        m.incr("a");
+        m.incr("a");
+        m.add("b", 5);
+        assert_eq!(m.get("a"), 2);
+        assert_eq!(m.get("b"), 5);
+        assert_eq!(m.get("c"), 0);
+        let all: Vec<_> = m.iter_custom().collect();
+        assert_eq!(all, vec![("a", 2), ("b", 5)]);
+    }
+
+    #[test]
+    fn collision_fraction_safe_when_empty() {
+        assert_eq!(Metrics::default().collision_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collision_fraction_counts_all_outcomes() {
+        let m = Metrics {
+            frames_delivered: 6,
+            frames_collided: 3,
+            frames_lost_noise: 1,
+            ..Metrics::default()
+        };
+        assert!((m.collision_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_queries() {
+        let mut t = Trace::default();
+        t.record(SimTime::from_micros(5), NodeId(1), "isolated", 9);
+        t.record(SimTime::from_micros(9), NodeId(2), "isolated", 9);
+        t.record(SimTime::from_micros(7), NodeId(1), "route", 3);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.with_tag("isolated").count(), 2);
+        assert_eq!(t.first_time("isolated"), Some(SimTime::from_micros(5)));
+        assert_eq!(t.last_time("isolated"), Some(SimTime::from_micros(9)));
+        assert_eq!(t.first_time("nope"), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Radio and MAC configuration.
+
+use crate::time::SimDuration;
+
+/// Physical-layer and MAC parameters of the simulated radio.
+///
+/// Defaults mirror Table 2 of the paper: 30 m transmission range and a
+/// 40 kbps channel.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_netsim::radio::RadioConfig;
+///
+/// let radio = RadioConfig::default();
+/// assert_eq!(radio.range_m, 30.0);
+/// assert_eq!(radio.bitrate_bps, 40_000);
+/// radio.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioConfig {
+    /// Nominal communication range in meters (paper: 30 m).
+    pub range_m: f64,
+    /// Channel bitrate in bits per second (paper: 40 kbps).
+    pub bitrate_bps: u64,
+    /// Maximum random MAC backoff before a transmission attempt. Honest
+    /// nodes draw uniformly from `[0, max_backoff]`; a *rushed* frame
+    /// (Section 3.5) uses zero.
+    pub max_backoff: SimDuration,
+    /// Fixed inter-frame spacing added after the channel goes idle before
+    /// a deferred transmission retries.
+    pub ifs: SimDuration,
+    /// Independent per-receiver probability that a frame is lost to channel
+    /// noise even without a collision (natural loss). `0.0` disables it.
+    pub noise_loss: f64,
+    /// Multiplier on the transmission range within which a concurrent
+    /// transmission corrupts reception (interference range). `1.0` means
+    /// interference reaches exactly as far as reception.
+    pub interference_factor: f64,
+    /// Link-layer retransmissions for unicast frames whose addressed
+    /// receiver did not get them (ACK-timeout emulation; the ACK itself is
+    /// not put on the air). Broadcasts are never retried. `0` disables.
+    pub unicast_retries: u8,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            range_m: 30.0,
+            bitrate_bps: 40_000,
+            max_backoff: SimDuration::from_millis(20),
+            ifs: SimDuration::from_millis(2),
+            noise_loss: 0.0,
+            interference_factor: 1.0,
+            unicast_retries: 3,
+        }
+    }
+}
+
+/// Error returned by [`RadioConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidRadioConfig(String);
+
+impl std::fmt::Display for InvalidRadioConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid radio config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidRadioConfig {}
+
+impl RadioConfig {
+    /// Checks the parameters for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRadioConfig`] when the range or bitrate is
+    /// non-positive, `noise_loss` is outside `[0, 1)`, or the interference
+    /// factor is below 1.
+    pub fn validate(&self) -> Result<(), InvalidRadioConfig> {
+        if !(self.range_m.is_finite() && self.range_m > 0.0) {
+            return Err(InvalidRadioConfig(format!(
+                "range must be positive, got {}",
+                self.range_m
+            )));
+        }
+        if self.bitrate_bps == 0 {
+            return Err(InvalidRadioConfig("bitrate must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&self.noise_loss) {
+            return Err(InvalidRadioConfig(format!(
+                "noise_loss must be in [0, 1), got {}",
+                self.noise_loss
+            )));
+        }
+        if self.interference_factor < 1.0 || self.interference_factor.is_nan() {
+            return Err(InvalidRadioConfig(format!(
+                "interference_factor must be >= 1, got {}",
+                self.interference_factor
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RadioConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_range() {
+        let cfg = RadioConfig {
+            range_m: 0.0,
+            ..RadioConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_total_noise() {
+        let cfg = RadioConfig {
+            noise_loss: 1.0,
+            ..RadioConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_sub_unity_interference() {
+        let cfg = RadioConfig {
+            interference_factor: 0.5,
+            ..RadioConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("interference_factor"));
+    }
+}

@@ -1,0 +1,919 @@
+//! The discrete-event simulator driver.
+//!
+//! [`Simulator`] owns the deployment field, the event queue, the shared
+//! medium, and one [`NodeLogic`] per node. Events are processed in
+//! `(time, sequence)` order, so runs are fully deterministic for a given
+//! seed and node set.
+//!
+//! # Example
+//!
+//! A two-node network where node 0 broadcasts once and node 1 counts what
+//! it hears:
+//!
+//! ```
+//! use liteworp_netsim::prelude::*;
+//! use std::any::Any;
+//!
+//! struct Talker;
+//! impl NodeLogic<&'static str> for Talker {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+//!         ctx.send(FrameSpec::new(Dest::Broadcast, "hello", 16));
+//!     }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! #[derive(Default)]
+//! struct Listener { heard: usize }
+//! impl NodeLogic<&'static str> for Listener {
+//!     fn on_frame(&mut self, _ctx: &mut Context<'_, &'static str>, f: &Frame<&'static str>) {
+//!         assert_eq!(f.payload, "hello");
+//!         self.heard += 1;
+//!     }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! let field = Field::from_positions(100.0, 30.0, vec![
+//!     Position::new(0.0, 0.0),
+//!     Position::new(20.0, 0.0),
+//! ]);
+//! let mut sim = Simulator::new(field, RadioConfig::default(), 1);
+//! sim.push_node(Box::new(Talker));
+//! sim.push_node(Box::new(Listener::default()));
+//! sim.run_until(SimTime::from_secs_f64(1.0));
+//! let listener: &Listener = sim.logic(NodeId(1)).as_any().downcast_ref().unwrap();
+//! assert_eq!(listener.heard, 1);
+//! ```
+
+use crate::field::{Field, NodeId};
+use crate::frame::{Frame, FrameSpec};
+use crate::medium::{Medium, TxRecord};
+use crate::metrics::{Metrics, Trace};
+use crate::node::{Action, Context, NodeLogic};
+use crate::radio::RadioConfig;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, VecDeque};
+
+enum EventKind<P> {
+    NodeStart(NodeId),
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    TxAttempt(NodeId),
+    TxEnd {
+        seq: u64,
+        frame: Frame<P>,
+        retries_used: u8,
+    },
+    TunnelDeliver {
+        from: NodeId,
+        to: NodeId,
+        payload: P,
+    },
+}
+
+struct Scheduled<P> {
+    time: SimTime,
+    order: u64,
+    kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.order == other.order
+    }
+}
+impl<P> Eq for Scheduled<P> {}
+impl<P> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event wins.
+        (other.time, other.order).cmp(&(self.time, self.order))
+    }
+}
+
+struct MacFrame<P> {
+    spec: FrameSpec<P>,
+    retries_used: u8,
+}
+
+struct Mac<P> {
+    queue: VecDeque<MacFrame<P>>,
+    attempt_pending: bool,
+    transmitting_until: Option<SimTime>,
+}
+
+impl<P> Default for Mac<P> {
+    fn default() -> Self {
+        Mac {
+            queue: VecDeque::new(),
+            attempt_pending: false,
+            transmitting_until: None,
+        }
+    }
+}
+
+struct NodeSlot<P> {
+    logic: Box<dyn NodeLogic<P>>,
+    mac: Mac<P>,
+}
+
+/// The discrete-event wireless network simulator.
+///
+/// See the [module documentation](self) for a usage example.
+pub struct Simulator<P> {
+    field: Field,
+    radio: RadioConfig,
+    nodes: Vec<NodeSlot<P>>,
+    queue: BinaryHeap<Scheduled<P>>,
+    next_order: u64,
+    next_tx_seq: u64,
+    now: SimTime,
+    medium: Medium,
+    rng: StdRng,
+    metrics: Metrics,
+    trace: Trace,
+    started: bool,
+    start_times: Vec<SimTime>,
+}
+
+impl<P: Clone + 'static> Simulator<P> {
+    /// Creates a simulator over a deployment field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio configuration is invalid or its range disagrees
+    /// with the field's range.
+    pub fn new(field: Field, radio: RadioConfig, seed: u64) -> Self {
+        radio.validate().expect("invalid radio configuration");
+        assert!(
+            (field.range() - radio.range_m).abs() < 1e-9,
+            "field range {} != radio range {}",
+            field.range(),
+            radio.range_m
+        );
+        let interference = radio.interference_factor;
+        Simulator {
+            field,
+            radio,
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            next_order: 0,
+            next_tx_seq: 0,
+            now: SimTime::ZERO,
+            medium: Medium::new(interference),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            trace: Trace::default(),
+            started: false,
+            start_times: Vec::new(),
+        }
+    }
+
+    /// Adds the logic for the next node (ids are assigned in push order and
+    /// must match the field's positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more nodes are pushed than the field has positions, or
+    /// after the simulation has started.
+    pub fn push_node(&mut self, logic: Box<dyn NodeLogic<P>>) -> NodeId {
+        assert!(!self.started, "cannot add nodes after the run started");
+        assert!(
+            self.nodes.len() < self.field.len(),
+            "more nodes than field positions"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            logic,
+            mac: Mac::default(),
+        });
+        self.start_times.push(SimTime::ZERO);
+        id
+    }
+
+    /// Overrides when a node's `on_start` runs (default: time zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics after the run has started or for an unknown id.
+    pub fn set_start_time(&mut self, node: NodeId, at: SimTime) {
+        assert!(!self.started, "cannot change start times after start");
+        self.start_times[node.index()] = at;
+    }
+
+    /// Staggers all node start times uniformly over `[0, window]` — useful
+    /// so deployment-time HELLO floods do not all collide.
+    pub fn stagger_starts(&mut self, window: SimDuration) {
+        assert!(!self.started, "cannot change start times after start");
+        for t in &mut self.start_times {
+            let us = self.rng.gen_range(0..=window.as_micros());
+            *t = SimTime::from_micros(us);
+        }
+    }
+
+    /// The deployment field.
+    pub fn field(&self) -> &Field {
+        &self.field
+    }
+
+    /// The radio configuration.
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The protocol event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Immutable access to a node's logic (downcast via
+    /// [`NodeLogic::as_any`]).
+    pub fn logic(&self, node: NodeId) -> &dyn NodeLogic<P> {
+        self.nodes[node.index()].logic.as_ref()
+    }
+
+    /// Mutable access to a node's logic.
+    pub fn logic_mut(&mut self, node: NodeId) -> &mut dyn NodeLogic<P> {
+        self.nodes[node.index()].logic.as_mut()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schedules an external timer for a node — the hook experiments use
+    /// to trigger behavior (e.g. "start the attack at t = 50 s").
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        self.push_event(at, EventKind::Timer { node, token });
+    }
+
+    /// Runs the simulation until `deadline` (inclusive of events at it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer nodes were pushed than the field has positions.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            assert_eq!(
+                self.nodes.len(),
+                self.field.len(),
+                "node logic missing for some field positions"
+            );
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.push_event(self.start_times[i], EventKind::NodeStart(NodeId(i as u32)));
+            }
+        }
+        while let Some(head) = self.queue.peek() {
+            if head.time > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<P>) {
+        let order = self.next_order;
+        self.next_order += 1;
+        self.queue.push(Scheduled { time, order, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P>) {
+        match kind {
+            EventKind::NodeStart(node) => self.with_logic(node, |logic, ctx| logic.on_start(ctx)),
+            EventKind::Timer { node, token } => {
+                self.with_logic(node, |logic, ctx| logic.on_timer(ctx, token))
+            }
+            EventKind::TxAttempt(node) => self.tx_attempt(node),
+            EventKind::TxEnd {
+                seq,
+                frame,
+                retries_used,
+            } => self.tx_end(seq, frame, retries_used),
+            EventKind::TunnelDeliver { from, to, payload } => {
+                self.metrics.tunnel_messages += 1;
+                self.with_logic(to, |logic, ctx| logic.on_tunnel(ctx, from, &payload));
+            }
+        }
+    }
+
+    /// Invokes a node hook with a fresh context, then applies its actions.
+    fn with_logic<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn NodeLogic<P>, &mut Context<'_, P>),
+    {
+        let mut actions = Vec::new();
+        {
+            let slot = &mut self.nodes[node.index()];
+            let mut ctx = Context::new(
+                self.now,
+                node,
+                &mut self.rng,
+                &mut self.metrics,
+                &mut self.trace,
+                &mut actions,
+            );
+            f(slot.logic.as_mut(), &mut ctx);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
+        for action in actions {
+            match action {
+                Action::Send(spec) => self.enqueue_frame(node, spec),
+                Action::Timer { delay, token } => {
+                    self.push_event(self.now + delay, EventKind::Timer { node, token });
+                }
+                Action::Tunnel {
+                    to,
+                    payload,
+                    latency,
+                } => {
+                    assert!(to.index() < self.nodes.len(), "tunnel to unknown node");
+                    self.push_event(
+                        self.now + latency,
+                        EventKind::TunnelDeliver {
+                            from: node,
+                            to,
+                            payload,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn enqueue_frame(&mut self, node: NodeId, spec: FrameSpec<P>) {
+        let slot = &mut self.nodes[node.index()];
+        slot.mac.queue.push_back(MacFrame {
+            spec,
+            retries_used: 0,
+        });
+        if !slot.mac.attempt_pending && slot.mac.transmitting_until.is_none() {
+            self.schedule_attempt(node);
+        }
+    }
+
+    /// Schedules the next transmission attempt for the node's queue head.
+    fn schedule_attempt(&mut self, node: NodeId) {
+        let rushed = {
+            let mac = &self.nodes[node.index()].mac;
+            match mac.queue.front() {
+                Some(head) => head.spec.rushed,
+                None => return,
+            }
+        };
+        let delay = if rushed {
+            SimDuration::ZERO
+        } else {
+            let max = self.radio.max_backoff.as_micros();
+            SimDuration::from_micros(self.rng.gen_range(0..=max))
+        };
+        self.nodes[node.index()].mac.attempt_pending = true;
+        self.push_event(self.now + delay, EventKind::TxAttempt(node));
+    }
+
+    fn tx_attempt(&mut self, node: NodeId) {
+        let pos = self.field.position(node);
+        {
+            let mac = &mut self.nodes[node.index()].mac;
+            mac.attempt_pending = false;
+            if mac.queue.is_empty() {
+                return;
+            }
+            // Still transmitting (shouldn't normally happen): retry after.
+            if let Some(until) = mac.transmitting_until {
+                if until > self.now {
+                    mac.attempt_pending = true;
+                    let at = until + self.radio.ifs;
+                    self.push_event(at, EventKind::TxAttempt(node));
+                    return;
+                }
+                mac.transmitting_until = None;
+            }
+        }
+        // Carrier sense.
+        let rushed = self.nodes[node.index()]
+            .mac
+            .queue
+            .front()
+            .map(|f| f.spec.rushed)
+            .unwrap_or(false);
+        if let Some(busy_end) = self.medium.busy_until(pos, self.now) {
+            self.metrics.mac_deferrals += 1;
+            let backoff = if rushed {
+                SimDuration::ZERO
+            } else {
+                let max = self.radio.max_backoff.as_micros();
+                SimDuration::from_micros(self.rng.gen_range(0..=max))
+            };
+            let at = busy_end + self.radio.ifs + backoff;
+            self.nodes[node.index()].mac.attempt_pending = true;
+            self.push_event(at, EventKind::TxAttempt(node));
+            return;
+        }
+        // Transmit.
+        let mac_frame = self.nodes[node.index()]
+            .mac
+            .queue
+            .pop_front()
+            .expect("queue emptied unexpectedly");
+        let retries_used = mac_frame.retries_used;
+        let spec = mac_frame.spec;
+        let airtime = crate::frame::airtime(spec.bytes, self.radio.bitrate_bps);
+        let end = self.now + airtime;
+        let seq = self.next_tx_seq;
+        self.next_tx_seq += 1;
+        let frame = Frame {
+            transmitter: node,
+            dest: spec.dest,
+            payload: spec.payload,
+            bytes: spec.bytes,
+            power: spec.power,
+        };
+        self.medium.begin(TxRecord {
+            seq,
+            transmitter: node,
+            origin: pos,
+            start: self.now,
+            end,
+            range: spec.power.effective_range(self.radio.range_m),
+        });
+        self.metrics.frames_sent += 1;
+        self.nodes[node.index()].mac.transmitting_until = Some(end);
+        self.push_event(
+            end,
+            EventKind::TxEnd {
+                seq,
+                frame,
+                retries_used,
+            },
+        );
+    }
+
+    fn tx_end(&mut self, seq: u64, frame: Frame<P>, retries_used: u8) {
+        let tx = frame.transmitter;
+        self.nodes[tx.index()].mac.transmitting_until = None;
+        let record = self
+            .medium
+            .get(seq)
+            .expect("TxEnd for pruned transmission")
+            .clone();
+        // Deliver to every in-range node, in id order, applying the
+        // per-receiver collision and noise model.
+        let mut link_dst_got_it = true;
+        if let crate::frame::Dest::Unicast(_) = frame.dest {
+            link_dst_got_it = false;
+        }
+        for i in 0..self.nodes.len() {
+            let receiver = NodeId(i as u32);
+            if receiver == tx {
+                continue;
+            }
+            let rpos = self.field.position(receiver);
+            if rpos.distance_to(&record.origin) > record.range {
+                continue;
+            }
+            if self.medium.collides(seq, receiver, rpos) {
+                self.metrics.frames_collided += 1;
+                self.with_logic(receiver, |logic, ctx| logic.on_collision(ctx));
+                continue;
+            }
+            if self.radio.noise_loss > 0.0 && self.rng.gen::<f64>() < self.radio.noise_loss {
+                self.metrics.frames_lost_noise += 1;
+                continue;
+            }
+            self.metrics.frames_delivered += 1;
+            if frame.dest == crate::frame::Dest::Unicast(receiver) {
+                link_dst_got_it = true;
+            }
+            self.with_logic(receiver, |logic, ctx| logic.on_frame(ctx, &frame));
+        }
+        self.medium.prune(self.now);
+        // ACK-timeout emulation: retransmit a unicast whose addressed
+        // receiver missed it, up to the configured retry budget.
+        if !link_dst_got_it {
+            if retries_used < self.radio.unicast_retries {
+                self.metrics.incr("unicast_retries");
+                let spec = FrameSpec {
+                    dest: frame.dest,
+                    payload: frame.payload.clone(),
+                    bytes: frame.bytes,
+                    power: frame.power,
+                    rushed: false,
+                };
+                self.nodes[tx.index()].mac.queue.push_front(MacFrame {
+                    spec,
+                    retries_used: retries_used + 1,
+                });
+            } else {
+                self.metrics.incr("unicast_exhausted");
+            }
+        }
+        // Keep the transmitter's queue draining.
+        if !self.nodes[tx.index()].mac.queue.is_empty()
+            && !self.nodes[tx.index()].mac.attempt_pending
+        {
+            self.schedule_attempt(tx);
+        }
+    }
+}
+
+/// Prelude re-exporting everything node implementations typically need.
+pub mod prelude {
+    pub use crate::field::{Field, NodeId, Position};
+    pub use crate::frame::{Dest, Frame, FrameSpec, TxPower};
+    pub use crate::metrics::{Metrics, Trace, TraceEvent};
+    pub use crate::node::{Action, Context, NodeLogic};
+    pub use crate::radio::RadioConfig;
+    pub use crate::sim::Simulator;
+    pub use crate::time::{SimDuration, SimTime};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::any::Any;
+
+    type Payload = u32;
+
+    /// Broadcasts `count` frames, one per `interval`.
+    struct Beacon {
+        count: u32,
+        interval: SimDuration,
+        rushed: bool,
+        power: Option<f64>,
+    }
+
+    impl Beacon {
+        fn new(count: u32, interval: SimDuration) -> Self {
+            Beacon {
+                count,
+                interval,
+                rushed: false,
+                power: None,
+            }
+        }
+    }
+
+    impl NodeLogic<Payload> for Beacon {
+        fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+            if self.count > 0 {
+                ctx.set_timer(SimDuration::ZERO, 0);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Payload>, token: u64) {
+            let n = token as u32;
+            let mut spec = FrameSpec::new(Dest::Broadcast, n, 25);
+            if self.rushed {
+                spec = spec.rushed();
+            }
+            if let Some(mult) = self.power {
+                spec = spec.with_high_power(mult);
+            }
+            ctx.send(spec);
+            if n + 1 < self.count {
+                ctx.set_timer(self.interval, token + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[derive(Default)]
+    struct Sink {
+        heard: Vec<(NodeId, Payload)>,
+    }
+
+    impl NodeLogic<Payload> for Sink {
+        fn on_frame(&mut self, _ctx: &mut Context<'_, Payload>, f: &Frame<Payload>) {
+            self.heard.push((f.transmitter, f.payload));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn chain_field(spacing: f64, n: usize) -> Field {
+        let positions = (0..n)
+            .map(|i| Position::new(spacing * i as f64, 0.0))
+            .collect();
+        Field::from_positions(1000.0, 30.0, positions)
+    }
+
+    fn sink_of(sim: &Simulator<Payload>, id: NodeId) -> &Sink {
+        sim.logic(id).as_any().downcast_ref().expect("not a Sink")
+    }
+
+    #[test]
+    fn broadcast_reaches_only_nodes_in_range() {
+        // 0 --25m-- 1 --25m-- 2: node 2 is 50 m from node 0, out of range.
+        let field = chain_field(25.0, 3);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.push_node(Box::new(Beacon::new(1, SimDuration::ZERO)));
+        sim.push_node(Box::new(Sink::default()));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sink_of(&sim, NodeId(1)).heard, vec![(NodeId(0), 0)]);
+        assert!(sink_of(&sim, NodeId(2)).heard.is_empty());
+    }
+
+    #[test]
+    fn high_power_reaches_distant_nodes() {
+        let field = chain_field(25.0, 3);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        let mut b = Beacon::new(1, SimDuration::ZERO);
+        b.power = Some(2.0); // 60 m range covers node 2 at 50 m
+        sim.push_node(Box::new(b));
+        sim.push_node(Box::new(Sink::default()));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sink_of(&sim, NodeId(2)).heard.len(), 1);
+    }
+
+    #[test]
+    fn unicast_is_still_overheard() {
+        // Overhearing is load-bearing for LITEWORP: everyone in range
+        // receives the frame regardless of its link destination.
+        struct Uni;
+        impl NodeLogic<Payload> for Uni {
+            fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+                ctx.send(FrameSpec::new(Dest::Unicast(NodeId(1)), 9, 25));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let field = chain_field(10.0, 3);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.push_node(Box::new(Uni));
+        sim.push_node(Box::new(Sink::default()));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sink_of(&sim, NodeId(1)).heard.len(), 1);
+        assert_eq!(sink_of(&sim, NodeId(2)).heard.len(), 1, "overhearing");
+    }
+
+    #[test]
+    fn simultaneous_hidden_transmitters_collide_at_middle() {
+        // Nodes 0 and 2 are 50 m apart (cannot carrier-sense each other)
+        // and both transmit immediately, rushed so there is no backoff:
+        // node 1 in the middle hears nothing.
+        let field = chain_field(25.0, 3);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        let mk = || {
+            let mut b = Beacon::new(1, SimDuration::ZERO);
+            b.rushed = true;
+            Box::new(b)
+        };
+        sim.push_node(mk());
+        sim.push_node(Box::new(Sink::default()));
+        sim.push_node(mk());
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert!(sink_of(&sim, NodeId(1)).heard.is_empty());
+        assert_eq!(sim.metrics().frames_collided, 2);
+    }
+
+    #[test]
+    fn carrier_sense_serializes_neighbors() {
+        // Nodes 0 and 1 are in range of each other; both broadcast at t=0.
+        // Backoff + carrier sense should let both frames through to node 2
+        // (in range of both) most of the time. With rushing disabled and a
+        // deterministic seed we assert full delivery.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(20.0, 0.0),
+        ];
+        let field = Field::from_positions(100.0, 30.0, positions);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 11);
+        sim.push_node(Box::new(Beacon::new(1, SimDuration::ZERO)));
+        sim.push_node(Box::new(Beacon::new(1, SimDuration::ZERO)));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let heard = &sink_of(&sim, NodeId(2)).heard;
+        assert_eq!(heard.len(), 2, "both frames should arrive: {heard:?}");
+    }
+
+    #[test]
+    fn rushed_frame_skips_backoff() {
+        // A rushed transmitter always wins the race to the channel.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(20.0, 0.0),
+        ];
+        let field = Field::from_positions(100.0, 30.0, positions);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 13);
+        let mut rushed = Beacon::new(1, SimDuration::ZERO);
+        rushed.rushed = true;
+        sim.push_node(Box::new(Beacon::new(1, SimDuration::ZERO)));
+        sim.push_node(Box::new(rushed));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let heard = &sink_of(&sim, NodeId(2)).heard;
+        assert_eq!(heard.first().map(|h| h.0), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn tunnel_delivers_out_of_band() {
+        struct TunnelSrc;
+        impl NodeLogic<Payload> for TunnelSrc {
+            fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+                ctx.tunnel(NodeId(1), 77, SimDuration::ZERO);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        #[derive(Default)]
+        struct TunnelSink {
+            got: Option<(NodeId, Payload)>,
+        }
+        impl NodeLogic<Payload> for TunnelSink {
+            fn on_tunnel(&mut self, _ctx: &mut Context<'_, Payload>, from: NodeId, p: &Payload) {
+                self.got = Some((from, *p));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Far apart: radio could never deliver this.
+        let field = chain_field(500.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 3);
+        sim.push_node(Box::new(TunnelSrc));
+        sim.push_node(Box::new(TunnelSink::default()));
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        let sink: &TunnelSink = sim.logic(NodeId(1)).as_any().downcast_ref().unwrap();
+        assert_eq!(sink.got, Some((NodeId(0), 77)));
+        assert_eq!(sim.metrics().tunnel_messages, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl NodeLogic<Payload> for Timed {
+            fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Payload>, token: u64) {
+                self.fired.push(token);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let field = chain_field(10.0, 1);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 5);
+        sim.push_node(Box::new(Timed { fired: vec![] }));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let t: &Timed = sim.logic(NodeId(0)).as_any().downcast_ref().unwrap();
+        assert_eq!(t.fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn noise_loss_drops_some_frames() {
+        let field = chain_field(10.0, 2);
+        let radio = RadioConfig {
+            noise_loss: 0.5,
+            ..RadioConfig::default()
+        };
+        let mut sim = Simulator::new(field, radio, 21);
+        sim.push_node(Box::new(Beacon::new(100, SimDuration::from_millis(50))));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let heard = sink_of(&sim, NodeId(1)).heard.len();
+        assert!(heard > 20 && heard < 80, "noise should drop ~half: {heard}");
+        assert_eq!(
+            sim.metrics().frames_lost_noise + heard as u64,
+            sim.metrics().frames_sent
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let field = chain_field(20.0, 4);
+            let mut sim = Simulator::new(field, RadioConfig::default(), seed);
+            sim.push_node(Box::new(Beacon::new(20, SimDuration::from_millis(7))));
+            sim.push_node(Box::new(Beacon::new(20, SimDuration::from_millis(9))));
+            sim.push_node(Box::new(Sink::default()));
+            sim.push_node(Box::new(Sink::default()));
+            sim.run_until(SimTime::from_secs_f64(5.0));
+            (
+                sink_of(&sim, NodeId(2)).heard.clone(),
+                sim.metrics().frames_collided,
+            )
+        };
+        assert_eq!(run(99), run(99));
+        // And the clock advances to the deadline even when idle.
+        let field = chain_field(20.0, 1);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 1);
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn staggered_starts_happen_within_window() {
+        struct Recorder {
+            started_at: Option<SimTime>,
+        }
+        impl NodeLogic<Payload> for Recorder {
+            fn on_start(&mut self, ctx: &mut Context<'_, Payload>) {
+                self.started_at = Some(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let field = chain_field(10.0, 5);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 17);
+        for _ in 0..5 {
+            sim.push_node(Box::new(Recorder { started_at: None }));
+        }
+        sim.stagger_starts(SimDuration::from_secs(2));
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        for i in 0..5 {
+            let r: &Recorder = sim.logic(NodeId(i)).as_any().downcast_ref().unwrap();
+            let at = r.started_at.expect("every node starts");
+            assert!(at <= SimTime::from_secs_f64(2.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node logic missing")]
+    fn run_requires_full_node_set() {
+        let field = chain_field(10.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 1);
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than field positions")]
+    fn push_rejects_extra_nodes() {
+        let field = chain_field(10.0, 1);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 1);
+        sim.push_node(Box::new(Sink::default()));
+        sim.push_node(Box::new(Sink::default()));
+    }
+}

@@ -1,0 +1,980 @@
+//! The honest protocol node: on-demand routing + traffic generation +
+//! LITEWORP integration.
+//!
+//! This is the "data exchange protocol" of Section 6: a generic on-demand
+//! shortest-path routing protocol that floods route requests, unicasts
+//! route replies along the reverse path, caches routes for `TOut_Route`,
+//! and announces the previous hop of every forwarded control packet so
+//! guards can monitor.
+//!
+//! With LITEWORP enabled the node additionally:
+//!
+//! * runs (or is preloaded with) secure two-hop neighbor discovery,
+//! * refuses packets from non-neighbors, revoked nodes, or with an
+//!   implausible previous hop,
+//! * feeds every overheard control packet to the local monitor and sends
+//!   the resulting authenticated alerts,
+//! * isolates nodes on γ distinct guard alerts and purges routes through
+//!   them.
+
+use crate::packet::Packet;
+use crate::params::{DiscoveryMode, NodeParams, RouteSelection};
+use crate::stats::{NodeStats, RouteRecord};
+use liteworp::discovery::{DiscoveryMsg, DiscoveryOut};
+use liteworp::monitor::PacketObs;
+use liteworp::prelude::{Admission, AlertDisposition, Config, Effect, KeyStore, Liteworp};
+use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
+use liteworp_netsim::prelude::{Context, Dest, Frame, FrameSpec, NodeLogic, SimDuration, SimTime};
+use rand::Rng;
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Converts a core node id to the simulator's id type.
+pub fn sim_id(n: NodeId) -> liteworp_netsim::field::NodeId {
+    liteworp_netsim::field::NodeId(n.0)
+}
+
+/// Converts a simulator node id to the core id type.
+pub fn core_id(n: liteworp_netsim::field::NodeId) -> NodeId {
+    NodeId(n.0)
+}
+
+/// Converts simulator time to the core crate's local-clock microseconds.
+pub fn micros(t: SimTime) -> Micros {
+    Micros(t.as_micros())
+}
+
+/// Timer token kinds (encoded in the top byte of the `u64` token).
+mod timer {
+    pub const ANNOUNCE: u64 = 1;
+    pub const EXPIRE: u64 = 2;
+    pub const TRAFFIC: u64 = 3;
+    pub const DEST_CHANGE: u64 = 4;
+    pub const REQ_RETRY: u64 = 5;
+    pub const FORWARD_REQ: u64 = 6;
+
+    pub fn encode(kind: u64, payload: u64) -> u64 {
+        (kind << 56) | (payload & 0x00ff_ffff_ffff_ffff)
+    }
+    pub fn kind(token: u64) -> u64 {
+        token >> 56
+    }
+    pub fn payload(token: u64) -> u64 {
+        token & 0x00ff_ffff_ffff_ffff
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RouteEntry {
+    next: NodeId,
+    hops: u8,
+    established: SimTime,
+    relays: Vec<NodeId>,
+}
+
+/// The honest protocol node.
+///
+/// Implements [`NodeLogic<Packet>`]; the processing methods are `pub` so
+/// the attack crate can wrap a `ProtocolNode` and keep honest behavior for
+/// everything it does not subvert.
+pub struct ProtocolNode {
+    me: NodeId,
+    params: NodeParams,
+    lw: Option<Liteworp>,
+    monitoring: bool,
+    seq: u64,
+    seen_reqs: HashSet<(NodeId, u64)>,
+    replied: HashSet<(NodeId, u64)>,
+    reverse: HashMap<(NodeId, u64), NodeId>,
+    routes: HashMap<NodeId, RouteEntry>,
+    pending_data: HashMap<NodeId, VecDeque<u64>>,
+    discovering: HashSet<NodeId>,
+    retry_attempts: HashMap<NodeId, u32>,
+    pending_forwards: HashMap<u64, (Dest, Packet)>,
+    next_forward_token: u64,
+    current_dest: Option<NodeId>,
+    stats: NodeStats,
+    route_log: Vec<RouteRecord>,
+}
+
+impl ProtocolNode {
+    /// Creates a node. When `params.liteworp` is `Some`, a fresh LITEWORP
+    /// instance is built (tables empty — use message discovery or
+    /// [`ProtocolNode::liteworp_mut`] to preload).
+    pub fn new(me: NodeId, params: NodeParams) -> Self {
+        let lw = params
+            .liteworp
+            .as_ref()
+            .map(|cfg: &Config| Liteworp::new(cfg.clone(), KeyStore::new(params.key_seed, me)));
+        ProtocolNode {
+            me,
+            params,
+            lw,
+            monitoring: true,
+            seq: 0,
+            seen_reqs: HashSet::new(),
+            replied: HashSet::new(),
+            reverse: HashMap::new(),
+            routes: HashMap::new(),
+            pending_data: HashMap::new(),
+            discovering: HashSet::new(),
+            retry_attempts: HashMap::new(),
+            pending_forwards: HashMap::new(),
+            next_forward_token: 0,
+            current_dest: None,
+            stats: NodeStats::default(),
+            route_log: Vec::new(),
+        }
+    }
+
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &NodeParams {
+        &self.params
+    }
+
+    /// Per-node statistics.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Routes established at this node as a source, in order.
+    pub fn route_log(&self) -> &[RouteRecord] {
+        &self.route_log
+    }
+
+    /// The embedded LITEWORP instance, if protection is enabled.
+    pub fn liteworp(&self) -> Option<&Liteworp> {
+        self.lw.as_ref()
+    }
+
+    /// Mutable access to LITEWORP (oracle bootstrap of neighbor tables).
+    pub fn liteworp_mut(&mut self) -> Option<&mut Liteworp> {
+        self.lw.as_mut()
+    }
+
+    /// Enables or disables the *guard* role (local monitoring, drop
+    /// detection, alerting). Admission checks and alert handling keep
+    /// working. Attack wrappers switch this off: a compromised node does
+    /// not volunteer to run the defense, and its half-informed monitor
+    /// would otherwise accuse its own honest neighbors for refusing the
+    /// packets its attack layer injects.
+    pub fn set_monitoring(&mut self, on: bool) {
+        self.monitoring = on;
+    }
+
+    /// The next hop this node would use toward `dest` right now, if any.
+    pub fn route_next_hop(&self, dest: NodeId) -> Option<NodeId> {
+        self.routes.get(&dest).map(|r| r.next)
+    }
+
+    /// Ground-truth relays of the currently installed route to `dest`
+    /// (telemetry for experiments; honest logic never reads it).
+    pub fn route_relays(&self, dest: NodeId) -> Option<&[NodeId]> {
+        self.routes.get(&dest).map(|r| r.relays.as_slice())
+    }
+
+    /// The reverse-path next hop recorded for discovery `(src, seq)`.
+    pub fn reverse_hop(&self, src: NodeId, seq: u64) -> Option<NodeId> {
+        self.reverse.get(&(src, seq)).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // NodeLogic plumbing (public so wrappers can delegate).
+    // ------------------------------------------------------------------
+
+    /// Start-of-life behavior: discovery, expiry tick, traffic timers.
+    pub fn handle_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        match (self.params.discovery, self.lw.is_some()) {
+            (DiscoveryMode::Messages { collect }, true)
+            | (DiscoveryMode::LateJoin { collect }, true) => {
+                let lw = self.lw.as_mut().expect("checked");
+                let (disc, _table) = lw.discovery_mut();
+                let out = disc.begin();
+                self.emit_discovery(ctx, out);
+                ctx.set_timer(collect, timer::encode(timer::ANNOUNCE, 0));
+            }
+            _ => {}
+        }
+        if self.lw.is_some() {
+            ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
+        }
+        if let Some(mean) = self.params.data_interval_mean {
+            self.pick_new_destination(ctx);
+            let warmup_us = self.params.traffic_warmup.as_micros();
+            let warmup = SimDuration::from_micros(ctx.rng().gen_range(0..=warmup_us));
+            let delay = warmup + exp_sample(ctx, mean);
+            ctx.set_timer(delay, timer::encode(timer::TRAFFIC, 0));
+            let change = exp_sample(ctx, self.params.dest_change_mean);
+            ctx.set_timer(change, timer::encode(timer::DEST_CHANGE, 0));
+        }
+    }
+
+    /// Frame reception (addressed or overheard).
+    pub fn handle_frame(&mut self, ctx: &mut Context<'_, Packet>, frame: &Frame<Packet>) {
+        // 1. Local monitoring sees *every* overheard control packet.
+        self.monitor_packet(ctx, &frame.payload);
+
+        // 2. Protocol processing of packets addressed to us.
+        match &frame.payload {
+            Packet::Discovery { sender, msg } => {
+                self.handle_discovery(ctx, *sender, msg);
+            }
+            Packet::RouteRequest {
+                sig,
+                sender,
+                prev,
+                hops,
+            } => {
+                if !self.admitted(*sender, *prev) {
+                    return;
+                }
+                self.handle_request(ctx, *sig, *sender, *hops);
+            }
+            Packet::RouteReply {
+                sig,
+                sender,
+                prev,
+                next,
+                hops,
+                relays,
+            } => {
+                if *next != self.me {
+                    return; // merely overheard
+                }
+                if !self.admitted(*sender, *prev) {
+                    return;
+                }
+                self.handle_reply(ctx, *sig, *sender, *hops, relays.clone());
+            }
+            Packet::Data {
+                origin,
+                target,
+                seq,
+                sender,
+                prev,
+                next,
+            } => {
+                if *next != self.me {
+                    return;
+                }
+                if !self.admitted(*sender, *prev) {
+                    return;
+                }
+                self.handle_data(ctx, *origin, *target, *seq, *sender);
+            }
+            Packet::RouteError { sender, sig } => {
+                if let Some(lw) = self.lw.as_mut() {
+                    lw.absolve(*sender, sig);
+                }
+                // Purge a stale route that points at the failing node.
+                if self.route_next_hop(sig.target) == Some(*sender) {
+                    self.routes.remove(&sig.target);
+                }
+            }
+            Packet::Alert {
+                guard,
+                suspect,
+                to,
+                mac,
+            } => {
+                if *to != self.me {
+                    // Relay an alert link-addressed to us toward its
+                    // recipient if that recipient is our active neighbor
+                    // (one relay hop only: guard -> relay -> recipient).
+                    if self.params.relay_alerts && frame.dest == Dest::Unicast(sim_id(self.me)) {
+                        if let Some(lw) = self.lw.as_ref() {
+                            if lw.table().is_active_neighbor(*to) && *guard != self.me {
+                                ctx.metrics().incr("alerts_relayed");
+                                let pkt = frame.payload.clone();
+                                let bytes = pkt.wire_bytes();
+                                ctx.send(FrameSpec::new(Dest::Unicast(sim_id(*to)), pkt, bytes));
+                            }
+                        }
+                    }
+                    return;
+                }
+                let Some(lw) = self.lw.as_mut() else { return };
+                match lw.handle_alert(*guard, *suspect, *mac, micros(ctx.now())) {
+                    AlertDisposition::Isolated => {
+                        self.stats.alerts_accepted += 1;
+                        ctx.metrics().incr("isolations");
+                        ctx.trace("isolated", suspect.0 as u64);
+                        self.purge_routes_through(*suspect);
+                    }
+                    AlertDisposition::Counted => {
+                        self.stats.alerts_accepted += 1;
+                    }
+                    AlertDisposition::Ignored | AlertDisposition::Rejected => {}
+                }
+            }
+        }
+    }
+
+    /// Collision indication from the radio.
+    pub fn handle_collision(&mut self, ctx: &mut Context<'_, Packet>) {
+        if let Some(lw) = self.lw.as_mut() {
+            lw.note_collision(micros(ctx.now()));
+        }
+    }
+
+    /// Timer dispatch.
+    pub fn handle_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
+        match timer::kind(token) {
+            timer::ANNOUNCE => {
+                if let Some(lw) = self.lw.as_mut() {
+                    let (disc, table) = lw.discovery_mut();
+                    let out = disc.announce(table);
+                    self.emit_discovery(ctx, out);
+                    if matches!(self.params.discovery, DiscoveryMode::LateJoin { .. }) {
+                        // Ask established neighbors for their lists so we
+                        // gain second-hop knowledge despite missing their
+                        // original announcements.
+                        let me = self.me;
+                        let pkt = Packet::Discovery {
+                            sender: me,
+                            msg: DiscoveryMsg::ListRequest,
+                        };
+                        let bytes = pkt.wire_bytes();
+                        ctx.send(FrameSpec::new(Dest::Broadcast, pkt, bytes));
+                    }
+                }
+            }
+            timer::EXPIRE => {
+                let now = micros(ctx.now());
+                if self.monitoring {
+                    if let Some(lw) = self.lw.as_mut() {
+                        let effects = lw.expire(now);
+                        self.apply_effects(ctx, effects);
+                    }
+                }
+                ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
+            }
+            timer::TRAFFIC => {
+                self.generate_data(ctx);
+                if let Some(mean) = self.params.data_interval_mean {
+                    let delay = exp_sample(ctx, mean);
+                    ctx.set_timer(delay, timer::encode(timer::TRAFFIC, 0));
+                }
+            }
+            timer::DEST_CHANGE => {
+                self.pick_new_destination(ctx);
+                let change = exp_sample(ctx, self.params.dest_change_mean);
+                ctx.set_timer(change, timer::encode(timer::DEST_CHANGE, 0));
+            }
+            timer::FORWARD_REQ => {
+                if let Some((dest, pkt)) = self.pending_forwards.remove(&timer::payload(token)) {
+                    self.send_control(ctx, dest, pkt);
+                }
+            }
+            timer::REQ_RETRY => {
+                let dest = NodeId(timer::payload(token) as u32);
+                let has_route = self.fresh_route(ctx.now(), dest).is_some();
+                let has_pending = self.pending_data.get(&dest).is_some_and(|q| !q.is_empty());
+                self.discovering.remove(&dest);
+                if !has_route && has_pending {
+                    self.start_discovery(ctx, dest);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery.
+    // ------------------------------------------------------------------
+
+    fn emit_discovery(&mut self, ctx: &mut Context<'_, Packet>, out: DiscoveryOut) {
+        let me = self.me;
+        let (dest, msg) = match out {
+            DiscoveryOut::Broadcast(msg) => (Dest::Broadcast, msg),
+            DiscoveryOut::Unicast(to, msg) => (Dest::Unicast(sim_id(to)), msg),
+        };
+        let pkt = Packet::Discovery { sender: me, msg };
+        let bytes = pkt.wire_bytes();
+        ctx.send(FrameSpec::new(dest, pkt, bytes));
+    }
+
+    fn handle_discovery(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        sender: NodeId,
+        msg: &DiscoveryMsg,
+    ) {
+        let Some(lw) = self.lw.as_mut() else { return };
+        let now_outs: Vec<DiscoveryOut> = {
+            let (disc, table) = lw.discovery_mut();
+            match msg {
+                DiscoveryMsg::Hello => vec![disc.on_hello(sender)],
+                DiscoveryMsg::HelloReply { mac } => {
+                    disc.on_hello_reply(table, sender, *mac);
+                    vec![]
+                }
+                DiscoveryMsg::ListAnnounce { list, tags } => {
+                    disc.on_list_announce(table, sender, list, tags);
+                    vec![]
+                }
+                DiscoveryMsg::ListRequest => {
+                    disc.on_list_request(table, sender).into_iter().collect()
+                }
+            }
+        };
+        for out in now_outs {
+            self.emit_discovery(ctx, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LITEWORP integration.
+    // ------------------------------------------------------------------
+
+    fn monitor_packet(&mut self, ctx: &mut Context<'_, Packet>, pkt: &Packet) {
+        if !self.monitoring {
+            return;
+        }
+        let Some(lw) = self.lw.as_mut() else { return };
+        let obs = match pkt {
+            Packet::Data {
+                origin,
+                target,
+                seq,
+                sender,
+                prev,
+                next,
+            } if lw.config().monitor_data => PacketObs {
+                sender: *sender,
+                claimed_prev: *prev,
+                link_dst: Some(*next),
+                sig: PacketSig {
+                    kind: PacketKind::Data,
+                    origin: *origin,
+                    target: *target,
+                    seq: *seq,
+                },
+                terminal: *next == *target,
+            },
+            Packet::RouteRequest {
+                sig, sender, prev, ..
+            } => PacketObs {
+                sender: *sender,
+                claimed_prev: *prev,
+                link_dst: None,
+                sig: *sig,
+                terminal: false,
+            },
+            Packet::RouteReply {
+                sig,
+                sender,
+                prev,
+                next,
+                ..
+            } => PacketObs {
+                sender: *sender,
+                claimed_prev: *prev,
+                link_dst: Some(*next),
+                sig: *sig,
+                terminal: *next == sig.target,
+            },
+            _ => return,
+        };
+        let effects = lw.observe_packet(&obs, micros(ctx.now()));
+        self.apply_effects(ctx, effects);
+    }
+
+    /// Defers a control send by a uniform random delay in `[0, jitter]`.
+    fn send_control_jittered(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        dest: Dest,
+        pkt: Packet,
+        jitter: SimDuration,
+    ) {
+        let token = self.next_forward_token;
+        self.next_forward_token += 1;
+        self.pending_forwards.insert(token, (dest, pkt));
+        let delay = SimDuration::from_micros(ctx.rng().gen_range(0..=jitter.as_micros()));
+        ctx.set_timer(delay, timer::encode(timer::FORWARD_REQ, token));
+    }
+
+    /// Sends a control packet and feeds it to our own monitor: per the
+    /// paper, a node is the guard of all its outgoing links, so its own
+    /// transmissions must be in its watch buffer (both to validate
+    /// neighbors' forwards of them and to catch a next hop dropping them).
+    fn send_control(&mut self, ctx: &mut Context<'_, Packet>, dest: Dest, pkt: Packet) {
+        self.monitor_packet(ctx, &pkt);
+        let bytes = pkt.wire_bytes();
+        ctx.send(FrameSpec::new(dest, pkt, bytes));
+    }
+
+    fn apply_effects(&mut self, ctx: &mut Context<'_, Packet>, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::SendAlert {
+                    suspect,
+                    recipient,
+                    mac,
+                } => {
+                    self.stats.alerts_sent += 1;
+                    ctx.metrics().incr("alerts_sent");
+                    let pkt = Packet::Alert {
+                        guard: self.me,
+                        suspect,
+                        to: recipient,
+                        mac,
+                    };
+                    let link = self.alert_link_hop(recipient, suspect);
+                    let bytes = pkt.wire_bytes();
+                    ctx.send(FrameSpec::new(Dest::Unicast(sim_id(link)), pkt, bytes));
+                }
+                Effect::Isolated { suspect } => {
+                    ctx.metrics().incr("isolations");
+                    ctx.trace("isolated", suspect.0 as u64);
+                    self.purge_routes_through(suspect);
+                }
+                Effect::Suspected { suspect, kind, .. } => {
+                    ctx.metrics().incr("suspicions");
+                    ctx.metrics().incr(match kind {
+                        liteworp::types::Misbehavior::Fabrication => "suspected_fabrication",
+                        liteworp::types::Misbehavior::Drop => "suspected_drop",
+                    });
+                    ctx.trace("suspected", suspect.0 as u64);
+                }
+            }
+        }
+    }
+
+    /// Picks the link-layer next hop for an alert to `recipient` (a
+    /// neighbor of `suspect`). Recipients beyond our own range — they can
+    /// be up to two hops away — are reached through a common neighbor
+    /// that neighbors the recipient (the paper's "multiple unicasts").
+    fn alert_link_hop(&self, recipient: NodeId, suspect: NodeId) -> NodeId {
+        let Some(lw) = self.lw.as_ref() else {
+            return recipient;
+        };
+        if !self.params.relay_alerts {
+            return recipient;
+        }
+        let table = lw.table();
+        if table.is_active_neighbor(recipient) {
+            return recipient;
+        }
+        for relay in table.active_neighbors() {
+            if relay == suspect {
+                continue;
+            }
+            if table
+                .neighbor_list_of(relay)
+                .is_some_and(|l| l.contains(&recipient))
+            {
+                return relay;
+            }
+        }
+        recipient // no relay known; try directly and hope for range
+    }
+
+    fn admitted(&mut self, sender: NodeId, prev: Option<NodeId>) -> bool {
+        match &self.lw {
+            None => true,
+            Some(lw) => match lw.admit(sender, prev) {
+                Admission::Accept => true,
+                Admission::Reject(_) => {
+                    self.stats.frames_rejected += 1;
+                    false
+                }
+            },
+        }
+    }
+
+    fn purge_routes_through(&mut self, suspect: NodeId) {
+        self.routes.retain(|_, r| r.next != suspect);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing.
+    // ------------------------------------------------------------------
+
+    fn handle_request(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        sig: PacketSig,
+        sender: NodeId,
+        hops: u8,
+    ) {
+        let key = (sig.origin, sig.seq);
+        if self.seen_reqs.contains(&key) {
+            return;
+        }
+        self.seen_reqs.insert(key);
+        self.reverse.insert(key, sender);
+        if sig.target == self.me {
+            // Destination: generate the reply (first request copy only).
+            if self.replied.insert(key) {
+                let reply_sig = PacketSig {
+                    kind: PacketKind::RouteReply,
+                    origin: self.me,
+                    target: sig.origin,
+                    seq: sig.seq,
+                };
+                let pkt = Packet::RouteReply {
+                    sig: reply_sig,
+                    sender: self.me,
+                    prev: None,
+                    next: sender,
+                    hops: hops.saturating_add(1),
+                    relays: vec![self.me],
+                };
+                let jitter = self.params.rep_forward_jitter;
+                self.send_control_jittered(ctx, Dest::Unicast(sim_id(sender)), pkt, jitter);
+            }
+            return;
+        }
+        // Rebroadcast the flood, announcing the hop we got it from —
+        // after the protocol-mandated random backoff (Section 3.5), which
+        // spreads the flood in time and keeps collisions rare.
+        let pkt = Packet::RouteRequest {
+            sig,
+            sender: self.me,
+            prev: Some(sender),
+            hops: hops.saturating_add(1),
+        };
+        let jitter = self.params.req_forward_jitter;
+        self.send_control_jittered(ctx, Dest::Broadcast, pkt, jitter);
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        sig: PacketSig,
+        sender: NodeId,
+        hops: u8,
+        mut relays: Vec<NodeId>,
+    ) {
+        // The reply travels D -> ... -> S; sig.origin = D, sig.target = S.
+        let dest = sig.origin;
+        let am_source = sig.target == self.me;
+        self.install_route(ctx, dest, sender, hops, relays.clone(), am_source);
+        if am_source {
+            return;
+        }
+        // Forward along the reverse path toward S.
+        let key = (sig.target, sig.seq);
+        let Some(next) = self.reverse.get(&key).copied() else {
+            return; // reverse entry lost (e.g. evicted); drop silently
+        };
+        relays.push(self.me);
+        let pkt = Packet::RouteReply {
+            sig,
+            sender: self.me,
+            prev: Some(sender),
+            next,
+            hops,
+            relays,
+        };
+        let jitter = self.params.rep_forward_jitter;
+        self.send_control_jittered(ctx, Dest::Unicast(sim_id(next)), pkt, jitter);
+    }
+
+    fn install_route(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        dest: NodeId,
+        next: NodeId,
+        hops: u8,
+        relays: Vec<NodeId>,
+        am_source: bool,
+    ) {
+        if dest == self.me {
+            return;
+        }
+        if let Some(lw) = &self.lw {
+            if lw.is_isolated(next) {
+                return;
+            }
+        }
+        let now = ctx.now();
+        let replace = match self.fresh_route(now, dest) {
+            None => true,
+            Some(existing) => match self.params.route_selection {
+                RouteSelection::FirstReply => false,
+                RouteSelection::ShortestHops => hops < existing.hops,
+            },
+        };
+        if !replace {
+            return;
+        }
+        self.discovering.remove(&dest);
+        self.routes.insert(
+            dest,
+            RouteEntry {
+                next,
+                hops,
+                established: now,
+                relays: relays.clone(),
+            },
+        );
+        if am_source {
+            self.retry_attempts.remove(&dest);
+            ctx.metrics().incr("routes_established");
+            ctx.trace("route_established", dest.0 as u64);
+            self.route_log.push(RouteRecord {
+                time: now,
+                dest,
+                hops,
+                relays,
+            });
+            self.flush_pending(ctx, dest);
+        }
+    }
+
+    fn fresh_route(&self, now: SimTime, dest: NodeId) -> Option<&RouteEntry> {
+        self.routes
+            .get(&dest)
+            .filter(|r| now.saturating_since(r.established) < self.params.route_timeout)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane.
+    // ------------------------------------------------------------------
+
+    fn handle_data(
+        &mut self,
+        ctx: &mut Context<'_, Packet>,
+        origin: NodeId,
+        target: NodeId,
+        seq: u64,
+        from: NodeId,
+    ) {
+        if target == self.me {
+            self.stats.data_delivered += 1;
+            ctx.metrics().incr("data_delivered");
+            return;
+        }
+        let next = self
+            .fresh_route(ctx.now(), target)
+            .map(|r| r.next)
+            .filter(|&n| self.lw.as_ref().is_none_or(|lw| !lw.is_isolated(n)));
+        match next {
+            Some(next) => {
+                self.stats.data_forwarded += 1;
+                let pkt = Packet::Data {
+                    origin,
+                    target,
+                    seq,
+                    sender: self.me,
+                    prev: Some(from),
+                    next,
+                };
+                self.send_data(ctx, next, pkt);
+            }
+            None => {
+                self.stats.data_no_route += 1;
+                ctx.metrics().incr("data_no_route");
+                // With data-plane monitoring on, tell the neighborhood
+                // why we are not forwarding: guards waive our obligation
+                // and the upstream node purges its stale route through
+                // us. (Off by default — the paper's protocol has no
+                // route-error signaling.)
+                if self.lw.as_ref().is_some_and(|lw| lw.config().monitor_data) {
+                    let pkt = Packet::RouteError {
+                        sender: self.me,
+                        sig: PacketSig {
+                            kind: PacketKind::Data,
+                            origin,
+                            target,
+                            seq,
+                        },
+                    };
+                    let bytes = pkt.wire_bytes();
+                    ctx.send(FrameSpec::new(Dest::Broadcast, pkt, bytes));
+                }
+            }
+        }
+    }
+
+    /// Transmits a data packet, feeding it to our own monitor when
+    /// data-plane monitoring is enabled (we guard our own outgoing links).
+    fn send_data(&mut self, ctx: &mut Context<'_, Packet>, next: NodeId, pkt: Packet) {
+        self.monitor_packet(ctx, &pkt);
+        let bytes = pkt.wire_bytes();
+        ctx.send(FrameSpec::new(Dest::Unicast(sim_id(next)), pkt, bytes));
+    }
+
+    fn generate_data(&mut self, ctx: &mut Context<'_, Packet>) {
+        let Some(dest) = self.current_dest else {
+            return;
+        };
+        self.seq += 1;
+        let seq = self.seq;
+        self.stats.data_originated += 1;
+        ctx.metrics().incr("data_sent");
+        if self.fresh_route(ctx.now(), dest).is_some() {
+            let next = self.routes[&dest].next;
+            let pkt = Packet::Data {
+                origin: self.me,
+                target: dest,
+                seq,
+                sender: self.me,
+                prev: None,
+                next,
+            };
+            self.send_data(ctx, next, pkt);
+        } else {
+            let q = self.pending_data.entry(dest).or_default();
+            if q.len() >= self.params.pending_queue_cap {
+                q.pop_front();
+                ctx.metrics().incr("data_queue_overflow");
+            }
+            q.push_back(seq);
+            self.start_discovery(ctx, dest);
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut Context<'_, Packet>, dest: NodeId) {
+        let Some(queue) = self.pending_data.remove(&dest) else {
+            return;
+        };
+        let Some(next) = self.fresh_route(ctx.now(), dest).map(|r| r.next) else {
+            self.pending_data.insert(dest, queue);
+            return;
+        };
+        for seq in queue {
+            let pkt = Packet::Data {
+                origin: self.me,
+                target: dest,
+                seq,
+                sender: self.me,
+                prev: None,
+                next,
+            };
+            self.send_data(ctx, next, pkt);
+        }
+    }
+
+    fn start_discovery(&mut self, ctx: &mut Context<'_, Packet>, dest: NodeId) {
+        if self.discovering.contains(&dest) {
+            return;
+        }
+        self.discovering.insert(dest);
+        self.stats.discoveries += 1;
+        ctx.metrics().incr("route_requests");
+        self.seq += 1;
+        let sig = PacketSig {
+            kind: PacketKind::RouteRequest,
+            origin: self.me,
+            target: dest,
+            seq: self.seq,
+        };
+        self.seen_reqs.insert((self.me, self.seq));
+        let pkt = Packet::RouteRequest {
+            sig,
+            sender: self.me,
+            prev: None,
+            hops: 0,
+        };
+        self.send_control(ctx, Dest::Broadcast, pkt);
+        // Exponential backoff across consecutive failed discoveries for
+        // the same destination keeps a partitioned or congested network
+        // from locking itself into a flood storm.
+        let attempt = self.retry_attempts.entry(dest).or_insert(0);
+        let backoff = self
+            .params
+            .request_retry
+            .mul_f64(f64::from(1 << (*attempt).min(4)));
+        *attempt = attempt.saturating_add(1);
+        ctx.set_timer(backoff, timer::encode(timer::REQ_RETRY, dest.0 as u64));
+    }
+
+    fn pick_new_destination(&mut self, ctx: &mut Context<'_, Packet>) {
+        let n = self.params.total_nodes;
+        if n < 2 {
+            self.current_dest = None;
+            return;
+        }
+        loop {
+            let candidate = NodeId(ctx.rng().gen_range(0..n));
+            if candidate != self.me {
+                self.current_dest = Some(candidate);
+                return;
+            }
+        }
+    }
+}
+
+/// Samples an exponential delay with the given mean, clamped to ≥ 1 µs.
+fn exp_sample(ctx: &mut Context<'_, Packet>, mean: SimDuration) -> SimDuration {
+    let u: f64 = ctx.rng().gen_range(f64::EPSILON..1.0);
+    let secs = -mean.as_secs_f64() * u.ln();
+    SimDuration::from_micros((secs * 1e6).max(1.0) as u64)
+}
+
+impl NodeLogic<Packet> for ProtocolNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.handle_start(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Context<'_, Packet>, frame: &Frame<Packet>) {
+        self.handle_frame(ctx, frame);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
+        self.handle_timer(ctx, token);
+    }
+
+    fn on_collision(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.handle_collision(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_token_round_trip() {
+        let t = timer::encode(timer::REQ_RETRY, 42);
+        assert_eq!(timer::kind(t), timer::REQ_RETRY);
+        assert_eq!(timer::payload(t), 42);
+    }
+
+    #[test]
+    fn id_conversions() {
+        assert_eq!(sim_id(NodeId(7)).0, 7);
+        assert_eq!(core_id(liteworp_netsim::field::NodeId(9)), NodeId(9));
+        assert_eq!(micros(SimTime::from_micros(5)).0, 5);
+    }
+
+    #[test]
+    fn node_construction_respects_liteworp_flag() {
+        let protected = ProtocolNode::new(NodeId(0), NodeParams::default());
+        assert!(protected.liteworp().is_some());
+        let baseline = ProtocolNode::new(
+            NodeId(0),
+            NodeParams {
+                liteworp: None,
+                ..NodeParams::default()
+            },
+        );
+        assert!(baseline.liteworp().is_none());
+    }
+
+    #[test]
+    fn route_queries_start_empty() {
+        let n = ProtocolNode::new(NodeId(0), NodeParams::default());
+        assert_eq!(n.route_next_hop(NodeId(1)), None);
+        assert_eq!(n.reverse_hop(NodeId(1), 1), None);
+        assert!(n.route_log().is_empty());
+        assert_eq!(n.stats().data_originated, 0);
+    }
+}

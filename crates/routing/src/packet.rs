@@ -1,0 +1,217 @@
+//! The wire packets of the simulated data-exchange protocol (Section 6).
+//!
+//! The protocol is the paper's "generic on-demand shortest path routing
+//! that floods route requests and unicasts route replies in the reverse
+//! direction", carrying the previous-hop announcement LITEWORP's local
+//! monitoring requires, plus the discovery and alert messages.
+//!
+//! All identities inside packets are **announced** values: the radio does
+//! not authenticate who really transmitted a frame, so honest logic must
+//! trust only packet contents (that is what makes relay/spoofing attacks
+//! expressible in the simulator).
+
+use liteworp::discovery::DiscoveryMsg;
+use liteworp::keys::Mac;
+use liteworp::types::{NodeId, PacketSig};
+
+/// A protocol packet (the netsim payload type of this reproduction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Neighbor-discovery traffic.
+    Discovery {
+        /// Announced sender.
+        sender: NodeId,
+        /// The discovery message.
+        msg: DiscoveryMsg,
+    },
+    /// Flooded route request.
+    RouteRequest {
+        /// Hop-independent identity: `origin` is the route source `S`,
+        /// `target` the sought destination `D`.
+        sig: PacketSig,
+        /// Announced transmitter of this copy.
+        sender: NodeId,
+        /// Announced previous hop (`None` at the origin).
+        prev: Option<NodeId>,
+        /// Hops traversed so far.
+        hops: u8,
+    },
+    /// Route reply, unicast hop-by-hop along the reverse path.
+    RouteReply {
+        /// `origin` is the destination `D` that generated the reply,
+        /// `target` the route source `S` it travels to; `seq` matches the
+        /// request.
+        sig: PacketSig,
+        /// Announced transmitter of this copy.
+        sender: NodeId,
+        /// Announced previous hop (`None` at `D`).
+        prev: Option<NodeId>,
+        /// Link-layer next hop.
+        next: NodeId,
+        /// Hop count of the discovered forward route (from the request).
+        hops: u8,
+        /// Ground-truth relay list, appended by every node that carries
+        /// the reply. **Telemetry only** — honest logic never reads it;
+        /// experiments use it to classify established routes as malicious.
+        relays: Vec<NodeId>,
+    },
+    /// Application data, unicast hop-by-hop along an established route.
+    Data {
+        /// The node that generated the data.
+        origin: NodeId,
+        /// Final destination.
+        target: NodeId,
+        /// Origin-assigned sequence number.
+        seq: u64,
+        /// Announced transmitter of this copy.
+        sender: NodeId,
+        /// Announced previous hop (`None` at the origin). Used only when
+        /// data-plane monitoring is enabled.
+        prev: Option<NodeId>,
+        /// Link-layer next hop.
+        next: NodeId,
+    },
+    /// Route error: the sender could not forward the identified data
+    /// packet (no fresh route). Guards waive its forward obligation, and
+    /// upstream nodes purge routes through the sender.
+    RouteError {
+        /// The node announcing the failure.
+        sender: NodeId,
+        /// Identity of the data packet it could not forward.
+        sig: PacketSig,
+    },
+    /// Authenticated alert: `guard` accuses `suspect` (Section 4.2.2).
+    Alert {
+        /// Accusing guard.
+        guard: NodeId,
+        /// Accused node.
+        suspect: NodeId,
+        /// Link-layer recipient (a neighbor of the suspect).
+        to: NodeId,
+        /// Tag under the guard–recipient pairwise key.
+        mac: Mac,
+    },
+}
+
+impl Packet {
+    /// Approximate wire size in bytes, used for airtime computation.
+    ///
+    /// Sizes follow the Section 5.2 accounting: 4-byte identities, 8-byte
+    /// sequence numbers, 8-byte MACs, small fixed headers.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Packet::Discovery { msg, .. } => match msg {
+                DiscoveryMsg::Hello => 8,
+                DiscoveryMsg::HelloReply { .. } => 16,
+                DiscoveryMsg::ListAnnounce { list, tags } => 8 + 4 * list.len() + 12 * tags.len(),
+                DiscoveryMsg::ListRequest => 8,
+            },
+            Packet::RouteRequest { .. } => 26,
+            Packet::RouteReply { relays, .. } => 30 + 4 * relays.len(),
+            Packet::Data { .. } => 44,
+            Packet::RouteError { .. } => 22,
+            Packet::Alert { .. } => 24,
+        }
+    }
+
+    /// The announced transmitter of this packet, if it carries one.
+    pub fn announced_sender(&self) -> Option<NodeId> {
+        match self {
+            Packet::Discovery { sender, .. } => Some(*sender),
+            Packet::RouteRequest { sender, .. } => Some(*sender),
+            Packet::RouteReply { sender, .. } => Some(*sender),
+            Packet::Data { sender, .. } => Some(*sender),
+            Packet::RouteError { sender, .. } => Some(*sender),
+            Packet::Alert { guard, .. } => Some(*guard),
+        }
+    }
+
+    /// The announced previous hop, for control packets that carry one.
+    pub fn claimed_prev(&self) -> Option<NodeId> {
+        match self {
+            Packet::RouteRequest { prev, .. } => *prev,
+            Packet::RouteReply { prev, .. } => *prev,
+            Packet::Data { prev, .. } => *prev,
+            _ => None,
+        }
+    }
+
+    /// The hop-independent signature, for monitored control packets.
+    pub fn sig(&self) -> Option<PacketSig> {
+        match self {
+            Packet::RouteRequest { sig, .. } => Some(*sig),
+            Packet::RouteReply { sig, .. } => Some(*sig),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liteworp::types::PacketKind;
+
+    fn sig() -> PacketSig {
+        PacketSig {
+            kind: PacketKind::RouteRequest,
+            origin: NodeId(1),
+            target: NodeId(2),
+            seq: 3,
+        }
+    }
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        let req = Packet::RouteRequest {
+            sig: sig(),
+            sender: NodeId(1),
+            prev: None,
+            hops: 0,
+        };
+        assert!(req.wire_bytes() < 64, "control packets stay small");
+        let ann = Packet::Discovery {
+            sender: NodeId(1),
+            msg: DiscoveryMsg::ListAnnounce {
+                list: vec![NodeId(2); 10],
+                tags: vec![],
+            },
+        };
+        assert_eq!(ann.wire_bytes(), 48);
+    }
+
+    #[test]
+    fn reply_size_grows_with_relay_telemetry() {
+        let mk = |n: usize| Packet::RouteReply {
+            sig: sig(),
+            sender: NodeId(1),
+            prev: None,
+            next: NodeId(2),
+            hops: 3,
+            relays: vec![NodeId(0); n],
+        };
+        assert!(mk(4).wire_bytes() > mk(0).wire_bytes());
+    }
+
+    #[test]
+    fn accessors() {
+        let req = Packet::RouteRequest {
+            sig: sig(),
+            sender: NodeId(5),
+            prev: Some(NodeId(4)),
+            hops: 2,
+        };
+        assert_eq!(req.announced_sender(), Some(NodeId(5)));
+        assert_eq!(req.claimed_prev(), Some(NodeId(4)));
+        assert_eq!(req.sig(), Some(sig()));
+        let data = Packet::Data {
+            origin: NodeId(1),
+            target: NodeId(2),
+            seq: 0,
+            sender: NodeId(1),
+            prev: None,
+            next: NodeId(3),
+        };
+        assert_eq!(data.claimed_prev(), None);
+        assert_eq!(data.sig(), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Deployment planner: the Section 5 analysis as a design tool.
+//!
+//! Given a field size, a communication range, and a target wormhole
+//! detection probability, compute how many nodes to deploy, how much
+//! memory each needs, and what false-alarm rate to expect — the questions
+//! an operator would ask before rolling out a LITEWORP-protected sensor
+//! network.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example deployment_planner
+//! ```
+
+use liteworp::config::Config;
+use liteworp_analysis::cost::CostModel;
+use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+use liteworp_analysis::false_alarm::FalseAlarmModel;
+use liteworp_analysis::geometry::GuardGeometry;
+
+fn main() {
+    // The deployment we are planning.
+    let field_side_m = 200.0;
+    let range_m = 30.0;
+    let target_detection = 0.99;
+    let cfg = Config::default();
+
+    println!("planning a {field_side_m:.0} m x {field_side_m:.0} m field, {range_m:.0} m radios");
+    println!(
+        "protocol: V_f = {}, V_d = {}, C_t = {} (k = {} fabrications per guard), gamma = {}\n",
+        cfg.fabrication_weight,
+        cfg.drop_weight,
+        cfg.malc_threshold,
+        cfg.fabrications_to_accuse(),
+        cfg.confidence_index,
+    );
+
+    // Detection model with the protocol's own k and a conservative
+    // fabrication window.
+    let model = DetectionModel {
+        window: 7,
+        detections_needed: u64::from(cfg.fabrications_to_accuse()),
+        confidence_index: cfg.confidence_index as u64,
+        collisions: CollisionModel::linear(0.05, 3.0),
+    };
+
+    let geo = GuardGeometry::new(range_m);
+    let n_b = model
+        .required_neighbors(target_detection)
+        .expect("target attainable at some density");
+    let density = geo.density_from_neighbors(n_b);
+    let nodes = (density * field_side_m * field_side_m).ceil() as usize;
+
+    println!("to reach P(detect a wormhole) >= {target_detection}:");
+    println!("  average neighbors needed  N_B >= {n_b:.1}");
+    println!("  node density              d  = {density:.6} nodes/m^2");
+    println!("  nodes to deploy           N  = {nodes}");
+    println!(
+        "  guards per link (Eq. I)      = {:.2} (model rounds to {})",
+        GuardGeometry::paper_guards_from_neighbors(n_b),
+        model.guards(n_b)
+    );
+    println!(
+        "  (exact lens geometry puts it at {:.2})",
+        geo.exact_guards_from_neighbors(n_b)
+    );
+
+    // What does that deployment cost per node?
+    let cost = CostModel {
+        range: range_m,
+        density,
+        total_nodes: nodes,
+        avg_route_hops: field_side_m / (2.0 * range_m),
+        routes_per_time_unit: nodes as f64 / 50.0,
+        confidence_index: cfg.confidence_index,
+    };
+    let delta = cfg.watch_timeout_us as f64 / 1e6;
+    println!("\nper-node cost at that density:");
+    println!(
+        "  neighbor storage          {:.0} B",
+        cost.neighbor_storage_bytes()
+    );
+    println!(
+        "  watch buffer              {} entries ({} B)",
+        cost.recommended_watch_entries(delta),
+        cost.watch_buffer_bytes(delta)
+    );
+    println!(
+        "  alert buffer              {} B per suspect",
+        cost.alert_buffer_bytes()
+    );
+    println!(
+        "  discovery traffic         {:.1} messages, once per lifetime",
+        cost.discovery_messages_per_node()
+    );
+
+    // And the false-alarm exposure.
+    let fa = FalseAlarmModel::new(model);
+    println!(
+        "\nfalse-isolation probability of an honest node at N_B = {n_b:.1}: {:.3e}",
+        fa.false_isolation_probability(n_b)
+    );
+    println!(
+        "(planning at the minimum density trades some false-alarm margin; the \n\
+         paper's Figure 6(b) parameterization with k = 5 keeps it below 1e-6)"
+    );
+}

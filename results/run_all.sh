@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every experiment output under results/.
+set -x
+cd /root/repo
+B=target/release
+$B/table2 > results/table2.txt 2>/dev/null
+$B/fig6a > results/fig6a.txt 2>/dev/null
+$B/fig6b > results/fig6b.txt 2>/dev/null
+$B/table1 > results/table1.txt 2>results/table1.log
+$B/cost_table > results/cost_table.txt 2>results/cost_table.log
+$B/fig8 --seeds 10 > results/fig8.txt 2>results/fig8.log
+$B/fig9 --seeds 10 > results/fig9.txt 2>results/fig9.log
+$B/fig10 --seeds 10 > results/fig10.txt 2>results/fig10.log
+$B/detection_sweep --seeds 10 > results/detection_sweep.txt 2>results/detection_sweep.log
+echo ALL_DONE
+# ablations appended
+$B/ablations --seeds 5 > results/ablations.txt 2>results/ablations.log
+echo ABLATIONS_DONE

@@ -1,0 +1,1 @@
+//! Workspace root package: hosts runnable examples and integration tests.

@@ -1,0 +1,173 @@
+//! End-to-end reproduction of the paper's headline claims on a mid-size
+//! network: the wormhole devastates the unprotected baseline, while
+//! LITEWORP detects it, isolates the colluders at every honest neighbor,
+//! and caps the damage.
+
+use liteworp_bench::Scenario;
+
+fn scenario(protected: bool, seed: u64) -> Scenario {
+    Scenario {
+        nodes: 50,
+        malicious: 2,
+        protected,
+        seed,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn baseline_wormhole_attracts_routes_and_drops_data() {
+    let mut run = scenario(false, 21).build();
+    run.run_until_secs(600.0);
+    let (total, bad) = run.route_counts();
+    assert!(total > 100, "routing should be functional: {total}");
+    assert!(
+        bad as f64 / total as f64 > 0.1,
+        "the wormhole should attract a sizable route share: {bad}/{total}"
+    );
+    assert!(
+        run.wormhole_dropped() > 100,
+        "dropped only {}",
+        run.wormhole_dropped()
+    );
+    // And nobody notices: the baseline has no detection machinery.
+    assert_eq!(run.sim().trace().with_tag("isolated").count(), 0);
+}
+
+#[test]
+fn liteworp_detects_isolates_and_caps_damage() {
+    let mut base = scenario(false, 21).build();
+    let mut prot = scenario(true, 21).build();
+    base.run_until_secs(600.0);
+    prot.run_until_secs(600.0);
+
+    // 100% detection.
+    assert!(prot.all_detected(), "colluders not detected");
+    // Complete isolation by every honest neighbor, reasonably fast.
+    let latency = prot
+        .isolation_latency_secs()
+        .expect("isolation should complete");
+    assert!(latency < 300.0, "isolation took {latency} s");
+    // Damage an order of magnitude below baseline.
+    assert!(
+        (prot.wormhole_dropped() as f64) < 0.3 * base.wormhole_dropped() as f64,
+        "protected {} vs baseline {}",
+        prot.wormhole_dropped(),
+        base.wormhole_dropped()
+    );
+    // No honest node is ever isolated.
+    let malicious: Vec<u64> = prot.malicious().iter().map(|m| m.0 as u64).collect();
+    for e in prot.sim().trace().with_tag("isolated") {
+        assert!(
+            malicious.contains(&e.value),
+            "honest node n{} was falsely isolated",
+            e.value
+        );
+    }
+}
+
+#[test]
+fn drops_plateau_after_isolation_but_grow_in_baseline() {
+    let mut base = scenario(false, 22).build();
+    let mut prot = scenario(true, 22).build();
+    // Sample cumulative drops at two late instants.
+    base.run_until_secs(600.0);
+    prot.run_until_secs(600.0);
+    let (b1, p1) = (base.wormhole_dropped(), prot.wormhole_dropped());
+    base.run_until_secs(1200.0);
+    prot.run_until_secs(1200.0);
+    let (b2, p2) = (base.wormhole_dropped(), prot.wormhole_dropped());
+    assert!(b2 > b1, "baseline drops should keep growing: {b1} -> {b2}");
+    let prot_growth = p2 - p1;
+    let base_growth = b2 - b1;
+    assert!(
+        (prot_growth as f64) < 0.2 * base_growth as f64,
+        "protected drops should have flattened: +{prot_growth} vs baseline +{base_growth}"
+    );
+}
+
+#[test]
+fn traffic_keeps_flowing_under_protection() {
+    let mut run = scenario(true, 23).build();
+    run.run_until_secs(600.0);
+    let delivered = run.data_delivered() as f64 / run.data_sent().max(1) as f64;
+    assert!(
+        delivered > 0.5,
+        "delivery collapsed under protection: {delivered:.2}"
+    );
+}
+
+#[test]
+fn four_colluders_are_all_detected_and_isolated() {
+    // The paper's heavier case (M = 4, Figures 8 and 9): every endpoint of
+    // the multi-party wormhole is caught.
+    let mut run = Scenario {
+        nodes: 60,
+        malicious: 4,
+        protected: true,
+        seed: 26,
+        ..Scenario::default()
+    }
+    .build();
+    run.run_until_secs(800.0);
+    assert_eq!(run.malicious().len(), 4);
+    assert!(run.all_detected(), "all four colluders must be detected");
+    assert!(
+        run.isolation_latency_secs().is_some(),
+        "isolation should complete for all four"
+    );
+    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
+    for e in run.sim().trace().with_tag("isolated") {
+        assert!(malicious.contains(&e.value), "honest victim n{}", e.value);
+    }
+}
+
+#[test]
+fn data_plane_monitoring_stays_clean_without_attackers() {
+    // The monitor-data extension watches every data hop; in an honest
+    // network it must not manufacture accusations.
+    use liteworp::config::Config;
+    let mut run = Scenario {
+        nodes: 40,
+        malicious: 0,
+        protected: true,
+        seed: 25,
+        liteworp: Config {
+            monitor_data: true,
+            ..Config::default()
+        },
+        ..Scenario::default()
+    }
+    .build();
+    run.run_until_secs(600.0);
+    assert_eq!(
+        run.sim().trace().with_tag("isolated").count(),
+        0,
+        "data-plane monitoring isolated an honest node"
+    );
+    assert!(run.data_delivered() > 0);
+}
+
+#[test]
+fn the_cure_is_not_worse_than_the_disease() {
+    // With no attackers at all, LITEWORP must not degrade the network:
+    // no isolations, delivery comparable to the baseline.
+    let clean = |protected| Scenario {
+        nodes: 50,
+        malicious: 0,
+        protected,
+        seed: 24,
+        ..Scenario::default()
+    };
+    let mut base = clean(false).build();
+    let mut prot = clean(true).build();
+    base.run_until_secs(600.0);
+    prot.run_until_secs(600.0);
+    assert_eq!(prot.sim().trace().with_tag("isolated").count(), 0);
+    let base_rate = base.data_delivered() as f64 / base.data_sent().max(1) as f64;
+    let prot_rate = prot.data_delivered() as f64 / prot.data_sent().max(1) as f64;
+    assert!(
+        prot_rate > base_rate - 0.15,
+        "protection cost too high: {prot_rate:.2} vs {base_rate:.2}"
+    );
+}

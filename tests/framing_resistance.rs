@@ -1,0 +1,127 @@
+//! Framing resistance: can insiders (who hold valid keys) get an honest
+//! node isolated with false alerts?
+//!
+//! The protocol's defenses, per Section 4.2.2: alerts are authenticated
+//! pairwise, a recipient only accepts alerts about its *own neighbors*,
+//! only from *plausible guards* of the suspect (members of the suspect's
+//! announced neighbor list), and needs γ *distinct* accusers. Colluding
+//! wormhole endpoints sit more than two hops apart, so at most one of
+//! them can be a plausible guard of any given victim: with γ = 2 they
+//! cannot frame anyone by alerts alone.
+
+use liteworp::prelude::*;
+
+const SEED: u64 = 7;
+
+/// Node 0 with neighbors {1 (victim), 2, 5}; the victim's announced list
+/// is {0, 2, 5} — nodes 3 and 9 are NOT in it.
+fn target_node() -> Liteworp {
+    let mut lw = Liteworp::new(Config::default(), KeyStore::new(SEED, NodeId(0)));
+    let t = lw.table_mut();
+    t.add_neighbor(NodeId(1));
+    t.add_neighbor(NodeId(2));
+    t.add_neighbor(NodeId(5));
+    t.set_neighbor_list(NodeId(1), [NodeId(0), NodeId(2), NodeId(5)]);
+    t.set_neighbor_list(NodeId(2), [NodeId(0), NodeId(1)]);
+    t.set_neighbor_list(NodeId(5), [NodeId(0), NodeId(1)]);
+    lw
+}
+
+fn alert_from(guard: u32, victim: u32) -> (NodeId, NodeId, liteworp::keys::Mac) {
+    let g = KeyStore::new(SEED, NodeId(guard));
+    let mac = g.tag(
+        NodeId(0),
+        &Liteworp::alert_bytes(NodeId(guard), NodeId(victim)),
+    );
+    (NodeId(guard), NodeId(victim), mac)
+}
+
+#[test]
+fn a_single_insider_cannot_frame() {
+    let mut lw = target_node();
+    // Insider 2 is a plausible guard of victim 1 and accuses falsely.
+    let (g, v, mac) = alert_from(2, 1);
+    assert_eq!(
+        lw.handle_alert(g, v, mac, Micros(0)),
+        AlertDisposition::Counted
+    );
+    // Repeating the same accusation never advances the count.
+    for i in 1..10 {
+        assert_eq!(
+            lw.handle_alert(g, v, mac, Micros(i)),
+            AlertDisposition::Ignored
+        );
+    }
+    assert!(!lw.is_isolated(NodeId(1)), "one accuser must never isolate");
+}
+
+#[test]
+fn a_distant_colluder_is_not_a_plausible_guard() {
+    let mut lw = target_node();
+    // Insider 9 holds valid keys but is not in the victim's neighbor
+    // list: its alert is rejected outright.
+    let (g, v, mac) = alert_from(9, 1);
+    assert_eq!(
+        lw.handle_alert(g, v, mac, Micros(0)),
+        AlertDisposition::Rejected
+    );
+    // So the wormhole pair (2 plausible, 9 distant) cannot reach gamma=2.
+    let (g2, v2, mac2) = alert_from(2, 1);
+    lw.handle_alert(g2, v2, mac2, Micros(1));
+    assert!(!lw.is_isolated(NodeId(1)));
+}
+
+#[test]
+fn outsiders_without_keys_cannot_frame_at_all() {
+    let mut lw = target_node();
+    let outsider = KeyStore::new(999, NodeId(2)); // wrong seed
+    let mac = outsider.tag(NodeId(0), &Liteworp::alert_bytes(NodeId(2), NodeId(1)));
+    assert_eq!(
+        lw.handle_alert(NodeId(2), NodeId(1), mac, Micros(0)),
+        AlertDisposition::Rejected
+    );
+}
+
+#[test]
+fn alerts_about_strangers_are_not_ours_to_act_on() {
+    let mut lw = target_node();
+    // Node 7 is not our neighbor: even a well-formed alert about it is
+    // refused (isolation is a local decision among the suspect's
+    // neighbors).
+    let g = KeyStore::new(SEED, NodeId(2));
+    let mac = g.tag(NodeId(0), &Liteworp::alert_bytes(NodeId(2), NodeId(7)));
+    assert_eq!(
+        lw.handle_alert(NodeId(2), NodeId(7), mac, Micros(0)),
+        AlertDisposition::Rejected
+    );
+}
+
+#[test]
+fn an_alert_cannot_be_replayed_by_a_different_guard() {
+    let mut lw = target_node();
+    // Guard 2's genuine tag, replayed with guard 5 named as the accuser:
+    // the tag binds the accusing guard, so verification fails.
+    let g2 = KeyStore::new(SEED, NodeId(2));
+    let mac = g2.tag(NodeId(0), &Liteworp::alert_bytes(NodeId(2), NodeId(1)));
+    assert_eq!(
+        lw.handle_alert(NodeId(5), NodeId(1), mac, Micros(0)),
+        AlertDisposition::Rejected
+    );
+}
+
+#[test]
+fn two_genuine_guards_do_isolate() {
+    // The flip side: the checks must not block legitimate isolation.
+    let mut lw = target_node();
+    let (g, v, mac) = alert_from(2, 1);
+    assert_eq!(
+        lw.handle_alert(g, v, mac, Micros(0)),
+        AlertDisposition::Counted
+    );
+    let (g5, v5, mac5) = alert_from(5, 1);
+    assert_eq!(
+        lw.handle_alert(g5, v5, mac5, Micros(1)),
+        AlertDisposition::Isolated
+    );
+    assert!(lw.is_isolated(NodeId(1)));
+}

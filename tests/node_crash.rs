@@ -1,0 +1,102 @@
+//! Fail-stop behavior: a relay that silently dies mid-run.
+//!
+//! A crashed node looks exactly like a data/control blackhole to its
+//! guards, so LITEWORP revokes it through drop detection — which is the
+//! *correct* outcome (a dead relay should not stay in anyone's routing
+//! state), and routing recovers around it.
+
+use liteworp::types::NodeId as CoreId;
+use liteworp_netsim::field::NodeId as SimId;
+use liteworp_netsim::prelude::{Context, Frame, NodeLogic, SimTime};
+use liteworp_routing::node::ProtocolNode;
+use liteworp_routing::Packet;
+use std::any::Any;
+
+/// Wraps an honest node; after `dies_at` it neither processes nor sends
+/// anything (fail-stop).
+struct CrashingNode {
+    inner: ProtocolNode,
+    dies_at: SimTime,
+}
+
+impl NodeLogic<Packet> for CrashingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Packet>) {
+        self.inner.handle_start(ctx);
+    }
+    fn on_frame(&mut self, ctx: &mut Context<'_, Packet>, frame: &Frame<Packet>) {
+        if ctx.now() < self.dies_at {
+            self.inner.handle_frame(ctx, frame);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Packet>, token: u64) {
+        if ctx.now() < self.dies_at {
+            self.inner.handle_timer(ctx, token);
+        }
+    }
+    fn on_collision(&mut self, ctx: &mut Context<'_, Packet>) {
+        if ctx.now() < self.dies_at {
+            self.inner.handle_collision(ctx);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn network_survives_a_relay_crash() {
+    use liteworp_netsim::field::Field;
+    use liteworp_netsim::prelude::{RadioConfig, SimDuration, Simulator};
+    use liteworp_routing::bootstrap::preload_liteworp;
+    use liteworp_routing::params::NodeParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(81);
+    let nodes = 40usize;
+    let field = Field::connected_with_average_neighbors(nodes, 8.0, 30.0, 200, &mut rng)
+        .expect("connected deployment");
+    // Crash the best-connected node (worst case for routing).
+    let crash_victim = (0..nodes as u32)
+        .max_by_key(|&i| field.in_range_of(SimId(i)).len())
+        .expect("non-empty field");
+    let params = NodeParams {
+        total_nodes: nodes as u32,
+        ..NodeParams::default()
+    };
+    let mut sim = Simulator::<Packet>::new(field, RadioConfig::default(), 81);
+    for i in 0..nodes as u32 {
+        let mut inner = ProtocolNode::new(CoreId(i), params.clone());
+        preload_liteworp(inner.liteworp_mut().unwrap(), SimId(i), sim.field());
+        if i == crash_victim {
+            sim.push_node(Box::new(CrashingNode {
+                inner,
+                dies_at: SimTime::from_secs_f64(200.0),
+            }));
+        } else {
+            sim.push_node(Box::new(inner));
+        }
+        let _ = SimDuration::ZERO;
+    }
+    sim.run_until(SimTime::from_secs_f64(800.0));
+
+    // Traffic keeps flowing after the crash.
+    let sent = sim.metrics().get("data_sent");
+    let delivered = sim.metrics().get("data_delivered");
+    assert!(
+        delivered as f64 > 0.5 * sent as f64,
+        "delivery collapsed after the crash: {delivered}/{sent}"
+    );
+    // The dead node is the only one anyone revoked (drop detection doing
+    // its job), and no *live* node was isolated.
+    for e in sim.trace().with_tag("isolated") {
+        assert_eq!(
+            e.value, crash_victim as u64,
+            "live node n{} was isolated after the crash",
+            e.value
+        );
+    }
+}
