@@ -1,109 +1,175 @@
-//! Property-based tests of the analytical model's numerical invariants.
+//! Property-based tests of the analytical model's numerical invariants,
+//! driven by the in-repo deterministic PCG32 generator.
 
 use liteworp_analysis::detection::{CollisionModel, DetectionModel};
 use liteworp_analysis::false_alarm::FalseAlarmModel;
 use liteworp_analysis::geometry::GuardGeometry;
 use liteworp_analysis::special::{binomial_pmf, binomial_tail, regularized_incomplete_beta};
-use proptest::prelude::*;
+use liteworp_runner::rng::{Pcg32, Rng};
 
-proptest! {
-    // ------------------------------------------------------------------
-    // Special functions.
-    // ------------------------------------------------------------------
-    #[test]
-    fn binomial_tail_is_a_probability(n in 1u64..200, k in 0u64..220, p in 0.0f64..=1.0) {
+const CASES: u64 = 256;
+
+// ----------------------------------------------------------------------
+// Special functions.
+// ----------------------------------------------------------------------
+
+#[test]
+fn binomial_tail_is_a_probability() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6101);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u64..200);
+        let k = rng.gen_range(0u64..220);
+        let p = rng.gen_f64();
         let t = binomial_tail(n, k, p);
-        prop_assert!((0.0..=1.0).contains(&t), "tail {t}");
+        assert!((0.0..=1.0).contains(&t), "tail {t}");
     }
+}
 
-    #[test]
-    fn binomial_tail_monotone_in_k(n in 1u64..100, k in 1u64..100, p in 0.01f64..0.99) {
-        prop_assume!(k <= n);
-        prop_assert!(binomial_tail(n, k, p) <= binomial_tail(n, k - 1, p) + 1e-12);
+#[test]
+fn binomial_tail_monotone_in_k() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6102);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = rng.gen_range(1u64..100);
+        let k = rng.gen_range(1u64..100);
+        if k > n {
+            continue;
+        }
+        checked += 1;
+        let p = rng.gen_range(0.01f64..0.99);
+        assert!(binomial_tail(n, k, p) <= binomial_tail(n, k - 1, p) + 1e-12);
     }
+}
 
-    #[test]
-    fn binomial_tail_monotone_in_p(n in 1u64..100, k in 0u64..100, p in 0.01f64..0.98) {
-        prop_assume!(k <= n);
+#[test]
+fn binomial_tail_monotone_in_p() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6103);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = rng.gen_range(1u64..100);
+        let k = rng.gen_range(0u64..100);
+        if k > n {
+            continue;
+        }
+        checked += 1;
+        let p = rng.gen_range(0.01f64..0.98);
         let lo = binomial_tail(n, k, p);
         let hi = binomial_tail(n, k, p + 0.01);
-        prop_assert!(hi >= lo - 1e-12, "tail must grow with p: {lo} -> {hi}");
+        assert!(hi >= lo - 1e-12, "tail must grow with p: {lo} -> {hi}");
     }
+}
 
-    #[test]
-    fn binomial_pmf_sums_to_tail(n in 1u64..60, k in 0u64..60, p in 0.01f64..0.99) {
-        prop_assume!(k <= n);
+#[test]
+fn binomial_pmf_sums_to_tail() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6104);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = rng.gen_range(1u64..60);
+        let k = rng.gen_range(0u64..60);
+        if k > n {
+            continue;
+        }
+        checked += 1;
+        let p = rng.gen_range(0.01f64..0.99);
         let direct: f64 = (k..=n).map(|i| binomial_pmf(n, i, p)).sum();
         let tail = binomial_tail(n, k, p);
-        prop_assert!((direct - tail).abs() < 1e-9, "{direct} vs {tail}");
+        assert!((direct - tail).abs() < 1e-9, "{direct} vs {tail}");
     }
+}
 
-    #[test]
-    fn incomplete_beta_monotone_in_x(a in 0.5f64..20.0, b in 0.5f64..20.0, x in 0.01f64..0.98) {
+#[test]
+fn incomplete_beta_monotone_in_x() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6105);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.5f64..20.0);
+        let b = rng.gen_range(0.5f64..20.0);
+        let x = rng.gen_range(0.01f64..0.98);
         let lo = regularized_incomplete_beta(a, b, x);
         let hi = regularized_incomplete_beta(a, b, x + 0.01);
-        prop_assert!(hi >= lo - 1e-12);
-        prop_assert!((0.0..=1.0).contains(&lo));
+        assert!(hi >= lo - 1e-12);
+        assert!((0.0..=1.0).contains(&lo));
     }
+}
 
-    #[test]
-    fn incomplete_beta_reflection(a in 0.5f64..20.0, b in 0.5f64..20.0, x in 0.0f64..=1.0) {
+#[test]
+fn incomplete_beta_reflection() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6106);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0.5f64..20.0);
+        let b = rng.gen_range(0.5f64..20.0);
+        let x = rng.gen_f64();
         let lhs = regularized_incomplete_beta(a, b, x);
         let rhs = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x);
-        prop_assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+        assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Geometry.
-    // ------------------------------------------------------------------
-    #[test]
-    fn lens_area_bounds(r in 1.0f64..100.0, frac in 0.0f64..=1.0) {
+// ----------------------------------------------------------------------
+// Geometry.
+// ----------------------------------------------------------------------
+
+#[test]
+fn lens_area_bounds() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6107);
+    for _ in 0..CASES {
+        let r = rng.gen_range(1.0f64..100.0);
+        let frac = rng.gen_f64();
         let geo = GuardGeometry::new(r);
         let x = frac * r;
         let area = geo.exact_lens_area(x);
-        prop_assert!(area >= 0.0);
-        prop_assert!(area <= std::f64::consts::PI * r * r + 1e-9);
+        assert!(area >= 0.0);
+        assert!(area <= std::f64::consts::PI * r * r + 1e-9);
         // The paper's formula subtracts twice the chord term, so it is
         // never larger than the exact lens.
-        prop_assert!(geo.paper_area(x) <= area + 1e-9);
+        assert!(geo.paper_area(x) <= area + 1e-9);
     }
+}
 
-    #[test]
-    fn density_round_trips(r in 1.0f64..100.0, n_b in 0.1f64..50.0) {
+#[test]
+fn density_round_trips() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6108);
+    for _ in 0..CASES {
+        let r = rng.gen_range(1.0f64..100.0);
+        let n_b = rng.gen_range(0.1f64..50.0);
         let geo = GuardGeometry::new(r);
         let d = geo.density_from_neighbors(n_b);
-        prop_assert!((geo.neighbors_from_density(d) - n_b).abs() < 1e-9);
+        assert!((geo.neighbors_from_density(d) - n_b).abs() < 1e-9);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Detection / false alarm models.
-    // ------------------------------------------------------------------
-    #[test]
-    fn detection_probability_is_a_probability(
-        window in 1u64..20,
-        k in 1u64..20,
-        gamma in 1u64..10,
-        p_c in 0.0f64..=1.0,
-        n_b in 0.0f64..80.0,
-    ) {
+// ----------------------------------------------------------------------
+// Detection / false alarm models.
+// ----------------------------------------------------------------------
+
+#[test]
+fn detection_probability_is_a_probability() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_6109);
+    for _ in 0..CASES {
         let m = DetectionModel {
-            window,
-            detections_needed: k,
-            confidence_index: gamma,
-            collisions: CollisionModel::Constant(p_c),
+            window: rng.gen_range(1u64..20),
+            detections_needed: rng.gen_range(1u64..20),
+            confidence_index: rng.gen_range(1u64..10),
+            collisions: CollisionModel::Constant(rng.gen_f64()),
         };
+        let n_b = rng.gen_range(0.0f64..80.0);
         let p = m.detection_probability(n_b);
-        prop_assert!((0.0..=1.0).contains(&p), "P = {p}");
+        assert!((0.0..=1.0).contains(&p), "P = {p}");
     }
+}
 
-    #[test]
-    fn detection_monotone_decreasing_in_gamma(
-        window in 2u64..15,
-        k in 1u64..10,
-        p_c in 0.01f64..0.5,
-        n_b in 6.0f64..40.0,
-    ) {
-        prop_assume!(k <= window);
+#[test]
+fn detection_monotone_decreasing_in_gamma() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_610a);
+    let mut checked = 0;
+    while checked < 64 {
+        let window = rng.gen_range(2u64..15);
+        let k = rng.gen_range(1u64..10);
+        if k > window {
+            continue;
+        }
+        checked += 1;
+        let p_c = rng.gen_range(0.01f64..0.5);
+        let n_b = rng.gen_range(6.0f64..40.0);
         let mut prev = f64::INFINITY;
         for gamma in 1..=8u64 {
             let m = DetectionModel {
@@ -113,37 +179,47 @@ proptest! {
                 collisions: CollisionModel::Constant(p_c),
             };
             let p = m.detection_probability(n_b);
-            prop_assert!(p <= prev + 1e-12);
+            assert!(p <= prev + 1e-12);
             prev = p;
         }
     }
+}
 
-    #[test]
-    fn false_alarm_never_exceeds_detection_at_sane_collision_rates(
-        window in 2u64..15,
-        k in 1u64..10,
-        gamma in 1u64..6,
-        p_c in 0.01f64..0.4,
-        n_b in 6.0f64..40.0,
-    ) {
-        prop_assume!(k <= window);
+#[test]
+fn false_alarm_never_exceeds_detection_at_sane_collision_rates() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_610b);
+    let mut checked = 0;
+    while checked < CASES {
+        let window = rng.gen_range(2u64..15);
+        let k = rng.gen_range(1u64..10);
+        if k > window {
+            continue;
+        }
+        checked += 1;
         let m = DetectionModel {
             window,
             detections_needed: k,
-            confidence_index: gamma,
-            collisions: CollisionModel::Constant(p_c),
+            confidence_index: rng.gen_range(1u64..6),
+            collisions: CollisionModel::Constant(rng.gen_range(0.01f64..0.4)),
         };
+        let n_b = rng.gen_range(6.0f64..40.0);
         let fa = FalseAlarmModel::new(m);
         // A fabrication is seen with prob (1 - P_C) >= the false-alarm
         // event prob P_C (1 - P_C)^2 whenever P_C < 1/2, so detection
         // dominates false alarm pointwise.
-        prop_assert!(m.detection_probability(n_b) >= fa.false_isolation_probability(n_b) - 1e-12);
+        assert!(m.detection_probability(n_b) >= fa.false_isolation_probability(n_b) - 1e-12);
     }
+}
 
-    #[test]
-    fn linear_collision_model_clamps(base in 0.0f64..=1.0, base_n in 0.1f64..10.0, n_b in 0.0f64..1000.0) {
+#[test]
+fn linear_collision_model_clamps() {
+    let mut rng = Pcg32::seed_from_u64(0x616e_610c);
+    for _ in 0..CASES {
+        let base = rng.gen_f64();
+        let base_n = rng.gen_range(0.1f64..10.0);
+        let n_b = rng.gen_range(0.0f64..1000.0);
         let c = CollisionModel::linear(base, base_n);
         let p = c.collision_probability(n_b);
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
     }
 }

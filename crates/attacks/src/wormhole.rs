@@ -24,10 +24,10 @@
 
 use liteworp::types::NodeId;
 use liteworp_netsim::prelude::{Context, Dest, Frame, FrameSpec, NodeLogic, SimDuration, SimTime};
+use liteworp_netsim::rng::Rng;
 use liteworp_routing::node::{core_id, sim_id, ProtocolNode};
 use liteworp_routing::packet::Packet;
 use liteworp_routing::params::NodeParams;
-use rand::Rng;
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 

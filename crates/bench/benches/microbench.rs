@@ -1,9 +1,9 @@
-//! Criterion microbenchmarks of LITEWORP's hot per-packet operations —
-//! the quantities the paper's Section 5.2 computation analysis is about
+//! Microbenchmarks of LITEWORP's hot per-packet operations — the
+//! quantities the paper's Section 5.2 computation analysis is about
 //! (neighbor lookups, watch-buffer operations, tag computation), plus the
-//! special functions of the analysis crate.
+//! special functions of the analysis crate. Std-only `harness = false`
+//! binary; see `liteworp_bench::timing`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use liteworp::config::Config;
 use liteworp::keys::KeyStore;
 use liteworp::monitor::{LocalMonitor, PacketObs};
@@ -11,6 +11,7 @@ use liteworp::neighbor::NeighborTable;
 use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp::watch::WatchBuffer;
 use liteworp_analysis::special::{binomial_tail, regularized_incomplete_beta};
+use liteworp_bench::timing::{bench, black_box};
 
 fn sig(seq: u64) -> PacketSig {
     PacketSig {
@@ -33,109 +34,93 @@ fn table_with_degree(n: u32) -> NeighborTable {
     t
 }
 
-fn bench_neighbor_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("neighbor_table");
+fn bench_neighbor_table() {
     for degree in [8u32, 16, 32] {
         let t = table_with_degree(degree);
-        g.bench_with_input(BenchmarkId::new("link_plausible", degree), &t, |b, t| {
-            b.iter(|| t.link_plausible(black_box(NodeId(3)), black_box(NodeId(5))))
+        bench(&format!("neighbor_table/link_plausible/{degree}"), || {
+            t.link_plausible(black_box(NodeId(3)), black_box(NodeId(5)))
         });
-        g.bench_with_input(BenchmarkId::new("is_guard_of", degree), &t, |b, t| {
-            b.iter(|| t.is_guard_of(black_box(NodeId(3)), black_box(NodeId(5))))
-        });
-    }
-    g.finish();
-}
-
-fn bench_watch_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("watch_buffer");
-    for fill in [16usize, 64, 256] {
-        g.bench_with_input(
-            BenchmarkId::new("insert_confirm", fill),
-            &fill,
-            |b, &fill| {
-                b.iter(|| {
-                    let mut buf = WatchBuffer::new(512);
-                    for i in 0..fill as u64 {
-                        buf.note_transmission(NodeId(1), sig(i), Some(NodeId(2)), Micros(1000));
-                    }
-                    for i in 0..fill as u64 {
-                        black_box(buf.confirm_forward(NodeId(1), &sig(i), NodeId(2)));
-                    }
-                })
-            },
-        );
-        g.bench_with_input(BenchmarkId::new("expire", fill), &fill, |b, &fill| {
-            b.iter(|| {
-                let mut buf = WatchBuffer::new(512);
-                for i in 0..fill as u64 {
-                    buf.note_transmission(NodeId(1), sig(i), Some(NodeId(2)), Micros(1000));
-                }
-                black_box(buf.expire(Micros(2000)))
-            })
+        bench(&format!("neighbor_table/is_guard_of/{degree}"), || {
+            t.is_guard_of(black_box(NodeId(3)), black_box(NodeId(5)))
         });
     }
-    g.finish();
 }
 
-fn bench_keys(c: &mut Criterion) {
+fn bench_watch_buffer() {
+    for fill in [16u64, 64, 256] {
+        bench(&format!("watch_buffer/insert_confirm/{fill}"), || {
+            let mut buf = WatchBuffer::new(512);
+            for i in 0..fill {
+                buf.note_transmission(NodeId(1), sig(i), Some(NodeId(2)), Micros(1000));
+            }
+            for i in 0..fill {
+                black_box(buf.confirm_forward(NodeId(1), &sig(i), NodeId(2)));
+            }
+        });
+        bench(&format!("watch_buffer/expire/{fill}"), || {
+            let mut buf = WatchBuffer::new(512);
+            for i in 0..fill {
+                buf.note_transmission(NodeId(1), sig(i), Some(NodeId(2)), Micros(1000));
+            }
+            black_box(buf.expire(Micros(2000)))
+        });
+    }
+}
+
+fn bench_keys() {
     let ks = KeyStore::new(7, NodeId(1));
     let msg = [0u8; 24];
-    c.bench_function("keys/tag_24B", |b| {
-        b.iter(|| ks.tag(black_box(NodeId(2)), black_box(&msg)))
+    bench("keys/tag_24B", || {
+        ks.tag(black_box(NodeId(2)), black_box(&msg))
     });
     let tag = ks.tag(NodeId(2), &msg);
     let peer = KeyStore::new(7, NodeId(2));
-    c.bench_function("keys/verify_24B", |b| {
-        b.iter(|| peer.verify(black_box(NodeId(1)), black_box(&msg), black_box(tag)))
+    bench("keys/verify_24B", || {
+        peer.verify(black_box(NodeId(1)), black_box(&msg), black_box(tag))
     });
 }
 
-fn bench_monitor_pipeline(c: &mut Criterion) {
+fn bench_monitor_pipeline() {
     // The full guard-side path for one overheard forwarded packet:
     // fabrication check + watch arming.
-    c.bench_function("monitor/observe_forward", |b| {
-        let mut table = table_with_degree(8);
-        let mut mon = LocalMonitor::new(Config::default());
-        let mut seq = 0u64;
-        b.iter(|| {
-            seq += 1;
-            // Transmission by 1, then forward by 2 claiming prev = 1.
-            let tx = PacketObs {
-                sender: NodeId(1),
-                claimed_prev: None,
-                link_dst: Some(NodeId(2)),
-                sig: sig(seq),
-                terminal: false,
-            };
-            mon.observe(&mut table, &tx, Micros(seq));
-            let fwd = PacketObs {
-                sender: NodeId(2),
-                claimed_prev: Some(NodeId(1)),
-                link_dst: Some(NodeId(3)),
-                sig: sig(seq),
-                terminal: false,
-            };
-            black_box(mon.observe(&mut table, &fwd, Micros(seq)));
-        })
+    let mut table = table_with_degree(8);
+    let mut mon = LocalMonitor::new(Config::default());
+    let mut seq = 0u64;
+    bench("monitor/observe_forward", || {
+        seq += 1;
+        // Transmission by 1, then forward by 2 claiming prev = 1.
+        let tx = PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(seq),
+            terminal: false,
+        };
+        mon.observe(&mut table, &tx, Micros(seq));
+        let fwd = PacketObs {
+            sender: NodeId(2),
+            claimed_prev: Some(NodeId(1)),
+            link_dst: Some(NodeId(3)),
+            sig: sig(seq),
+            terminal: false,
+        };
+        black_box(mon.observe(&mut table, &fwd, Micros(seq)));
     });
 }
 
-fn bench_special_functions(c: &mut Criterion) {
-    c.bench_function("special/binomial_tail_200", |b| {
-        b.iter(|| binomial_tail(black_box(200), black_box(120), black_box(0.55)))
+fn bench_special_functions() {
+    bench("special/binomial_tail_200", || {
+        binomial_tail(black_box(200), black_box(120), black_box(0.55))
     });
-    c.bench_function("special/incomplete_beta", |b| {
-        b.iter(|| regularized_incomplete_beta(black_box(12.0), black_box(30.0), black_box(0.35)))
+    bench("special/incomplete_beta", || {
+        regularized_incomplete_beta(black_box(12.0), black_box(30.0), black_box(0.35))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_neighbor_table,
-    bench_watch_buffer,
-    bench_keys,
-    bench_monitor_pipeline,
-    bench_special_functions
-);
-criterion_main!(benches);
+fn main() {
+    bench_neighbor_table();
+    bench_watch_buffer();
+    bench_keys();
+    bench_monitor_pipeline();
+    bench_special_functions();
+}

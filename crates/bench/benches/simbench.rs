@@ -1,58 +1,50 @@
-//! Criterion benchmarks of whole-simulation throughput: how fast the
+//! Benchmarks of whole-simulation throughput: how fast the
 //! discrete-event substrate chews through the paper's workloads, with and
-//! without LITEWORP, across network sizes.
+//! without LITEWORP, across network sizes. Std-only `harness = false`
+//! binary; see `liteworp_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use liteworp_bench::timing::{bench_heavy, black_box};
 use liteworp_bench::Scenario;
 
-fn bench_simulation_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_60s");
-    g.sample_size(10);
+fn bench_simulation_throughput() {
     for &nodes in &[20usize, 50, 100] {
         for protected in [false, true] {
             let label = format!(
-                "{}{}",
+                "simulate_60s/{}{}",
                 nodes,
                 if protected { "_liteworp" } else { "_baseline" }
             );
-            g.bench_with_input(
-                BenchmarkId::from_parameter(label),
-                &(nodes, protected),
-                |b, &(nodes, protected)| {
-                    b.iter(|| {
-                        let mut run = Scenario {
-                            nodes,
-                            malicious: 2,
-                            protected,
-                            seed: 77,
-                            ..Scenario::default()
-                        }
-                        .build();
-                        run.run_until_secs(60.0);
-                        run.data_sent()
-                    })
-                },
-            );
+            bench_heavy(&label, 10, || {
+                let mut run = Scenario {
+                    nodes,
+                    malicious: 2,
+                    protected,
+                    seed: 77,
+                    ..Scenario::default()
+                }
+                .build();
+                run.run_until_secs(60.0);
+                black_box(run.data_sent())
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_scenario_build(c: &mut Criterion) {
+fn bench_scenario_build() {
     // Deployment + colluder placement + oracle bootstrap cost.
-    c.bench_function("scenario_build_100", |b| {
-        b.iter(|| {
-            Scenario {
-                nodes: 100,
-                malicious: 2,
-                protected: true,
-                seed: 78,
-                ..Scenario::default()
-            }
-            .build()
-        })
+    bench_heavy("scenario_build_100", 20, || {
+        Scenario {
+            nodes: 100,
+            malicious: 2,
+            protected: true,
+            seed: 78,
+            ..Scenario::default()
+        }
+        .build()
     });
 }
 
-criterion_group!(benches, bench_simulation_throughput, bench_scenario_build);
-criterion_main!(benches);
+fn main() {
+    bench_simulation_throughput();
+    bench_scenario_build();
+}

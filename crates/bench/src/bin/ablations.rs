@@ -1,11 +1,14 @@
 //! Ablation study: perturb one design choice at a time and measure what
 //! it costs (see `experiments::ablation` for the variant list).
 //!
-//! Flags: --seeds N (5), --duration S (800), --nodes N (50)
+//! Flags: --seeds N (5), --duration S (800), --nodes N (50),
+//!        --jobs N (all cores), --no-cache
 
 use liteworp_bench::cli::Flags;
-use liteworp_bench::experiments::ablation::{run, AblationConfig};
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::ablation::{run_with, AblationConfig};
 use liteworp_bench::report::render_table;
+use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
@@ -15,7 +18,8 @@ fn main() {
         duration: flags.get_f64("duration", 800.0),
     };
     eprintln!("running ablations: {cfg:?}");
-    let rows = run(&cfg);
+    let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
     println!(
         "Ablation study ({} nodes, M = 2, {} runs per variant, {} s each)\n",
         cfg.nodes, cfg.seeds, cfg.duration
@@ -47,5 +51,8 @@ fn main() {
             &table
         )
     );
-    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+    println!(
+        "\n{}",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
+    );
 }

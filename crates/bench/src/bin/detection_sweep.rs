@@ -2,11 +2,14 @@
 //! time over a large range of scenarios": detection/isolation across
 //! network sizes and densities.
 //!
-//! Flags: --seeds N (10), --duration S (800)
+//! Flags: --seeds N (10), --duration S (800), --jobs N (all cores),
+//!        --no-cache
 
 use liteworp_bench::cli::Flags;
-use liteworp_bench::experiments::sweep::{run, SweepConfig};
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::sweep::{run_with, SweepConfig};
 use liteworp_bench::report::render_table;
+use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
@@ -17,7 +20,8 @@ fn main() {
         densities: vec![6.0, 8.0, 10.0],
     };
     eprintln!("running detection sweep: {cfg:?}");
-    let rows = run(&cfg);
+    let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
     println!(
         "Detection & isolation across scenarios (M = 2, {} runs per cell, {} s each)\n",
         cfg.seeds, cfg.duration
@@ -51,5 +55,8 @@ fn main() {
             &table
         )
     );
-    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+    println!(
+        "\n{}",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
+    );
 }

@@ -2,11 +2,14 @@
 //! isolation latency vs the detection confidence index gamma
 //! (N_B = 15, M = 2).
 //!
-//! Flags: --seeds N (10), --duration S (800), --nodes N (100)
+//! Flags: --seeds N (10), --duration S (800), --nodes N (100),
+//!        --jobs N (all cores), --no-cache
 
 use liteworp_bench::cli::Flags;
-use liteworp_bench::experiments::fig10::{run, Fig10Config};
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::fig10::{run_with, Fig10Config};
 use liteworp_bench::report::render_table;
+use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
@@ -17,7 +20,8 @@ fn main() {
         ..Fig10Config::default()
     };
     eprintln!("running fig10: {cfg:?}");
-    let rows = run(&cfg);
+    let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
     println!(
         "Figure 10: detection probability and isolation latency vs gamma (N_B = {}, M = 2, {} runs each)\n",
         cfg.avg_neighbors, cfg.seeds
@@ -47,5 +51,8 @@ fn main() {
             &table
         )
     );
-    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+    println!(
+        "\n{}",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
+    );
 }

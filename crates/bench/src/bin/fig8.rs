@@ -2,11 +2,13 @@
 //! time, 100 nodes, M in {2, 4}, with and without LITEWORP.
 //!
 //! Flags: --seeds N (default 10), --duration S (2000), --nodes N (100),
-//!        --sample S (50)
+//!        --sample S (50), --jobs N (all cores), --no-cache
 
 use liteworp_bench::cli::Flags;
-use liteworp_bench::experiments::fig8::{run, Fig8Config};
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::fig8::{run_with, Fig8Config};
 use liteworp_bench::report::render_table;
+use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
@@ -18,7 +20,8 @@ fn main() {
         ..Fig8Config::default()
     };
     eprintln!("running fig8: {cfg:?}");
-    let series = run(&cfg);
+    let (series, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
     println!(
         "Figure 8: cumulative wormhole drops vs time ({} nodes, attack at 50 s, mean of {} runs)\n",
         cfg.nodes, cfg.seeds
@@ -52,5 +55,8 @@ fn main() {
         })
         .collect();
     print!("{}", render_table(&header_refs, &rows));
-    println!("\n{}", serde_json::to_string(&series).expect("serialize"));
+    println!(
+        "\n{}",
+        Json::Arr(series.iter().map(|s| s.to_json()).collect()).dump()
+    );
 }

@@ -2,11 +2,14 @@
 //! vs number of compromised nodes, baseline vs LITEWORP (snapshot at
 //! t = 2000 s).
 //!
-//! Flags: --seeds N (10), --duration S (2000), --nodes N (100)
+//! Flags: --seeds N (10), --duration S (2000), --nodes N (100),
+//!        --jobs N (all cores), --no-cache
 
 use liteworp_bench::cli::Flags;
-use liteworp_bench::experiments::fig9::{run, Fig9Config};
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::fig9::{run_with, Fig9Config};
 use liteworp_bench::report::render_table;
+use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
@@ -17,7 +20,8 @@ fn main() {
         ..Fig9Config::default()
     };
     eprintln!("running fig9: {cfg:?}");
-    let rows = run(&cfg);
+    let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
     println!(
         "Figure 9: wormhole impact at t = {:.0} s ({} nodes, mean of {} runs)\n",
         cfg.duration, cfg.nodes, cfg.seeds
@@ -40,5 +44,8 @@ fn main() {
             &table
         )
     );
-    println!("\n{}", serde_json::to_string(&rows).expect("serialize"));
+    println!(
+        "\n{}",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
+    );
 }

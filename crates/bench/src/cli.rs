@@ -1,4 +1,5 @@
-//! Minimal flag parsing for the experiment binaries (`--key value` pairs).
+//! Minimal flag parsing for the experiment binaries (`--key value` pairs
+//! and bare boolean switches like `--no-cache`).
 
 use std::collections::HashMap;
 
@@ -9,10 +10,12 @@ use std::collections::HashMap;
 /// ```
 /// use liteworp_bench::cli::Flags;
 ///
-/// let f = Flags::parse(["--seeds", "30", "--duration", "2000"]);
+/// let f = Flags::parse(["--seeds", "30", "--no-cache", "--duration", "2000"]);
 /// assert_eq!(f.get_u64("seeds", 10), 30);
 /// assert_eq!(f.get_f64("duration", 500.0), 2000.0);
 /// assert_eq!(f.get_u64("nodes", 100), 100); // default
+/// assert!(f.get_bool("no-cache"));
+/// assert!(!f.get_bool("verbose"));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
@@ -27,25 +30,29 @@ impl Flags {
 
     /// Parses an explicit iterator of arguments.
     ///
+    /// A `--flag` immediately followed by another `--flag` (or by the end
+    /// of the arguments) is a boolean switch and stores `"true"`.
+    ///
     /// # Panics
     ///
-    /// Panics on a flag without a value or a bare positional argument, so
-    /// typos fail loudly rather than silently running the default.
+    /// Panics on a bare positional argument, so typos fail loudly rather
+    /// than silently running the default.
     pub fn parse<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
         let mut values = HashMap::new();
-        let mut it = args.into_iter().map(Into::into);
+        let mut it = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = it.next() {
             let key = arg
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("expected --flag, got {arg:?}"))
                 .to_string();
-            let value = it
-                .next()
-                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             values.insert(key, value);
         }
         Flags { values }
@@ -66,6 +73,17 @@ impl Flags {
         self.get_parsed(key).unwrap_or(default)
     }
 
+    /// Optional `usize` flag (`None` when absent).
+    pub fn get_opt_usize(&self, key: &str) -> Option<usize> {
+        self.get_parsed(key)
+    }
+
+    /// Boolean switch: `true` when passed bare (`--no-cache`) or as
+    /// `--no-cache true`; `false` when absent or `--no-cache false`.
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get_parsed(key).unwrap_or(false)
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.values.get(key).map(|v| {
             v.parse()
@@ -84,12 +102,19 @@ mod tests {
         assert_eq!(f.get_u64("a", 9), 1);
         assert_eq!(f.get_u64("b", 9), 9);
         assert_eq!(f.get_usize("a", 0), 1);
+        assert_eq!(f.get_opt_usize("a"), Some(1));
+        assert_eq!(f.get_opt_usize("b"), None);
     }
 
     #[test]
-    #[should_panic(expected = "needs a value")]
-    fn missing_value_panics() {
-        Flags::parse(["--a"]);
+    fn bare_flags_are_boolean_switches() {
+        let f = Flags::parse(["--no-cache", "--jobs", "4", "--quiet"]);
+        assert!(f.get_bool("no-cache"));
+        assert!(f.get_bool("quiet"));
+        assert!(!f.get_bool("verbose"));
+        assert_eq!(f.get_usize("jobs", 1), 4);
+        let f = Flags::parse(["--verbose", "false"]);
+        assert!(!f.get_bool("verbose"));
     }
 
     #[test]

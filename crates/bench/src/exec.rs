@@ -1,0 +1,346 @@
+//! Bridges [`Scenario`] to the `liteworp-runner` execution engine.
+//!
+//! Every multi-seed experiment describes its work as [`SimCell`]s (one
+//! scenario configuration × a seed count) and hands them to [`run_cells`],
+//! which executes all seeds of all cells on the runner's thread pool with
+//! the result cache in front. A cell's per-seed RNG seed is derived from
+//! the cell's canonical [`descriptor`] and the seed index, so aggregates
+//! are identical at any `--jobs` value and cache hits are exact.
+
+use crate::scenario::Scenario;
+use liteworp_runner::{pool, CacheValue, JobSpec, Json, Manifest, ResultCache, RunConfig, Summary};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Version string folded into every cache key. Bump the suffix whenever
+/// simulator or measurement behavior changes, so stale cached results are
+/// never reused across code versions.
+pub const SIM_CODE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+sim1");
+
+/// One experiment cell: a scenario configuration to run at many seeds.
+#[derive(Debug, Clone)]
+pub struct SimCell {
+    /// Label for manifests and error reports (e.g. `"fig9 m=2 liteworp"`).
+    pub label: String,
+    /// The configuration; its `seed` field is ignored (each job gets a
+    /// derived seed).
+    pub scenario: Scenario,
+    /// Independent seeds to run.
+    pub seeds: u64,
+    /// Offset added to the seed index (kept from the serial harness for
+    /// provenance; distinctness comes from the derived seed).
+    pub seed_base: u64,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Instants (seconds, ascending, ≤ `duration`) at which cumulative
+    /// wormhole drops are sampled into [`SeedOutcome::drops_at`].
+    pub sample_times: Vec<f64>,
+}
+
+impl SimCell {
+    /// A cell with no intermediate sampling.
+    pub fn snapshot(
+        label: impl Into<String>,
+        scenario: Scenario,
+        seeds: u64,
+        seed_base: u64,
+        duration: f64,
+    ) -> Self {
+        SimCell {
+            label: label.into(),
+            scenario,
+            seeds,
+            seed_base,
+            duration,
+            sample_times: Vec::new(),
+        }
+    }
+
+    /// The canonical description this cell is cached and seeded under.
+    pub fn descriptor(&self) -> String {
+        let mut canon = self.scenario.clone();
+        canon.seed = 0;
+        format!(
+            "{canon:?}|duration={}|samples={:?}",
+            self.duration, self.sample_times
+        )
+    }
+}
+
+/// Everything a figure or table needs from one simulated seed.
+///
+/// Deliberately universal: every experiment extracts its metrics from the
+/// same outcome type, so one cached run serves any experiment that asks
+/// the same scenario question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedOutcome {
+    /// Cumulative wormhole drops at each of the cell's `sample_times`.
+    pub drops_at: Vec<f64>,
+    /// Final cumulative data packets swallowed by the wormhole.
+    pub drops: f64,
+    /// Data packets originated network-wide.
+    pub data_sent: f64,
+    /// Established routes, total.
+    pub routes_total: f64,
+    /// Established routes relayed by a colluder.
+    pub routes_malicious: f64,
+    /// Whether every colluder was detected somewhere.
+    pub all_detected: bool,
+    /// Seconds from attack start to the first isolation event.
+    pub first_detection_latency: Option<f64>,
+    /// Seconds from attack start to complete isolation, if it completed.
+    pub isolation_latency: Option<f64>,
+    /// Honest nodes falsely isolated anywhere in the network.
+    pub false_isolations: f64,
+}
+
+impl CacheValue for SeedOutcome {
+    fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "drops_at",
+                Json::Arr(self.drops_at.iter().map(|&d| Json::from(d)).collect()),
+            ),
+            ("drops", Json::from(self.drops)),
+            ("data_sent", Json::from(self.data_sent)),
+            ("routes_total", Json::from(self.routes_total)),
+            ("routes_malicious", Json::from(self.routes_malicious)),
+            ("all_detected", Json::from(self.all_detected)),
+            (
+                "first_detection_latency",
+                Json::from(self.first_detection_latency),
+            ),
+            ("isolation_latency", Json::from(self.isolation_latency)),
+            ("false_isolations", Json::from(self.false_isolations)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let f = |k: &str| json.get(k)?.as_f64();
+        let opt = |k: &str| match json.get(k) {
+            Some(Json::Null) | None => Some(None),
+            Some(v) => v.as_f64().map(Some),
+        };
+        Some(SeedOutcome {
+            drops_at: json
+                .get("drops_at")?
+                .as_arr()?
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<Vec<_>>>()?,
+            drops: f("drops")?,
+            data_sent: f("data_sent")?,
+            routes_total: f("routes_total")?,
+            routes_malicious: f("routes_malicious")?,
+            all_detected: json.get("all_detected")?.as_bool()?,
+            first_detection_latency: opt("first_detection_latency")?,
+            isolation_latency: opt("isolation_latency")?,
+            false_isolations: f("false_isolations")?,
+        })
+    }
+}
+
+/// Execution options shared by every experiment binary.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads (`None` = `LITEWORP_JOBS` env or all cores).
+    pub jobs: Option<usize>,
+    /// Use the on-disk result cache.
+    pub cache: bool,
+    /// Cache directory override (`None` = `results/cache`).
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl ExecOptions {
+    /// Reads `--jobs N` and `--no-cache` from parsed flags. The cache is
+    /// on by default for binaries (interrupted sweeps resume).
+    pub fn from_flags(flags: &crate::cli::Flags) -> Self {
+        ExecOptions {
+            jobs: flags.get_opt_usize("jobs"),
+            cache: !flags.get_bool("no-cache"),
+            cache_dir: None,
+        }
+    }
+
+    fn run_config(&self) -> RunConfig {
+        RunConfig {
+            threads: pool::resolve_threads(self.jobs),
+            cache: self.cache.then(|| {
+                ResultCache::new(
+                    self.cache_dir
+                        .clone()
+                        .unwrap_or_else(ResultCache::default_dir),
+                )
+            }),
+            code_version: SIM_CODE_VERSION.to_string(),
+        }
+    }
+}
+
+/// Results of a cell batch: the successful outcomes of cell `i` in seed
+/// order at `outcomes[i]`, plus the run manifest.
+#[derive(Debug)]
+pub struct CellRun {
+    /// Per-cell successful outcomes, in seed order.
+    pub outcomes: Vec<Vec<SeedOutcome>>,
+    /// What the runner did (timings, cache hits, utilization).
+    pub manifest: Manifest,
+}
+
+/// Runs every seed of every cell on the thread pool and groups the
+/// results back per cell.
+///
+/// A seed that panics (e.g. no connected deployment found) is reported on
+/// stderr and dropped from its cell's outcomes; the rest of the batch is
+/// unaffected.
+pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
+    let cfg = opts.run_config();
+    let mut specs = Vec::new();
+    let mut lookup: HashMap<(u64, u64), &SimCell> = HashMap::new();
+    for cell in cells {
+        let descriptor = cell.descriptor();
+        for s in 0..cell.seeds {
+            let spec = JobSpec {
+                label: format!("{} seed={}", cell.label, cell.seed_base + s),
+                scenario: descriptor.clone(),
+                seed: cell.seed_base + s,
+            };
+            lookup.insert((spec.scenario_hash(), spec.seed), cell);
+            specs.push(spec);
+        }
+    }
+
+    let report = liteworp_runner::run_jobs(&cfg, &specs, |job, derived_seed| {
+        let cell = lookup[&(job.scenario_hash(), job.seed)];
+        execute(cell, derived_seed)
+    });
+
+    let mut results = report.results.into_iter();
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let mut per_cell = Vec::with_capacity(cell.seeds as usize);
+        for _ in 0..cell.seeds {
+            match results.next().expect("one result per job") {
+                Ok(outcome) => per_cell.push(outcome),
+                Err(e) => eprintln!("warning: {e}; excluded from aggregates"),
+            }
+        }
+        outcomes.push(per_cell);
+    }
+    CellRun {
+        outcomes,
+        manifest: report.manifest,
+    }
+}
+
+/// Summarizes one metric over a cell's outcomes.
+pub fn summarize(outcomes: &[SeedOutcome], metric: impl Fn(&SeedOutcome) -> f64) -> Summary {
+    let xs: Vec<f64> = outcomes.iter().map(metric).collect();
+    Summary::of(&xs)
+}
+
+fn execute(cell: &SimCell, derived_seed: u64) -> SeedOutcome {
+    let mut scenario = cell.scenario.clone();
+    scenario.seed = derived_seed;
+    let mut run = scenario.build();
+    let mut drops_at = Vec::with_capacity(cell.sample_times.len());
+    for &t in &cell.sample_times {
+        run.run_until_secs(t);
+        drops_at.push(run.wormhole_dropped() as f64);
+    }
+    run.run_until_secs(cell.duration);
+
+    let (routes_total, routes_malicious) = run.route_counts();
+    let first_detection_latency = run
+        .sim()
+        .trace()
+        .first_time("isolated")
+        .map(|t| t.saturating_since(run.attack_start()).as_secs_f64());
+    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
+    let falsely_isolated: BTreeSet<u64> = run
+        .sim()
+        .trace()
+        .with_tag("isolated")
+        .filter(|e| !malicious.contains(&e.value))
+        .map(|e| e.value)
+        .collect();
+
+    SeedOutcome {
+        drops_at,
+        drops: run.wormhole_dropped() as f64,
+        data_sent: run.data_sent() as f64,
+        routes_total: routes_total as f64,
+        routes_malicious: routes_malicious as f64,
+        all_detected: run.all_detected(),
+        first_detection_latency,
+        isolation_latency: run.isolation_latency_secs(),
+        false_isolations: falsely_isolated.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_ignores_seed_but_not_config() {
+        let cell = |seed, nodes| {
+            SimCell::snapshot(
+                "t",
+                Scenario {
+                    nodes,
+                    seed,
+                    ..Scenario::default()
+                },
+                1,
+                0,
+                100.0,
+            )
+        };
+        assert_eq!(cell(1, 30).descriptor(), cell(2, 30).descriptor());
+        assert_ne!(cell(1, 30).descriptor(), cell(1, 40).descriptor());
+        let mut timed = cell(1, 30);
+        timed.sample_times = vec![50.0];
+        assert_ne!(timed.descriptor(), cell(1, 30).descriptor());
+    }
+
+    #[test]
+    fn seed_outcome_round_trips_through_json() {
+        let outcome = SeedOutcome {
+            drops_at: vec![1.0, 2.5],
+            drops: 2.5,
+            data_sent: 100.0,
+            routes_total: 12.0,
+            routes_malicious: 3.0,
+            all_detected: true,
+            first_detection_latency: Some(4.25),
+            isolation_latency: None,
+            false_isolations: 0.0,
+        };
+        let json = outcome.to_json();
+        let parsed = Json::parse(&json.dump()).unwrap();
+        assert_eq!(SeedOutcome::from_json(&parsed), Some(outcome));
+    }
+
+    #[test]
+    fn small_batch_runs_and_groups_by_cell() {
+        let base = Scenario {
+            nodes: 20,
+            malicious: 0,
+            ..Scenario::default()
+        };
+        let cells = vec![
+            SimCell::snapshot("clean a", base.clone(), 2, 0, 60.0),
+            SimCell::snapshot("clean b", base, 1, 100, 60.0),
+        ];
+        let run = run_cells(&cells, &ExecOptions::default());
+        assert_eq!(run.outcomes.len(), 2);
+        assert_eq!(run.outcomes[0].len(), 2);
+        assert_eq!(run.outcomes[1].len(), 1);
+        assert_eq!(run.manifest.jobs, 3);
+        for o in run.outcomes.iter().flatten() {
+            assert_eq!(o.drops, 0.0, "no attackers, no wormhole drops");
+            assert!(o.data_sent > 0.0, "traffic should flow");
+        }
+    }
+}

@@ -16,12 +16,13 @@
 //! | `encapsulation-250ms` | slow tunnel: does the attack still win routes, is it still caught? |
 //! | `monitor-data` | data-plane monitoring extension: watch data packets too |
 
+use crate::exec::{run_cells, ExecOptions, SimCell};
 use crate::report::mean;
 use crate::scenario::Scenario;
 use liteworp::config::Config;
 use liteworp_attacks::wormhole::ForgeStrategy;
 use liteworp_netsim::prelude::RadioConfig;
-use serde::Serialize;
+use liteworp_runner::{Json, Manifest};
 
 /// Parameters of the ablation study.
 #[derive(Debug, Clone)]
@@ -45,7 +46,7 @@ impl Default for AblationConfig {
 }
 
 /// Result of one ablation variant.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant name.
     pub variant: String,
@@ -59,6 +60,20 @@ pub struct AblationRow {
     pub drops: f64,
     /// Mean honest nodes falsely isolated per run.
     pub false_isolations: f64,
+}
+
+impl AblationRow {
+    /// This row as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("variant", Json::from(self.variant.clone())),
+            ("detection_rate", Json::from(self.detection_rate)),
+            ("isolation_latency", Json::from(self.isolation_latency)),
+            ("isolation_rate", Json::from(self.isolation_rate)),
+            ("drops", Json::from(self.drops)),
+            ("false_isolations", Json::from(self.false_isolations)),
+        ])
+    }
 }
 
 fn variants(base_nodes: usize) -> Vec<(&'static str, Scenario)> {
@@ -138,47 +153,50 @@ fn variants(base_nodes: usize) -> Vec<(&'static str, Scenario)> {
     ]
 }
 
-/// Runs the ablation study.
+/// Runs the ablation study on the parallel runner.
+pub fn run_with(cfg: &AblationConfig, opts: &ExecOptions) -> (Vec<AblationRow>, Manifest) {
+    let variant_list = variants(cfg.nodes);
+    let cells: Vec<SimCell> = variant_list
+        .iter()
+        .map(|(name, scenario)| {
+            SimCell::snapshot(
+                format!("ablation {name}"),
+                scenario.clone(),
+                cfg.seeds,
+                5000,
+                cfg.duration,
+            )
+        })
+        .collect();
+    let batch = run_cells(&cells, opts);
+    let rows = variant_list
+        .iter()
+        .zip(&batch.outcomes)
+        .map(|((name, _), outcomes)| {
+            let n = outcomes.len().max(1) as f64;
+            let detected = outcomes.iter().filter(|o| o.all_detected).count() as f64;
+            let latencies: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|o| o.isolation_latency)
+                .collect();
+            let drops: Vec<f64> = outcomes.iter().map(|o| o.drops).collect();
+            let false_isolations: Vec<f64> = outcomes.iter().map(|o| o.false_isolations).collect();
+            AblationRow {
+                variant: name.to_string(),
+                detection_rate: detected / n,
+                isolation_latency: mean(&latencies),
+                isolation_rate: latencies.len() as f64 / n,
+                drops: mean(&drops),
+                false_isolations: mean(&false_isolations),
+            }
+        })
+        .collect();
+    (rows, batch.manifest)
+}
+
+/// Runs the ablation study with default execution options.
 pub fn run(cfg: &AblationConfig) -> Vec<AblationRow> {
-    let mut out = Vec::new();
-    for (name, scenario) in variants(cfg.nodes) {
-        let mut detected = 0u64;
-        let mut latencies = Vec::new();
-        let mut drops = Vec::new();
-        let mut false_isolations = Vec::new();
-        for seed in 0..cfg.seeds {
-            let mut run = Scenario {
-                seed: 5000 + seed,
-                ..scenario.clone()
-            }
-            .build();
-            run.run_until_secs(cfg.duration);
-            if run.all_detected() {
-                detected += 1;
-            }
-            if let Some(lat) = run.isolation_latency_secs() {
-                latencies.push(lat);
-            }
-            drops.push(run.wormhole_dropped() as f64);
-            let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
-            let mut honest: std::collections::BTreeSet<u64> = Default::default();
-            for e in run.sim().trace().with_tag("isolated") {
-                if !malicious.contains(&e.value) {
-                    honest.insert(e.value);
-                }
-            }
-            false_isolations.push(honest.len() as f64);
-        }
-        out.push(AblationRow {
-            variant: name.to_string(),
-            detection_rate: detected as f64 / cfg.seeds as f64,
-            isolation_latency: mean(&latencies),
-            isolation_rate: latencies.len() as f64 / cfg.seeds as f64,
-            drops: mean(&drops),
-            false_isolations: mean(&false_isolations),
-        });
-    }
-    out
+    run_with(cfg, &ExecOptions::default()).0
 }
 
 #[cfg(test)]

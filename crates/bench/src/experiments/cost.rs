@@ -5,10 +5,9 @@ use crate::scenario::Scenario;
 use liteworp::config::Config;
 use liteworp_analysis::cost::CostModel;
 use liteworp_analysis::geometry::GuardGeometry;
-use serde::Serialize;
 
 /// One row of the cost comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostRow {
     /// Quantity name.
     pub quantity: String,

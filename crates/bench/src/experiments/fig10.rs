@@ -7,11 +7,12 @@
 //! (the paper reports latencies that stay small, under ~30 s of attack
 //! time at their density).
 
+use crate::exec::{run_cells, ExecOptions, SimCell};
 use crate::report::mean;
 use crate::scenario::Scenario;
 use liteworp::config::Config;
 use liteworp_analysis::detection::{CollisionModel, DetectionModel};
-use serde::Serialize;
+use liteworp_runner::{Json, Manifest};
 
 /// Parameters of the Figure 10 experiment.
 #[derive(Debug, Clone)]
@@ -51,7 +52,7 @@ impl Default for Fig10Config {
 }
 
 /// One γ point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Detection confidence index γ.
     pub gamma: usize,
@@ -67,49 +68,77 @@ pub struct Fig10Row {
     pub isolation_completed: f64,
 }
 
-/// Runs the γ sweep.
-pub fn run(cfg: &Fig10Config) -> Vec<Fig10Row> {
-    let mut out = Vec::new();
-    for &gamma in &cfg.gammas {
-        let analytic = DetectionModel {
-            window: cfg.analytic_window,
-            detections_needed: Config::default().fabrications_to_accuse() as u64,
-            confidence_index: gamma as u64,
-            collisions: CollisionModel::Constant(cfg.analytic_p_c),
-        };
-        let mut detected = 0u64;
-        let mut latencies = Vec::new();
-        for seed in 0..cfg.seeds {
-            let mut run = Scenario {
-                nodes: cfg.nodes,
-                avg_neighbors: cfg.avg_neighbors,
-                malicious: 2,
-                protected: true,
-                liteworp: Config {
-                    confidence_index: gamma,
-                    ..Config::default()
-                },
-                seed: 3000 + seed,
-                ..Scenario::default()
-            }
-            .build();
-            run.run_until_secs(cfg.duration);
-            if run.all_detected() {
-                detected += 1;
-            }
-            if let Some(lat) = run.isolation_latency_secs() {
-                latencies.push(lat);
-            }
-        }
-        out.push(Fig10Row {
-            gamma,
-            sim_detection: detected as f64 / cfg.seeds as f64,
-            analytic_detection: analytic.detection_probability(cfg.avg_neighbors),
-            isolation_latency: mean(&latencies),
-            isolation_completed: latencies.len() as f64 / cfg.seeds as f64,
-        });
+impl Fig10Row {
+    /// This row as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("gamma", Json::from(self.gamma)),
+            ("sim_detection", Json::from(self.sim_detection)),
+            ("analytic_detection", Json::from(self.analytic_detection)),
+            ("isolation_latency", Json::from(self.isolation_latency)),
+            ("isolation_completed", Json::from(self.isolation_completed)),
+        ])
     }
-    out
+}
+
+/// Runs the γ sweep on the parallel runner.
+pub fn run_with(cfg: &Fig10Config, opts: &ExecOptions) -> (Vec<Fig10Row>, Manifest) {
+    let cells: Vec<SimCell> = cfg
+        .gammas
+        .iter()
+        .map(|&gamma| {
+            SimCell::snapshot(
+                format!("fig10 gamma={gamma}"),
+                Scenario {
+                    nodes: cfg.nodes,
+                    avg_neighbors: cfg.avg_neighbors,
+                    malicious: 2,
+                    protected: true,
+                    liteworp: Config {
+                        confidence_index: gamma,
+                        ..Config::default()
+                    },
+                    ..Scenario::default()
+                },
+                cfg.seeds,
+                3000,
+                cfg.duration,
+            )
+        })
+        .collect();
+    let batch = run_cells(&cells, opts);
+    let rows = cfg
+        .gammas
+        .iter()
+        .zip(&batch.outcomes)
+        .map(|(&gamma, outcomes)| {
+            let analytic = DetectionModel {
+                window: cfg.analytic_window,
+                detections_needed: Config::default().fabrications_to_accuse() as u64,
+                confidence_index: gamma as u64,
+                collisions: CollisionModel::Constant(cfg.analytic_p_c),
+            };
+            let n = outcomes.len().max(1) as f64;
+            let detected = outcomes.iter().filter(|o| o.all_detected).count() as f64;
+            let latencies: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|o| o.isolation_latency)
+                .collect();
+            Fig10Row {
+                gamma,
+                sim_detection: detected / n,
+                analytic_detection: analytic.detection_probability(cfg.avg_neighbors),
+                isolation_latency: mean(&latencies),
+                isolation_completed: latencies.len() as f64 / n,
+            }
+        })
+        .collect();
+    (rows, batch.manifest)
+}
+
+/// Runs the γ sweep with default execution options.
+pub fn run(cfg: &Fig10Config) -> Vec<Fig10Row> {
+    run_with(cfg, &ExecOptions::default()).0
 }
 
 #[cfg(test)]

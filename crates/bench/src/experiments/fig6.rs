@@ -8,10 +8,9 @@
 
 use liteworp_analysis::detection::{CollisionModel, DetectionModel};
 use liteworp_analysis::false_alarm::FalseAlarmModel;
-use serde::Serialize;
 
 /// One point of the Figure 6 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Average neighbors per node.
     pub n_b: f64,

@@ -6,9 +6,10 @@
 //! a short tail while cached routes through the wormhole age out
 //! (`TOut_Route` = 50 s).
 
+use crate::exec::{run_cells, ExecOptions, SimCell};
 use crate::report::mean;
 use crate::scenario::Scenario;
-use serde::Serialize;
+use liteworp_runner::{Json, Manifest};
 
 /// Parameters of the Figure 8 experiment.
 #[derive(Debug, Clone)]
@@ -38,7 +39,7 @@ impl Default for Fig8Config {
 }
 
 /// One time series: mean cumulative drops at each sample instant.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DropSeries {
     /// Number of colluders.
     pub colluders: usize,
@@ -50,36 +51,76 @@ pub struct DropSeries {
     pub dropped: Vec<f64>,
 }
 
-/// Runs the experiment and returns one series per (M, protected) pair.
-pub fn run(cfg: &Fig8Config) -> Vec<DropSeries> {
-    let times: Vec<f64> = sample_times(cfg);
-    let mut out = Vec::new();
+impl DropSeries {
+    /// This series as JSON (matching the old serialized field names).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("colluders", Json::from(self.colluders)),
+            ("protected", Json::from(self.protected)),
+            (
+                "times",
+                Json::Arr(self.times.iter().map(|&t| Json::from(t)).collect()),
+            ),
+            (
+                "dropped",
+                Json::Arr(self.dropped.iter().map(|&d| Json::from(d)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs the experiment on the parallel runner and returns one series per
+/// (M, protected) pair plus the run manifest.
+pub fn run_with(cfg: &Fig8Config, opts: &ExecOptions) -> (Vec<DropSeries>, Manifest) {
+    let times = sample_times(cfg);
+    let mut cells = Vec::new();
     for &m in &cfg.colluder_counts {
         for protected in [false, true] {
-            let mut samples: Vec<Vec<f64>> = vec![Vec::new(); times.len()];
-            for seed in 0..cfg.seeds {
-                let mut run = Scenario {
+            cells.push(SimCell {
+                label: format!(
+                    "fig8 m={m} {}",
+                    if protected { "liteworp" } else { "baseline" }
+                ),
+                scenario: Scenario {
                     nodes: cfg.nodes,
                     malicious: m,
                     protected,
-                    seed: 1000 + seed,
                     ..Scenario::default()
-                }
-                .build();
-                for (i, &t) in times.iter().enumerate() {
-                    run.run_until_secs(t);
-                    samples[i].push(run.wormhole_dropped() as f64);
-                }
-            }
+                },
+                seeds: cfg.seeds,
+                seed_base: 1000,
+                duration: cfg.duration,
+                sample_times: times.clone(),
+            });
+        }
+    }
+    let batch = run_cells(&cells, opts);
+    let mut out = Vec::new();
+    let mut cell_outcomes = batch.outcomes.into_iter();
+    for &m in &cfg.colluder_counts {
+        for protected in [false, true] {
+            let outcomes = cell_outcomes.next().expect("one outcome set per cell");
+            let dropped = (0..times.len())
+                .map(|i| {
+                    let at_i: Vec<f64> = outcomes.iter().map(|o| o.drops_at[i]).collect();
+                    mean(&at_i)
+                })
+                .collect();
             out.push(DropSeries {
                 colluders: m,
                 protected,
                 times: times.clone(),
-                dropped: samples.iter().map(|s| mean(s)).collect(),
+                dropped,
             });
         }
     }
-    out
+    (out, batch.manifest)
+}
+
+/// Runs the experiment with default execution options (all cores, no
+/// cache).
+pub fn run(cfg: &Fig8Config) -> Vec<DropSeries> {
+    run_with(cfg, &ExecOptions::default()).0
 }
 
 fn sample_times(cfg: &Fig8Config) -> Vec<f64> {

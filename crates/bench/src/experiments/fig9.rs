@@ -2,9 +2,9 @@
 //! the wormhole and fraction of established routes that pass through it,
 //! for M ∈ 0..=4 compromised nodes, baseline vs LITEWORP.
 
-use crate::report::mean;
+use crate::exec::{run_cells, summarize, ExecOptions, SimCell};
 use crate::scenario::Scenario;
-use serde::Serialize;
+use liteworp_runner::{Json, Manifest};
 
 /// Parameters of the Figure 9 experiment.
 #[derive(Debug, Clone)]
@@ -31,7 +31,7 @@ impl Default for Fig9Config {
 }
 
 /// One bar group of Figure 9.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// Number of compromised nodes M.
     pub colluders: usize,
@@ -39,41 +39,83 @@ pub struct Fig9Row {
     pub protected: bool,
     /// Mean fraction of originated data packets swallowed by the wormhole.
     pub fraction_dropped: f64,
+    /// 95% confidence half-width of `fraction_dropped`.
+    pub fraction_dropped_ci95: f64,
     /// Mean fraction of established routes that relay through a colluder.
     pub fraction_malicious_routes: f64,
+    /// 95% confidence half-width of `fraction_malicious_routes`.
+    pub fraction_malicious_routes_ci95: f64,
 }
 
-/// Runs the snapshot experiment.
-pub fn run(cfg: &Fig9Config) -> Vec<Fig9Row> {
-    let mut out = Vec::new();
+impl Fig9Row {
+    /// This row as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("colluders", Json::from(self.colluders)),
+            ("protected", Json::from(self.protected)),
+            ("fraction_dropped", Json::from(self.fraction_dropped)),
+            (
+                "fraction_dropped_ci95",
+                Json::from(self.fraction_dropped_ci95),
+            ),
+            (
+                "fraction_malicious_routes",
+                Json::from(self.fraction_malicious_routes),
+            ),
+            (
+                "fraction_malicious_routes_ci95",
+                Json::from(self.fraction_malicious_routes_ci95),
+            ),
+        ])
+    }
+}
+
+/// Runs the snapshot experiment on the parallel runner.
+pub fn run_with(cfg: &Fig9Config, opts: &ExecOptions) -> (Vec<Fig9Row>, Manifest) {
+    let mut cells = Vec::new();
     for &m in &cfg.colluder_counts {
         for protected in [false, true] {
-            let mut fr_drop = Vec::new();
-            let mut fr_mal = Vec::new();
-            for seed in 0..cfg.seeds {
-                let mut run = Scenario {
+            cells.push(SimCell::snapshot(
+                format!(
+                    "fig9 m={m} {}",
+                    if protected { "liteworp" } else { "baseline" }
+                ),
+                Scenario {
                     nodes: cfg.nodes,
                     malicious: m,
                     protected,
-                    seed: 2000 + seed,
                     ..Scenario::default()
-                }
-                .build();
-                run.run_until_secs(cfg.duration);
-                let sent = run.data_sent().max(1) as f64;
-                fr_drop.push(run.wormhole_dropped() as f64 / sent);
-                let (total, bad) = run.route_counts();
-                fr_mal.push(bad as f64 / total.max(1) as f64);
-            }
+                },
+                cfg.seeds,
+                2000,
+                cfg.duration,
+            ));
+        }
+    }
+    let batch = run_cells(&cells, opts);
+    let mut out = Vec::new();
+    let mut cell_outcomes = batch.outcomes.into_iter();
+    for &m in &cfg.colluder_counts {
+        for protected in [false, true] {
+            let outcomes = cell_outcomes.next().expect("one outcome set per cell");
+            let dropped = summarize(&outcomes, |o| o.drops / o.data_sent.max(1.0));
+            let malicious = summarize(&outcomes, |o| o.routes_malicious / o.routes_total.max(1.0));
             out.push(Fig9Row {
                 colluders: m,
                 protected,
-                fraction_dropped: mean(&fr_drop),
-                fraction_malicious_routes: mean(&fr_mal),
+                fraction_dropped: dropped.mean,
+                fraction_dropped_ci95: dropped.ci95,
+                fraction_malicious_routes: malicious.mean,
+                fraction_malicious_routes_ci95: malicious.ci95,
             });
         }
     }
-    out
+    (out, batch.manifest)
+}
+
+/// Runs the snapshot experiment with default execution options.
+pub fn run(cfg: &Fig9Config) -> Vec<Fig9Row> {
+    run_with(cfg, &ExecOptions::default()).0
 }
 
 #[cfg(test)]

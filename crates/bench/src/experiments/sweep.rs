@@ -1,9 +1,10 @@
 //! The "100% detection over a wide range of scenarios" claim (Section 6):
 //! detection and isolation across network sizes and densities.
 
+use crate::exec::{run_cells, summarize, ExecOptions, SimCell};
 use crate::report::mean;
 use crate::scenario::Scenario;
-use serde::Serialize;
+use liteworp_runner::{Json, Manifest};
 
 /// Parameters of the detection sweep.
 #[derive(Debug, Clone)]
@@ -30,7 +31,7 @@ impl Default for SweepConfig {
 }
 
 /// One sweep cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Network size.
     pub nodes: usize,
@@ -46,56 +47,87 @@ pub struct SweepRow {
     pub isolation_rate: f64,
     /// Mean wormhole drops per run (plateau value).
     pub drops: f64,
+    /// 95% confidence half-width of `drops`.
+    pub drops_ci95: f64,
 }
 
-/// Runs the sweep with M = 2 colluders.
-pub fn run(cfg: &SweepConfig) -> Vec<SweepRow> {
-    let mut out = Vec::new();
+impl SweepRow {
+    /// This row as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("nodes", Json::from(self.nodes)),
+            ("avg_neighbors", Json::from(self.avg_neighbors)),
+            ("detection_rate", Json::from(self.detection_rate)),
+            (
+                "first_detection_latency",
+                Json::from(self.first_detection_latency),
+            ),
+            ("isolation_latency", Json::from(self.isolation_latency)),
+            ("isolation_rate", Json::from(self.isolation_rate)),
+            ("drops", Json::from(self.drops)),
+            ("drops_ci95", Json::from(self.drops_ci95)),
+        ])
+    }
+}
+
+/// Runs the sweep (M = 2 colluders) on the parallel runner.
+pub fn run_with(cfg: &SweepConfig, opts: &ExecOptions) -> (Vec<SweepRow>, Manifest) {
+    let mut cells = Vec::new();
     for &nodes in &cfg.node_counts {
         for &n_b in &cfg.densities {
-            let mut detected = 0u64;
-            let mut first_latencies = Vec::new();
-            let mut iso_latencies = Vec::new();
-            let mut drops = Vec::new();
-            for seed in 0..cfg.seeds {
-                let mut run = Scenario {
+            cells.push(SimCell::snapshot(
+                format!("sweep n={nodes} nb={n_b}"),
+                Scenario {
                     nodes,
                     avg_neighbors: n_b,
                     malicious: 2,
                     protected: true,
-                    seed: 4000 + seed,
                     ..Scenario::default()
-                }
-                .build();
-                run.run_until_secs(cfg.duration);
-                if run.all_detected() {
-                    detected += 1;
-                    if let Some(t) = run
-                        .sim()
-                        .trace()
-                        .first_time("isolated")
-                        .map(|t| t.saturating_since(run.attack_start()).as_secs_f64())
-                    {
-                        first_latencies.push(t);
-                    }
-                }
-                if let Some(lat) = run.isolation_latency_secs() {
-                    iso_latencies.push(lat);
-                }
-                drops.push(run.wormhole_dropped() as f64);
-            }
+                },
+                cfg.seeds,
+                4000,
+                cfg.duration,
+            ));
+        }
+    }
+    let batch = run_cells(&cells, opts);
+    let mut out = Vec::new();
+    let mut cell_outcomes = batch.outcomes.into_iter();
+    for &nodes in &cfg.node_counts {
+        for &n_b in &cfg.densities {
+            let outcomes = cell_outcomes.next().expect("one outcome set per cell");
+            let n = outcomes.len().max(1) as f64;
+            let detected = outcomes.iter().filter(|o| o.all_detected).count() as f64;
+            // First-detection latency only counts runs where detection
+            // completed, matching the serial harness.
+            let first_latencies: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.all_detected)
+                .filter_map(|o| o.first_detection_latency)
+                .collect();
+            let iso_latencies: Vec<f64> = outcomes
+                .iter()
+                .filter_map(|o| o.isolation_latency)
+                .collect();
+            let drops = summarize(&outcomes, |o| o.drops);
             out.push(SweepRow {
                 nodes,
                 avg_neighbors: n_b,
-                detection_rate: detected as f64 / cfg.seeds as f64,
+                detection_rate: detected / n,
                 first_detection_latency: mean(&first_latencies),
                 isolation_latency: mean(&iso_latencies),
-                isolation_rate: iso_latencies.len() as f64 / cfg.seeds as f64,
-                drops: mean(&drops),
+                isolation_rate: iso_latencies.len() as f64 / n,
+                drops: drops.mean,
+                drops_ci95: drops.ci95,
             });
         }
     }
-    out
+    (out, batch.manifest)
+}
+
+/// Runs the sweep with default execution options.
+pub fn run(cfg: &SweepConfig) -> Vec<SweepRow> {
+    run_with(cfg, &ExecOptions::default()).0
 }
 
 #[cfg(test)]

@@ -5,10 +5,9 @@ use crate::scenario::{Scenario, ScenarioAttack};
 use liteworp::config::Config;
 use liteworp_attacks::mode::AttackMode;
 use liteworp_routing::params::NodeParams;
-use serde::Serialize;
 
 /// One verified row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Attack-mode name.
     pub mode: String,
@@ -130,7 +129,7 @@ fn verify_mode(mode: AttackMode, cfg: &Table1Config) -> (bool, String) {
 
 /// The Table 2 parameter dump: the configuration the simulation actually
 /// runs with, next to the paper's values.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Parameter name.
     pub parameter: String,

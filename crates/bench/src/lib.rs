@@ -6,9 +6,11 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
 pub mod timeline;
+pub mod timing;
 
 pub use scenario::{Scenario, ScenarioAttack, ScenarioRun};

@@ -18,9 +18,7 @@ use liteworp_routing::node::{core_id, ProtocolNode};
 use liteworp_routing::packet::Packet;
 use liteworp_routing::params::{DiscoveryMode, NodeParams, RouteSelection};
 use liteworp_routing::stats::RouteRecord;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use liteworp_runner::rng::{Pcg32, Rng};
 use std::collections::BTreeSet;
 
 /// Which attack the malicious nodes mount.
@@ -126,7 +124,7 @@ impl Scenario {
     /// be found for the given seed (try another seed or density).
     pub fn build(&self) -> ScenarioRun {
         assert!(self.malicious <= self.nodes, "more colluders than nodes");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Pcg32::seed_from_u64(self.seed);
         let field = Field::connected_with_average_neighbors(
             self.nodes,
             self.avg_neighbors,
@@ -196,13 +194,13 @@ impl Scenario {
 
 /// Picks `m` colluders uniformly at random such that every pair is more
 /// than two hops apart (Section 6). Returns `None` when impossible.
-fn choose_colluders(field: &Field, m: usize, rng: &mut StdRng) -> Option<Vec<CoreId>> {
+fn choose_colluders(field: &Field, m: usize, rng: &mut Pcg32) -> Option<Vec<CoreId>> {
     if m == 0 {
         return Some(Vec::new());
     }
     let mut ids: Vec<u32> = (0..field.len() as u32).collect();
     for _attempt in 0..200 {
-        ids.shuffle(rng);
+        rng.shuffle(&mut ids);
         let mut chosen: Vec<u32> = Vec::with_capacity(m);
         for &cand in &ids {
             // Colluders should have neighbors to exploit.

@@ -1,0 +1,50 @@
+//! Minimal std-only timing harness for the `harness = false` benchmark
+//! binaries. The external benchmark framework is not part of the offline
+//! dependency graph, so the benches measure with `std::time::Instant`
+//! directly: auto-calibrated batch sizes for nanosecond-scale operations,
+//! fixed sample counts for whole-simulation runs.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Benchmark a fast operation: auto-calibrate a batch size that runs for
+/// at least ~20 ms, then report the best of five batches in ns/iter.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= 20 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = start.elapsed().as_secs_f64() / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:<44} {:>14.1} ns/iter  (x{iters})", best * 1e9);
+}
+
+/// Benchmark a slow operation: run it `samples` times and report the
+/// mean and minimum wall-clock per run in milliseconds.
+pub fn bench_heavy<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
+    let mut times = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{name:<44} mean {mean:>10.1} ms   min {min:>10.1} ms  ({samples} samples)");
+}

@@ -1,0 +1,88 @@
+//! End-to-end contracts of the experiment execution engine, exercised
+//! through a real (small) fig9 experiment: aggregates do not depend on
+//! the thread count, and a warm cache serves every job without
+//! re-simulating.
+
+use liteworp_bench::exec::{ExecOptions, SIM_CODE_VERSION};
+use liteworp_bench::experiments::fig9::{run_with, Fig9Config, Fig9Row};
+use liteworp_runner::ResultCache;
+
+fn small_cfg() -> Fig9Config {
+    Fig9Config {
+        nodes: 30,
+        colluder_counts: vec![2],
+        seeds: 2,
+        duration: 300.0,
+    }
+}
+
+fn assert_rows_identical(a: &[Fig9Row], b: &[Fig9Row]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.colluders, y.colluders);
+        assert_eq!(x.protected, y.protected);
+        assert_eq!(x.fraction_dropped.to_bits(), y.fraction_dropped.to_bits());
+        assert_eq!(
+            x.fraction_dropped_ci95.to_bits(),
+            y.fraction_dropped_ci95.to_bits()
+        );
+        assert_eq!(
+            x.fraction_malicious_routes.to_bits(),
+            y.fraction_malicious_routes.to_bits()
+        );
+        assert_eq!(
+            x.fraction_malicious_routes_ci95.to_bits(),
+            y.fraction_malicious_routes_ci95.to_bits()
+        );
+    }
+}
+
+#[test]
+fn fig9_aggregates_do_not_depend_on_thread_count() {
+    let cfg = small_cfg();
+    let run = |jobs| {
+        run_with(
+            &cfg,
+            &ExecOptions {
+                jobs: Some(jobs),
+                cache: false,
+                cache_dir: None,
+            },
+        )
+    };
+    let (rows1, m1) = run(1);
+    let (rows4, m4) = run(4);
+    assert_eq!(m1.failed, 0);
+    assert_eq!(m4.failed, 0);
+    assert_rows_identical(&rows1, &rows4);
+}
+
+#[test]
+fn fig9_rerun_is_served_entirely_from_cache() {
+    let dir = std::env::temp_dir().join(format!("liteworp-bench-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = small_cfg();
+    let opts = ExecOptions {
+        jobs: Some(2),
+        cache: true,
+        // Route the cache at a temp dir instead of results/cache.
+        cache_dir: Some(dir.clone()),
+    };
+    let (rows_cold, m_cold) = run_with(&cfg, &opts);
+    assert_eq!(m_cold.cache_hits, 0);
+    assert_eq!(m_cold.cache_misses, m_cold.jobs);
+
+    let (rows_warm, m_warm) = run_with(&cfg, &opts);
+    assert_eq!(m_warm.cache_hits, m_warm.jobs, "{m_warm:?}");
+    assert_eq!(m_warm.cache_misses, 0);
+    assert_rows_identical(&rows_cold, &rows_warm);
+
+    // One cache file per job, keyed under the current code version.
+    assert!(!SIM_CODE_VERSION.is_empty());
+    let files = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(files, m_cold.jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The binaries' default cache location is stable (resume contract).
+    assert!(ResultCache::default_dir().ends_with("results/cache"));
+}

@@ -24,7 +24,6 @@
 /// cfg.validate().expect("defaults are consistent");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Config {
     /// Watch-buffer deadline δ in microseconds: how long a guard waits for
     /// the receiver of a packet to forward it before accusing it of a drop.

@@ -23,7 +23,6 @@ use crate::types::NodeId;
 
 /// A 64-bit message authentication tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mac(pub u64);
 
 /// A pairwise symmetric key (simulation-grade, 64 bits).

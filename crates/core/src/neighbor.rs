@@ -20,7 +20,6 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Status of a first-hop neighbor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NeighborStatus {
     /// Trusted: packets are exchanged and the link monitored.
     Active,

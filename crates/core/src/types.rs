@@ -20,7 +20,6 @@ use core::fmt;
 /// assert_eq!(a.to_string(), "n3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -34,7 +33,6 @@ impl fmt::Display for NodeId {
 /// LITEWORP needs no synchronized clocks (a design goal of the paper);
 /// every `Micros` is interpreted on the local node's clock only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Micros(pub u64);
 
 impl Micros {
@@ -61,7 +59,6 @@ impl Micros {
 
 /// The class of a monitored control packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PacketKind {
     /// A flooded route request.
     RouteRequest,
@@ -79,7 +76,6 @@ pub enum PacketKind {
 /// and type, the packet source, the packet destination" plus a sequence
 /// number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PacketSig {
     /// Control packet class.
     pub kind: PacketKind,
@@ -93,7 +89,6 @@ pub struct PacketSig {
 
 /// Why a guard increased a neighbor's malicious counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Misbehavior {
     /// The node forwarded a packet it was never sent (claimed a previous
     /// hop that did not transmit it): increment by `V_f`.

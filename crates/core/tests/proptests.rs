@@ -1,4 +1,7 @@
-//! Property-based tests of the LITEWORP core invariants.
+//! Property-based tests of the LITEWORP core invariants, driven by the
+//! in-repo deterministic PCG32 generator: each test checks its property
+//! over many randomized cases from a fixed seed, so failures reproduce
+//! exactly.
 
 use liteworp::alert::{AlertBuffer, AlertOutcome};
 use liteworp::config::Config;
@@ -7,73 +10,104 @@ use liteworp::malc::MalcTable;
 use liteworp::neighbor::NeighborTable;
 use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp::watch::WatchBuffer;
-use proptest::prelude::*;
+use liteworp_runner::rng::{Pcg32, Rng};
 
-fn arb_node() -> impl Strategy<Value = NodeId> {
-    (0u32..32).prop_map(NodeId)
+const CASES: u64 = 64;
+
+fn arb_node(rng: &mut Pcg32) -> NodeId {
+    NodeId(rng.gen_range(0u32..32))
 }
 
-fn arb_sig() -> impl Strategy<Value = PacketSig> {
-    (
-        prop_oneof![Just(PacketKind::RouteRequest), Just(PacketKind::RouteReply)],
-        0u32..32,
-        0u32..32,
-        0u64..1000,
-    )
-        .prop_map(|(kind, o, t, seq)| PacketSig {
-            kind,
-            origin: NodeId(o),
-            target: NodeId(t),
-            seq,
-        })
+fn distinct_nodes<const N: usize>(rng: &mut Pcg32) -> [NodeId; N] {
+    loop {
+        let picks: Vec<NodeId> = (0..N).map(|_| arb_node(rng)).collect();
+        let set: std::collections::BTreeSet<_> = picks.iter().collect();
+        if set.len() == N {
+            return picks.try_into().unwrap();
+        }
+    }
 }
 
-proptest! {
-    // ------------------------------------------------------------------
-    // Keys: tags verify iff key, peer and message all match.
-    // ------------------------------------------------------------------
-    #[test]
-    fn mac_round_trip(seed in any::<u64>(), a in arb_node(), b in arb_node(), msg in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assume!(a != b);
+fn arb_sig(rng: &mut Pcg32) -> PacketSig {
+    PacketSig {
+        kind: if rng.gen_bool(0.5) {
+            PacketKind::RouteRequest
+        } else {
+            PacketKind::RouteReply
+        },
+        origin: arb_node(rng),
+        target: arb_node(rng),
+        seq: rng.gen_range(0u64..1000),
+    }
+}
+
+fn arb_bytes(rng: &mut Pcg32, min: usize, max: usize) -> Vec<u8> {
+    let len = rng.gen_range(min..max);
+    (0..len).map(|_| rng.next_u32() as u8).collect()
+}
+
+// ----------------------------------------------------------------------
+// Keys: tags verify iff key, peer and message all match.
+// ----------------------------------------------------------------------
+
+#[test]
+fn mac_round_trip() {
+    let mut rng = Pcg32::seed_from_u64(0x6d61_6331);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let [a, b] = distinct_nodes(&mut rng);
+        let msg = arb_bytes(&mut rng, 0, 64);
         let ka = KeyStore::new(seed, a);
         let kb = KeyStore::new(seed, b);
         let tag = ka.tag(b, &msg);
-        prop_assert!(kb.verify(a, &msg, tag));
+        assert!(kb.verify(a, &msg, tag));
     }
+}
 
-    #[test]
-    fn mac_rejects_tampering(seed in any::<u64>(), a in arb_node(), b in arb_node(), msg in proptest::collection::vec(any::<u8>(), 1..64), flip in 0usize..64) {
-        prop_assume!(a != b);
+#[test]
+fn mac_rejects_tampering() {
+    let mut rng = Pcg32::seed_from_u64(0x6d61_6332);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let [a, b] = distinct_nodes(&mut rng);
+        let msg = arb_bytes(&mut rng, 1, 64);
         let ka = KeyStore::new(seed, a);
         let kb = KeyStore::new(seed, b);
         let tag = ka.tag(b, &msg);
         let mut tampered = msg.clone();
-        let idx = flip % tampered.len();
+        let idx = rng.gen_range(0usize..tampered.len().max(1));
         tampered[idx] ^= 0x01;
-        prop_assert!(!kb.verify(a, &tampered, tag));
+        assert!(!kb.verify(a, &tampered, tag));
     }
+}
 
-    #[test]
-    fn mac_is_peer_bound(seed in any::<u64>(), a in arb_node(), b in arb_node(), c in arb_node(), msg in proptest::collection::vec(any::<u8>(), 0..32)) {
-        prop_assume!(a != b && b != c && a != c);
+#[test]
+fn mac_is_peer_bound() {
+    let mut rng = Pcg32::seed_from_u64(0x6d61_6333);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let [a, b, c] = distinct_nodes(&mut rng);
+        let msg = arb_bytes(&mut rng, 0, 32);
         let ka = KeyStore::new(seed, a);
         let kc = KeyStore::new(seed, c);
         let tag = ka.tag(b, &msg);
         // c cannot verify a tag meant for the (a, b) pair.
-        prop_assert!(!kc.verify(a, &msg, tag));
+        assert!(!kc.verify(a, &msg, tag));
     }
+}
 
-    // ------------------------------------------------------------------
-    // Watch buffer: no forwarder that forwarded in time is ever accused,
-    // and capacity is never exceeded.
-    // ------------------------------------------------------------------
-    #[test]
-    fn watch_never_accuses_timely_forwarders(
-        sigs in proptest::collection::vec(arb_sig(), 1..20),
-        prev in arb_node(),
-        fwd in arb_node(),
-    ) {
-        prop_assume!(prev != fwd);
+// ----------------------------------------------------------------------
+// Watch buffer: no forwarder that forwarded in time is ever accused, and
+// capacity is never exceeded.
+// ----------------------------------------------------------------------
+
+#[test]
+fn watch_never_accuses_timely_forwarders() {
+    let mut rng = Pcg32::seed_from_u64(0x7761_7401);
+    for _ in 0..CASES {
+        let [prev, fwd] = distinct_nodes(&mut rng);
+        let n = rng.gen_range(1usize..20);
+        let sigs: Vec<PacketSig> = (0..n).map(|_| arb_sig(&mut rng)).collect();
         let mut buf = WatchBuffer::new(64);
         for (i, sig) in sigs.iter().enumerate() {
             buf.note_transmission(prev, *sig, Some(fwd), Micros(1000 + i as u64));
@@ -82,19 +116,22 @@ proptest! {
             buf.confirm_forward(prev, sig, fwd);
         }
         let accused = buf.expire(Micros(u64::MAX));
-        prop_assert!(accused.is_empty(), "accused: {accused:?}");
+        assert!(accused.is_empty(), "accused: {accused:?}");
     }
+}
 
-    #[test]
-    fn watch_accuses_exactly_the_unforwarded(
-        sigs in proptest::collection::vec((arb_sig(), any::<bool>()), 1..20),
-        prev in arb_node(),
-        fwd in arb_node(),
-    ) {
-        prop_assume!(prev != fwd);
+#[test]
+fn watch_accuses_exactly_the_unforwarded() {
+    let mut rng = Pcg32::seed_from_u64(0x7761_7402);
+    for _ in 0..CASES {
+        let [prev, fwd] = distinct_nodes(&mut rng);
+        let n = rng.gen_range(1usize..20);
         // Deduplicate signatures so expectations are unambiguous.
         let mut seen = std::collections::HashSet::new();
-        let sigs: Vec<_> = sigs.into_iter().filter(|(s, _)| seen.insert(*s)).collect();
+        let sigs: Vec<(PacketSig, bool)> = (0..n)
+            .map(|_| (arb_sig(&mut rng), rng.gen_bool(0.5)))
+            .filter(|(s, _)| seen.insert(*s))
+            .collect();
         let mut buf = WatchBuffer::new(sigs.len().max(1));
         for (sig, _) in &sigs {
             buf.note_transmission(prev, *sig, Some(fwd), Micros(1000));
@@ -106,53 +143,65 @@ proptest! {
         }
         let accused = buf.expire(Micros(2000));
         let expected: usize = sigs.iter().filter(|(_, f)| !f).count();
-        prop_assert_eq!(accused.len(), expected);
-        prop_assert!(accused.iter().all(|(n, _, _)| *n == fwd));
+        assert_eq!(accused.len(), expected);
+        assert!(accused.iter().all(|(n, _, _)| *n == fwd));
     }
+}
 
-    #[test]
-    fn watch_respects_capacity(
-        cap in 1usize..16,
-        entries in proptest::collection::vec((arb_node(), arb_sig()), 0..64),
-    ) {
+#[test]
+fn watch_respects_capacity() {
+    let mut rng = Pcg32::seed_from_u64(0x7761_7403);
+    for _ in 0..CASES {
+        let cap = rng.gen_range(1usize..16);
+        let n = rng.gen_range(0usize..64);
         let mut buf = WatchBuffer::new(cap);
-        for (i, (prev, sig)) in entries.iter().enumerate() {
-            buf.note_transmission(*prev, *sig, None, Micros(i as u64 + 1));
-            prop_assert!(buf.len() <= cap);
+        for i in 0..n {
+            let (prev, sig) = (arb_node(&mut rng), arb_sig(&mut rng));
+            buf.note_transmission(prev, sig, None, Micros(i as u64 + 1));
+            assert!(buf.len() <= cap);
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // MalC: windowed value never exceeds unbounded value; totals add up.
-    // ------------------------------------------------------------------
-    #[test]
-    fn windowed_malc_is_bounded_by_unbounded(
-        events in proptest::collection::vec((0u64..1_000_000, 1u32..5), 1..30),
-        window in 1u64..500_000,
-    ) {
+// ----------------------------------------------------------------------
+// MalC: windowed value never exceeds unbounded value; totals add up.
+// ----------------------------------------------------------------------
+
+#[test]
+fn windowed_malc_is_bounded_by_unbounded() {
+    let mut rng = Pcg32::seed_from_u64(0x6d61_6c63);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..30);
+        let mut events: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1_000_000), rng.gen_range(1u32..5)))
+            .collect();
+        let window = rng.gen_range(1u64..500_000);
         let mut unbounded = MalcTable::new(0);
         let mut windowed = MalcTable::new(window);
         let node = NodeId(1);
-        let mut sorted = events.clone();
-        sorted.sort_by_key(|e| e.0);
-        for (t, w) in &sorted {
+        events.sort_by_key(|e| e.0);
+        for (t, w) in &events {
             unbounded.record(node, *w, Micros(*t));
             windowed.record(node, *w, Micros(*t));
         }
-        let now = Micros(sorted.last().unwrap().0);
-        prop_assert!(windowed.value(node, now) <= unbounded.value(node, now));
-        let total: u32 = sorted.iter().map(|(_, w)| w).sum();
-        prop_assert_eq!(unbounded.value(node, now), total);
+        let now = Micros(events.last().unwrap().0);
+        assert!(windowed.value(node, now) <= unbounded.value(node, now));
+        let total: u32 = events.iter().map(|(_, w)| w).sum();
+        assert_eq!(unbounded.value(node, now), total);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Alert buffer: isolation happens exactly at γ distinct accusers.
-    // ------------------------------------------------------------------
-    #[test]
-    fn alerts_isolate_exactly_at_gamma(
-        gamma in 1usize..6,
-        accusers in proptest::collection::vec(arb_node(), 1..20),
-    ) {
+// ----------------------------------------------------------------------
+// Alert buffer: isolation happens exactly at γ distinct accusers.
+// ----------------------------------------------------------------------
+
+#[test]
+fn alerts_isolate_exactly_at_gamma() {
+    let mut rng = Pcg32::seed_from_u64(0x616c_7274);
+    for _ in 0..CASES {
+        let gamma = rng.gen_range(1usize..6);
+        let n = rng.gen_range(1usize..20);
+        let accusers: Vec<NodeId> = (0..n).map(|_| arb_node(&mut rng)).collect();
         let mut buf = AlertBuffer::new(gamma);
         let suspect = NodeId(99);
         let mut distinct = std::collections::BTreeSet::new();
@@ -161,60 +210,73 @@ proptest! {
             distinct.insert(*g);
             let outcome = buf.record(suspect, *g);
             match outcome {
-                AlertOutcome::Isolate => prop_assert_eq!(distinct.len(), gamma),
+                AlertOutcome::Isolate => assert_eq!(distinct.len(), gamma),
                 AlertOutcome::Counted { got, needed } => {
-                    prop_assert_eq!(needed, gamma);
-                    prop_assert_eq!(got, distinct.len());
-                    prop_assert!(got < gamma);
+                    assert_eq!(needed, gamma);
+                    assert_eq!(got, distinct.len());
+                    assert!(got < gamma);
                 }
-                AlertOutcome::Duplicate => prop_assert_eq!(distinct.len(), before),
-                AlertOutcome::AlreadyIsolated => prop_assert!(distinct.len() >= gamma),
+                AlertOutcome::Duplicate => assert_eq!(distinct.len(), before),
+                AlertOutcome::AlreadyIsolated => assert!(distinct.len() >= gamma),
             }
         }
-        prop_assert_eq!(buf.is_isolated(suspect), distinct.len() >= gamma);
+        assert_eq!(buf.is_isolated(suspect), distinct.len() >= gamma);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Neighbor table: revocation is sticky and excludes from all queries.
-    // ------------------------------------------------------------------
-    #[test]
-    fn revocation_is_sticky(
-        neighbors in proptest::collection::btree_set(1u32..32, 1..10),
-        revoke_idx in any::<prop::sample::Index>(),
-    ) {
+// ----------------------------------------------------------------------
+// Neighbor table: revocation is sticky and excludes from all queries.
+// ----------------------------------------------------------------------
+
+#[test]
+fn revocation_is_sticky() {
+    let mut rng = Pcg32::seed_from_u64(0x7265_766f);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..10);
+        let neighbors: std::collections::BTreeSet<u32> =
+            (0..n).map(|_| rng.gen_range(1u32..32)).collect();
         let mut t = NeighborTable::new(NodeId(0));
         let ids: Vec<NodeId> = neighbors.iter().map(|&n| NodeId(n)).collect();
         for &n in &ids {
             t.add_neighbor(n);
         }
-        let victim = *revoke_idx.get(&ids);
+        let victim = *rng.choose(&ids).expect("non-empty");
         t.revoke(victim);
         t.add_neighbor(victim); // must not resurrect
-        prop_assert!(t.is_revoked(victim));
-        prop_assert!(!t.is_active_neighbor(victim));
-        prop_assert!(t.active_neighbors().all(|n| n != victim));
-        prop_assert!(!t.link_plausible(NodeId(0), victim));
+        assert!(t.is_revoked(victim));
+        assert!(!t.is_active_neighbor(victim));
+        assert!(t.active_neighbors().all(|n| n != victim));
+        assert!(!t.link_plausible(NodeId(0), victim));
     }
+}
 
-    #[test]
-    fn link_plausibility_is_consistent_with_stored_lists(
-        list in proptest::collection::btree_set(2u32..32, 0..10),
-        probe in 2u32..32,
-    ) {
+#[test]
+fn link_plausibility_is_consistent_with_stored_lists() {
+    let mut rng = Pcg32::seed_from_u64(0x6c69_6e6b);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..10);
+        let list: std::collections::BTreeSet<u32> =
+            (0..n).map(|_| rng.gen_range(2u32..32)).collect();
+        let probe = rng.gen_range(2u32..32);
         let mut t = NeighborTable::new(NodeId(0));
         t.add_neighbor(NodeId(1));
         t.set_neighbor_list(NodeId(1), list.iter().map(|&n| NodeId(n)));
         let expected = list.contains(&probe);
-        prop_assert_eq!(t.link_plausible(NodeId(probe), NodeId(1)), expected);
+        assert_eq!(t.link_plausible(NodeId(probe), NodeId(1)), expected);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Config: accusation counts are consistent with the weights.
-    // ------------------------------------------------------------------
-    #[test]
-    fn accusation_counts_cover_threshold(
-        vf in 1u32..10, vd in 1u32..10, ct in 1u32..50,
-    ) {
+// ----------------------------------------------------------------------
+// Config: accusation counts are consistent with the weights.
+// ----------------------------------------------------------------------
+
+#[test]
+fn accusation_counts_cover_threshold() {
+    let mut rng = Pcg32::seed_from_u64(0x6366_6721);
+    for _ in 0..CASES {
+        let vf = rng.gen_range(1u32..10);
+        let vd = rng.gen_range(1u32..10);
+        let ct = rng.gen_range(1u32..50);
         let cfg = Config {
             fabrication_weight: vf,
             drop_weight: vd,
@@ -223,10 +285,10 @@ proptest! {
         };
         // k events of weight w must reach the threshold, k-1 must not.
         let k = cfg.fabrications_to_accuse();
-        prop_assert!(k * vf >= ct);
-        prop_assert!(k == 0 || (k - 1) * vf < ct);
+        assert!(k * vf >= ct);
+        assert!(k == 0 || (k - 1) * vf < ct);
         let kd = cfg.drops_to_accuse();
-        prop_assert!(kd * vd >= ct);
-        prop_assert!(kd == 0 || (kd - 1) * vd < ct);
+        assert!(kd * vd >= ct);
+        assert!(kd == 0 || (kd - 1) * vd < ct);
     }
 }

@@ -7,7 +7,7 @@
 //! rest of the system needs: who is in range of whom, connectivity, and
 //! distance.
 
-use rand::Rng;
+use liteworp_runner::rng::Rng;
 use std::fmt;
 
 /// Identity of a node in the simulated network.
@@ -69,9 +69,9 @@ impl Position {
 ///
 /// ```
 /// use liteworp_netsim::field::Field;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use liteworp_netsim::rng::Pcg32;
 ///
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = Pcg32::seed_from_u64(7);
 /// let field = Field::with_average_neighbors(50, 8.0, 30.0, &mut rng);
 /// assert_eq!(field.len(), 50);
 /// let n_b: f64 = (0..50)
@@ -253,8 +253,7 @@ impl Field {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use liteworp_runner::rng::Pcg32;
 
     fn line_field() -> Field {
         // Nodes in a line 25 m apart with range 30: a chain.
@@ -304,7 +303,7 @@ mod tests {
     fn density_targets_average_degree() {
         // With enough nodes, the empirical mean degree approaches N_B
         // (edge effects bias it slightly low).
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Pcg32::seed_from_u64(42);
         let f = Field::with_average_neighbors(400, 8.0, 30.0, &mut rng);
         let mean: f64 = (0..400)
             .map(|i| f.in_range_of(NodeId(i as u32)).len() as f64)
@@ -318,7 +317,7 @@ mod tests {
 
     #[test]
     fn field_side_scales_with_count() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         let f20 = Field::with_average_neighbors(20, 8.0, 30.0, &mut rng);
         let f100 = Field::with_average_neighbors(100, 8.0, 30.0, &mut rng);
         assert!((f100.side() / f20.side() - (5.0f64).sqrt()).abs() < 1e-9);
@@ -326,8 +325,8 @@ mod tests {
 
     #[test]
     fn deployment_is_deterministic_per_seed() {
-        let a = Field::uniform_random(10, 100.0, 30.0, &mut StdRng::seed_from_u64(9));
-        let b = Field::uniform_random(10, 100.0, 30.0, &mut StdRng::seed_from_u64(9));
+        let a = Field::uniform_random(10, 100.0, 30.0, &mut Pcg32::seed_from_u64(9));
+        let b = Field::uniform_random(10, 100.0, 30.0, &mut Pcg32::seed_from_u64(9));
         for i in 0..10 {
             assert_eq!(a.position(NodeId(i)), b.position(NodeId(i)));
         }
@@ -341,7 +340,7 @@ mod tests {
 
     #[test]
     fn connected_retry_finds_connected_field() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let f = Field::connected_with_average_neighbors(30, 8.0, 30.0, 100, &mut rng)
             .expect("should find a connected deployment");
         assert!(f.is_connected());

@@ -61,5 +61,6 @@ pub mod radio;
 pub mod sim;
 pub mod time;
 
+pub use liteworp_runner::rng;
 pub use sim::prelude;
 pub use sim::Simulator;

@@ -12,7 +12,7 @@ use crate::field::NodeId;
 use crate::frame::{Frame, FrameSpec};
 use crate::metrics::{Metrics, Trace};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
+use liteworp_runner::rng::Pcg32;
 use std::any::Any;
 
 /// An effect requested by node logic, applied by the simulator.
@@ -45,7 +45,7 @@ pub enum Action<P> {
 pub struct Context<'a, P> {
     now: SimTime,
     me: NodeId,
-    rng: &'a mut StdRng,
+    rng: &'a mut Pcg32,
     metrics: &'a mut Metrics,
     trace: &'a mut Trace,
     actions: &'a mut Vec<Action<P>>,
@@ -56,7 +56,7 @@ impl<'a, P> Context<'a, P> {
     pub(crate) fn new(
         now: SimTime,
         me: NodeId,
-        rng: &'a mut StdRng,
+        rng: &'a mut Pcg32,
         metrics: &'a mut Metrics,
         trace: &'a mut Trace,
         actions: &'a mut Vec<Action<P>>,
@@ -82,7 +82,7 @@ impl<'a, P> Context<'a, P> {
     }
 
     /// Deterministic random-number generator shared by the run.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Pcg32 {
         self.rng
     }
 
@@ -164,7 +164,6 @@ pub trait NodeLogic<P>: Any {
 mod tests {
     use super::*;
     use crate::frame::Dest;
-    use rand::SeedableRng;
 
     struct Nop;
     impl NodeLogic<u32> for Nop {
@@ -178,7 +177,7 @@ mod tests {
 
     #[test]
     fn context_collects_actions() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Pcg32::seed_from_u64(0);
         let mut metrics = Metrics::default();
         let mut trace = Trace::default();
         let mut actions = Vec::new();
@@ -208,7 +207,7 @@ mod tests {
 
     #[test]
     fn default_hooks_are_noops() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Pcg32::seed_from_u64(0);
         let mut metrics = Metrics::default();
         let mut trace = Trace::default();
         let mut actions: Vec<Action<u32>> = Vec::new();

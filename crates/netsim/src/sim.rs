@@ -53,8 +53,7 @@ use crate::metrics::{Metrics, Trace};
 use crate::node::{Action, Context, NodeLogic};
 use crate::radio::RadioConfig;
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use liteworp_runner::rng::{Pcg32, Rng};
 use std::collections::{BinaryHeap, VecDeque};
 
 enum EventKind<P> {
@@ -138,7 +137,7 @@ pub struct Simulator<P> {
     next_tx_seq: u64,
     now: SimTime,
     medium: Medium,
-    rng: StdRng,
+    rng: Pcg32,
     metrics: Metrics,
     trace: Trace,
     started: bool,
@@ -170,7 +169,7 @@ impl<P: Clone + 'static> Simulator<P> {
             next_tx_seq: 0,
             now: SimTime::ZERO,
             medium: Medium::new(interference),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Pcg32::seed_from_u64(seed),
             metrics: Metrics::default(),
             trace: Trace::default(),
             started: false,
@@ -512,7 +511,7 @@ impl<P: Clone + 'static> Simulator<P> {
                 self.with_logic(receiver, |logic, ctx| logic.on_collision(ctx));
                 continue;
             }
-            if self.radio.noise_loss > 0.0 && self.rng.gen::<f64>() < self.radio.noise_loss {
+            if self.radio.noise_loss > 0.0 && self.rng.gen_f64() < self.radio.noise_loss {
                 self.metrics.frames_lost_noise += 1;
                 continue;
             }

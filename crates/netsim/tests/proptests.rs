@@ -1,80 +1,109 @@
-//! Property-based tests of the simulator substrate.
+//! Property-based tests of the simulator substrate, driven by the
+//! in-repo deterministic PCG32 generator: each test checks its property
+//! over many randomized cases from a fixed seed, so failures reproduce
+//! exactly.
 
 use liteworp_netsim::field::{Field, NodeId, Position};
 use liteworp_netsim::frame::{airtime, Dest, Frame, FrameSpec, TxPower};
 use liteworp_netsim::medium::{Medium, TxRecord};
 use liteworp_netsim::prelude::{Context, NodeLogic, RadioConfig, SimDuration, SimTime, Simulator};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use liteworp_netsim::rng::{Pcg32, Rng};
 use std::any::Any;
 
-fn arb_positions(n: usize) -> impl Strategy<Value = Vec<Position>> {
-    proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), n..=n)
-        .prop_map(|v| v.into_iter().map(|(x, y)| Position::new(x, y)).collect())
+const CASES: u64 = 32;
+
+fn arb_positions(rng: &mut Pcg32, n: usize) -> Vec<Position> {
+    (0..n)
+        .map(|_| Position::new(rng.gen_range(0.0f64..200.0), rng.gen_range(0.0f64..200.0)))
+        .collect()
 }
 
-proptest! {
-    // ------------------------------------------------------------------
-    // Field geometry.
-    // ------------------------------------------------------------------
-    #[test]
-    fn in_range_is_symmetric_and_irreflexive(positions in arb_positions(12)) {
-        let field = Field::from_positions(200.0, 30.0, positions);
+// ----------------------------------------------------------------------
+// Field geometry.
+// ----------------------------------------------------------------------
+
+#[test]
+fn in_range_is_symmetric_and_irreflexive() {
+    let mut rng = Pcg32::seed_from_u64(0x6669_6501);
+    for _ in 0..CASES {
+        let field = Field::from_positions(200.0, 30.0, arb_positions(&mut rng, 12));
         for a in 0..12u32 {
-            prop_assert!(!field.in_range(NodeId(a), NodeId(a)));
+            assert!(!field.in_range(NodeId(a), NodeId(a)));
             for b in 0..12u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     field.in_range(NodeId(a), NodeId(b)),
                     field.in_range(NodeId(b), NodeId(a))
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn hop_distance_satisfies_triangle_like_bounds(positions in arb_positions(10)) {
-        let field = Field::from_positions(200.0, 30.0, positions);
+#[test]
+fn hop_distance_satisfies_triangle_like_bounds() {
+    let mut rng = Pcg32::seed_from_u64(0x6669_6502);
+    for _ in 0..CASES {
+        let field = Field::from_positions(200.0, 30.0, arb_positions(&mut rng, 10));
         for a in 0..10u32 {
-            prop_assert_eq!(field.hop_distance(NodeId(a), NodeId(a)), Some(0));
+            assert_eq!(field.hop_distance(NodeId(a), NodeId(a)), Some(0));
             for b in 0..10u32 {
                 let d = field.hop_distance(NodeId(a), NodeId(b));
-                prop_assert_eq!(d, field.hop_distance(NodeId(b), NodeId(a)));
+                assert_eq!(d, field.hop_distance(NodeId(b), NodeId(a)));
                 if field.in_range(NodeId(a), NodeId(b)) {
-                    prop_assert_eq!(d, Some(1));
+                    assert_eq!(d, Some(1));
                 }
                 if let Some(h) = d {
                     // h hops cannot cover more than h * range meters.
-                    prop_assert!(field.distance(NodeId(a), NodeId(b)) <= h as f64 * 30.0 + 1e-9);
+                    assert!(field.distance(NodeId(a), NodeId(b)) <= h as f64 * 30.0 + 1e-9);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn connectivity_matches_pairwise_reachability(positions in arb_positions(8)) {
-        let field = Field::from_positions(200.0, 30.0, positions);
+#[test]
+fn connectivity_matches_pairwise_reachability() {
+    let mut rng = Pcg32::seed_from_u64(0x6669_6503);
+    for _ in 0..CASES {
+        let field = Field::from_positions(200.0, 30.0, arb_positions(&mut rng, 8));
         let all_reachable = (1..8u32).all(|b| field.hop_distance(NodeId(0), NodeId(b)).is_some());
-        prop_assert_eq!(field.is_connected(), all_reachable);
+        assert_eq!(field.is_connected(), all_reachable);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Frames and airtime.
-    // ------------------------------------------------------------------
-    #[test]
-    fn airtime_is_monotone_in_size(bytes in 0usize..10_000, rate in 1u64..10_000_000) {
+// ----------------------------------------------------------------------
+// Frames and airtime.
+// ----------------------------------------------------------------------
+
+#[test]
+fn airtime_is_monotone_in_size() {
+    let mut rng = Pcg32::seed_from_u64(0x6169_7201);
+    for _ in 0..CASES {
+        let bytes = rng.gen_range(0usize..10_000);
+        let rate = rng.gen_range(1u64..10_000_000);
         let t1 = airtime(bytes, rate);
         let t2 = airtime(bytes + 1, rate);
-        prop_assert!(t2 >= t1);
+        assert!(t2 >= t1);
     }
+}
 
-    #[test]
-    fn power_scaling_expands_range(r in 1.0f64..100.0, mult in 1.0f64..10.0) {
-        prop_assert!(TxPower::High(mult).effective_range(r) >= TxPower::Normal.effective_range(r));
+#[test]
+fn power_scaling_expands_range() {
+    let mut rng = Pcg32::seed_from_u64(0x6169_7202);
+    for _ in 0..CASES {
+        let r = rng.gen_range(1.0f64..100.0);
+        let mult = rng.gen_range(1.0f64..10.0);
+        assert!(TxPower::High(mult).effective_range(r) >= TxPower::Normal.effective_range(r));
     }
+}
 
-    #[test]
-    fn frame_addressing_is_exact(tx in 0u32..8, dst in 0u32..8, probe in 0u32..8) {
+#[test]
+fn frame_addressing_is_exact() {
+    let mut rng = Pcg32::seed_from_u64(0x6169_7203);
+    for _ in 0..CASES {
+        let tx = rng.gen_range(0u32..8);
+        let dst = rng.gen_range(0u32..8);
+        let probe = rng.gen_range(0u32..8);
         let f = Frame {
             transmitter: NodeId(tx),
             dest: Dest::Unicast(NodeId(dst)),
@@ -82,16 +111,22 @@ proptest! {
             bytes: 10,
             power: TxPower::Normal,
         };
-        prop_assert_eq!(f.addressed_to(NodeId(probe)), probe == dst);
+        assert_eq!(f.addressed_to(NodeId(probe)), probe == dst);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Medium: collision predicate invariants.
-    // ------------------------------------------------------------------
-    #[test]
-    fn lone_transmission_never_collides(
-        x in 0.0f64..100.0, start in 0u64..1000, len in 1u64..100, rx in 0.0f64..100.0,
-    ) {
+// ----------------------------------------------------------------------
+// Medium: collision predicate invariants.
+// ----------------------------------------------------------------------
+
+#[test]
+fn lone_transmission_never_collides() {
+    let mut rng = Pcg32::seed_from_u64(0x6d65_6401);
+    for _ in 0..CASES {
+        let x = rng.gen_range(0.0f64..100.0);
+        let start = rng.gen_range(0u64..1000);
+        let len = rng.gen_range(1u64..100);
+        let rx = rng.gen_range(0.0f64..100.0);
         let mut m = Medium::new(1.0);
         m.begin(TxRecord {
             seq: 1,
@@ -101,15 +136,20 @@ proptest! {
             end: SimTime::from_micros(start + len),
             range: 30.0,
         });
-        prop_assert!(!m.collides(1, NodeId(9), Position::new(rx, 0.0)));
+        assert!(!m.collides(1, NodeId(9), Position::new(rx, 0.0)));
     }
+}
 
-    #[test]
-    fn collision_is_mutual_for_cocoverage(
-        d in 0.0f64..25.0, s1 in 0u64..100, s2 in 0u64..100, len in 10u64..50,
-    ) {
+#[test]
+fn collision_is_mutual_for_cocoverage() {
+    let mut rng = Pcg32::seed_from_u64(0x6d65_6402);
+    for _ in 0..CASES {
         // Two transmitters near each other, receiver in range of both:
         // if the intervals overlap, both frames are lost at the receiver.
+        let d = rng.gen_range(0.0f64..25.0);
+        let s1 = rng.gen_range(0u64..100);
+        let s2 = rng.gen_range(0u64..100);
+        let len = rng.gen_range(10u64..50);
         let mut m = Medium::new(1.0);
         let mk = |seq, x: f64, start: u64| TxRecord {
             seq,
@@ -123,30 +163,40 @@ proptest! {
         m.begin(mk(2, d, s2));
         let rx = Position::new(d / 2.0, 0.0);
         let overlap = s1 < s2 + len && s2 < s1 + len;
-        prop_assert_eq!(m.collides(1, NodeId(9), rx), overlap);
-        prop_assert_eq!(m.collides(2, NodeId(9), rx), overlap);
+        assert_eq!(m.collides(1, NodeId(9), rx), overlap);
+        assert_eq!(m.collides(2, NodeId(9), rx), overlap);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Simulator: conservation of deliveries.
-    // ------------------------------------------------------------------
-    #[test]
-    fn delivery_accounting_is_conserved(seed in 0u64..50, n in 2usize..8) {
-        struct Chatter;
-        impl NodeLogic<u8> for Chatter {
-            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
-                ctx.set_timer(SimDuration::from_millis(1), 0);
-            }
-            fn on_timer(&mut self, ctx: &mut Context<'_, u8>, t: u64) {
-                ctx.send(FrameSpec::new(Dest::Broadcast, t as u8, 20));
-                if t < 10 {
-                    ctx.set_timer(SimDuration::from_millis(37), t + 1);
-                }
-            }
-            fn as_any(&self) -> &dyn Any { self }
-            fn as_any_mut(&mut self) -> &mut dyn Any { self }
+// ----------------------------------------------------------------------
+// Simulator: conservation of deliveries.
+// ----------------------------------------------------------------------
+
+#[test]
+fn delivery_accounting_is_conserved() {
+    struct Chatter;
+    impl NodeLogic<u8> for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        fn on_timer(&mut self, ctx: &mut Context<'_, u8>, t: u64) {
+            ctx.send(FrameSpec::new(Dest::Broadcast, t as u8, 20));
+            if t < 10 {
+                ctx.set_timer(SimDuration::from_millis(37), t + 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut meta = Pcg32::seed_from_u64(0x7369_6d01);
+    for _ in 0..16 {
+        let seed = meta.gen_range(0u64..50);
+        let n = meta.gen_range(2usize..8);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let field = Field::uniform_random(n, 60.0, 30.0, &mut rng);
         let mut sim = Simulator::new(field, RadioConfig::default(), seed);
         for _ in 0..n {
@@ -156,10 +206,10 @@ proptest! {
         let m = sim.metrics();
         // Every potential reception is delivered, collided, or lost to
         // noise; none invented. With noise off:
-        prop_assert_eq!(m.frames_lost_noise, 0);
+        assert_eq!(m.frames_lost_noise, 0);
         // Each frame can be received by at most n-1 nodes.
-        prop_assert!(m.frames_delivered + m.frames_collided <= m.frames_sent * (n as u64 - 1));
+        assert!(m.frames_delivered + m.frames_collided <= m.frames_sent * (n as u64 - 1));
         // Everyone transmitted 11 frames.
-        prop_assert_eq!(m.frames_sent, 11 * n as u64);
+        assert_eq!(m.frames_sent, 11 * n as u64, "seed {seed} n {n}");
     }
 }

@@ -25,7 +25,7 @@ use liteworp::monitor::PacketObs;
 use liteworp::prelude::{Admission, AlertDisposition, Config, Effect, KeyStore, Liteworp};
 use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp_netsim::prelude::{Context, Dest, Frame, FrameSpec, NodeLogic, SimDuration, SimTime};
-use rand::Rng;
+use liteworp_netsim::rng::Rng;
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
 

@@ -1,0 +1,130 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each job result lives in `results/cache/<fnv64(scenario + seed +
+//! code_version)>.json`. The key covers the full scenario description and
+//! a code-version string, so changing either the configuration or the
+//! simulator invalidates exactly the affected cells; re-running a sweep
+//! only executes the missing ones, and an interrupted sweep resumes where
+//! it stopped.
+
+use crate::json::Json;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The on-disk cache. Dropping in a different directory (e.g. a tempdir
+/// in tests) isolates runs completely.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (and lazily creates) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The conventional location: `results/cache` under the repo root.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results/cache")
+    }
+
+    /// The cache key for a job: `fnv64(scenario + seed + code_version)`.
+    pub fn key(scenario: &str, seed: u64, code_version: &str) -> u64 {
+        let mut bytes = Vec::with_capacity(scenario.len() + code_version.len() + 16);
+        bytes.extend_from_slice(scenario.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(code_version.as_bytes());
+        fnv64(&bytes)
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Loads a cached result, or `None` when absent or unreadable
+    /// (a corrupt entry behaves like a miss and is overwritten on store).
+    pub fn load(&self, key: u64) -> Option<Json> {
+        let text = fs::read_to_string(self.path(key)).ok()?;
+        Json::parse(&text).ok()
+    }
+
+    /// Stores a result atomically (write to a temp file, then rename),
+    /// so an interrupted run never leaves a truncated entry behind.
+    pub fn store(&self, key: u64, value: &Json) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!(".{key:016x}.tmp"));
+        fs::write(&tmp, value.dump())?;
+        fs::rename(&tmp, self.path(key))
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("liteworp-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_separates_fields() {
+        // "ab" + seed vs "a" + different-bytes must not collide by
+        // concatenation ambiguity thanks to separators.
+        let a = ResultCache::key("scenario-a", 1, "v1");
+        assert_ne!(a, ResultCache::key("scenario-a", 2, "v1"));
+        assert_ne!(a, ResultCache::key("scenario-b", 1, "v1"));
+        assert_ne!(a, ResultCache::key("scenario-a", 1, "v2"));
+        assert_eq!(a, ResultCache::key("scenario-a", 1, "v1"));
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let cache = ResultCache::new(tempdir("roundtrip"));
+        let key = ResultCache::key("s", 3, "v");
+        assert_eq!(cache.load(key), None, "cold cache misses");
+        let value = Json::object([("drops", Json::from(17u64))]);
+        cache.store(key, &value).unwrap();
+        assert_eq!(cache.load(key), Some(value));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = ResultCache::new(tempdir("corrupt"));
+        let key = ResultCache::key("s", 4, "v");
+        fs::create_dir_all(cache.dir()).unwrap();
+        fs::write(cache.dir().join(format!("{key:016x}.json")), "{not json").unwrap();
+        assert_eq!(cache.load(key), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

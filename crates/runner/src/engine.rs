@@ -1,0 +1,431 @@
+//! The execution engine: describes simulation jobs, runs them on the
+//! [`pool`](crate::pool) with the [`cache`](crate::cache) in front, and
+//! reports a [`Manifest`] of what happened.
+//!
+//! # Determinism contract
+//!
+//! A job is identified by `(scenario, seed)`. Its RNG seed is
+//! [`JobSpec::derived_seed`] — a pure function of the scenario hash and
+//! the seed index — and results are returned in job order, so any
+//! aggregate computed over them is byte-identical at every thread count,
+//! with or without cache hits.
+
+use crate::cache::{fnv64, ResultCache};
+use crate::json::Json;
+use crate::pool;
+use crate::rng::derive_seed;
+use std::time::Instant;
+
+/// One unit of work: a scenario cell at one seed index.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable label for manifests and error reports
+    /// (e.g. `"fig9 m=2 liteworp"`).
+    pub label: String,
+    /// Canonical description of the full scenario configuration. Equal
+    /// strings mean "the same experiment cell"; the cache and the per-job
+    /// RNG both key off it.
+    pub scenario: String,
+    /// Seed index within the cell (`0..cfg.seeds`).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// The 64-bit hash of the scenario description.
+    pub fn scenario_hash(&self) -> u64 {
+        fnv64(self.scenario.as_bytes())
+    }
+
+    /// The RNG seed this job must simulate with: splitmix-derived from
+    /// `(scenario_hash, seed)`, independent of scheduling.
+    pub fn derived_seed(&self) -> u64 {
+        derive_seed(self.scenario_hash(), self.seed)
+    }
+}
+
+/// Values that can round-trip through the result cache.
+pub trait CacheValue: Sized {
+    /// Serializes for the cache and result files.
+    fn to_json(&self) -> Json;
+    /// Deserializes a cached entry; `None` marks it stale/corrupt (it is
+    /// then recomputed, not trusted).
+    fn from_json(json: &Json) -> Option<Self>;
+}
+
+/// How to execute a batch.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads (`pool::resolve_threads` turns `--jobs` /
+    /// `LITEWORP_JOBS` / core count into this).
+    pub threads: usize,
+    /// Result cache, or `None` to always execute.
+    pub cache: Option<ResultCache>,
+    /// Version string folded into every cache key; bump it when simulator
+    /// behavior changes so stale results are never reused.
+    pub code_version: String,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: pool::resolve_threads(None),
+            cache: None,
+            code_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+/// A job that did not produce a result.
+#[derive(Debug, Clone)]
+pub struct JobError {
+    /// The job's label.
+    pub label: String,
+    /// Seed index of the failing job.
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job '{}' (seed {}): {}",
+            self.label, self.seed, self.message
+        )
+    }
+}
+
+/// Timing and provenance of one executed job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's label.
+    pub label: String,
+    /// Seed index.
+    pub seed: u64,
+    /// Cache key used for this job.
+    pub key: u64,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Whether the job failed.
+    pub failed: bool,
+    /// Wall-clock of this job in milliseconds.
+    pub wall_ms: f64,
+    /// Worker thread that ran it.
+    pub worker: usize,
+}
+
+/// What a run did: per-job wall-clock, cache hit/miss counts, and thread
+/// utilization.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total jobs in the batch.
+    pub jobs: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Jobs that executed a simulation.
+    pub cache_misses: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+    /// Wall-clock of the whole batch in milliseconds.
+    pub wall_ms: f64,
+    /// Busy-fraction per worker over the batch.
+    pub utilization: Vec<f64>,
+    /// One record per job, in job order.
+    pub per_job: Vec<JobRecord>,
+}
+
+impl Manifest {
+    /// The one-line summary the experiment binaries print.
+    pub fn summary_line(&self) -> String {
+        let util = if self.utilization.is_empty() {
+            0.0
+        } else {
+            self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
+        };
+        format!(
+            "runner: {} jobs on {} threads in {:.2} s ({} cache hits, {} executed, {} failed, {:.0}% utilization)",
+            self.jobs,
+            self.threads,
+            self.wall_ms / 1000.0,
+            self.cache_hits,
+            self.cache_misses,
+            self.failed,
+            util * 100.0
+        )
+    }
+
+    /// Full manifest as JSON (for `results/` provenance files).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("threads", Json::from(self.threads)),
+            ("jobs", Json::from(self.jobs)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("failed", Json::from(self.failed)),
+            ("wall_ms", Json::from(self.wall_ms)),
+            (
+                "utilization",
+                Json::Arr(self.utilization.iter().map(|&u| Json::from(u)).collect()),
+            ),
+            (
+                "per_job",
+                Json::Arr(
+                    self.per_job
+                        .iter()
+                        .map(|j| {
+                            Json::object([
+                                ("label", Json::from(j.label.clone())),
+                                ("seed", Json::from(j.seed)),
+                                ("key", Json::from(format!("{:016x}", j.key))),
+                                ("cached", Json::from(j.cached)),
+                                ("failed", Json::from(j.failed)),
+                                ("wall_ms", Json::from(j.wall_ms)),
+                                ("worker", Json::from(j.worker)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A finished batch: per-job results in job order, plus the manifest.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// One entry per job, in the order the jobs were given.
+    pub results: Vec<Result<T, JobError>>,
+    /// What happened.
+    pub manifest: Manifest,
+}
+
+impl<T> RunReport<T> {
+    /// The successful results in job order (failed jobs skipped).
+    pub fn successes(&self) -> impl Iterator<Item = &T> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+}
+
+/// Executes a batch of jobs: cache lookup first, then the simulation via
+/// `exec(job, derived_seed)` on the thread pool, storing fresh results
+/// back into the cache.
+pub fn run_jobs<T, F>(cfg: &RunConfig, jobs: &[JobSpec], exec: F) -> RunReport<T>
+where
+    T: CacheValue + Send,
+    F: Fn(&JobSpec, u64) -> T + Sync,
+{
+    let started = Instant::now();
+    let keys: Vec<u64> = jobs
+        .iter()
+        .map(|j| ResultCache::key(&j.scenario, j.seed, &cfg.code_version))
+        .collect();
+
+    enum Outcome<T> {
+        Hit(T),
+        Miss(T),
+    }
+
+    let (runs, pool_stats) = pool::run(cfg.threads, jobs.len(), |i| {
+        let job = &jobs[i];
+        if let Some(cache) = &cfg.cache {
+            if let Some(value) = cache.load(keys[i]).as_ref().and_then(T::from_json) {
+                return Outcome::Hit(value);
+            }
+        }
+        let value = exec(job, job.derived_seed());
+        if let Some(cache) = &cfg.cache {
+            if let Err(e) = cache.store(keys[i], &value.to_json()) {
+                eprintln!("warning: cache store failed for {}: {e}", job.label);
+            }
+        }
+        Outcome::Miss(value)
+    });
+
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut per_job = Vec::with_capacity(jobs.len());
+    let (mut hits, mut misses, mut failed) = (0, 0, 0);
+    for ((job, run), key) in jobs.iter().zip(runs).zip(&keys) {
+        // A panic inside `exec` unwinds through the closure above, so the
+        // pool reports it as Err even though the closure returns Outcome.
+        let outcome = match run.result {
+            Ok(Outcome::Hit(v)) => {
+                hits += 1;
+                Ok((v, true))
+            }
+            Ok(Outcome::Miss(v)) => {
+                misses += 1;
+                Ok((v, false))
+            }
+            Err(msg) => {
+                failed += 1;
+                Err(msg)
+            }
+        };
+        let (cached, job_failed) = match &outcome {
+            Ok((_, cached)) => (*cached, false),
+            Err(_) => (false, true),
+        };
+        per_job.push(JobRecord {
+            label: job.label.clone(),
+            seed: job.seed,
+            key: *key,
+            cached,
+            failed: job_failed,
+            wall_ms: run.elapsed.as_secs_f64() * 1000.0,
+            worker: run.worker,
+        });
+        results.push(outcome.map(|(v, _)| v).map_err(|message| JobError {
+            label: job.label.clone(),
+            seed: job.seed,
+            message,
+        }));
+    }
+
+    RunReport {
+        results,
+        manifest: Manifest {
+            threads: pool_stats.threads,
+            jobs: jobs.len(),
+            cache_hits: hits,
+            cache_misses: misses,
+            failed,
+            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
+            utilization: pool_stats.utilization(),
+            per_job,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Val(f64);
+
+    impl CacheValue for Val {
+        fn to_json(&self) -> Json {
+            Json::object([("v", Json::from(self.0))])
+        }
+        fn from_json(json: &Json) -> Option<Self> {
+            json.get("v")?.as_f64().map(Val)
+        }
+    }
+
+    fn jobs(n: u64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|seed| JobSpec {
+                label: format!("cell seed={seed}"),
+                scenario: "test-scenario".into(),
+                seed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_per_job() {
+        let js = jobs(10);
+        let mut seen = std::collections::BTreeSet::new();
+        for j in &js {
+            assert!(seen.insert(j.derived_seed()));
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_job_order_at_any_thread_count() {
+        let js = jobs(16);
+        let exec = |j: &JobSpec, derived: u64| Val((j.seed as f64) + (derived % 7) as f64);
+        let one = run_jobs(
+            &RunConfig {
+                threads: 1,
+                ..RunConfig::default()
+            },
+            &js,
+            exec,
+        );
+        let four = run_jobs(
+            &RunConfig {
+                threads: 4,
+                ..RunConfig::default()
+            },
+            &js,
+            exec,
+        );
+        let a: Vec<f64> = one.successes().map(|v| v.0).collect();
+        let b: Vec<f64> = four.successes().map(|v| v.0).collect();
+        assert_eq!(a, b);
+        assert_eq!(one.manifest.cache_misses, 16, "no cache configured");
+    }
+
+    #[test]
+    fn cache_round_trip_skips_execution() {
+        let dir = std::env::temp_dir().join(format!("liteworp-engine-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RunConfig {
+            threads: 2,
+            cache: Some(ResultCache::new(&dir)),
+            code_version: "test-v1".into(),
+        };
+        let executions = AtomicUsize::new(0);
+        let exec = |j: &JobSpec, _: u64| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            Val(j.seed as f64 * 2.0)
+        };
+        let first = run_jobs(&cfg, &jobs(8), exec);
+        assert_eq!(first.manifest.cache_hits, 0);
+        assert_eq!(executions.load(Ordering::SeqCst), 8);
+        let second = run_jobs(&cfg, &jobs(8), exec);
+        assert_eq!(second.manifest.cache_hits, 8, "all hits on re-run");
+        assert_eq!(executions.load(Ordering::SeqCst), 8, "no re-execution");
+        let a: Vec<f64> = first.successes().map(|v| v.0).collect();
+        let b: Vec<f64> = second.successes().map(|v| v.0).collect();
+        assert_eq!(a, b, "cached results identical to fresh ones");
+        // A different code version invalidates every entry.
+        let bumped = RunConfig {
+            code_version: "test-v2".into(),
+            ..cfg
+        };
+        let third = run_jobs(&bumped, &jobs(8), exec);
+        assert_eq!(third.manifest.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated() {
+        let js = jobs(6);
+        let report = run_jobs(
+            &RunConfig {
+                threads: 3,
+                ..RunConfig::default()
+            },
+            &js,
+            |j, _| {
+                if j.seed == 2 {
+                    panic!("scenario build failed");
+                }
+                Val(1.0)
+            },
+        );
+        assert_eq!(report.manifest.failed, 1);
+        assert_eq!(report.successes().count(), 5);
+        let err = report.results[2].as_ref().unwrap_err();
+        assert!(err.message.contains("scenario build failed"), "{err}");
+        assert!(report.manifest.per_job[2].failed);
+    }
+
+    #[test]
+    fn manifest_serializes() {
+        let report = run_jobs(&RunConfig::default(), &jobs(3), |j, _| Val(j.seed as f64));
+        let json = report.manifest.to_json();
+        assert_eq!(json.get("jobs").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            json.get("per_job").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+        assert!(report.manifest.summary_line().contains("3 jobs"));
+    }
+}

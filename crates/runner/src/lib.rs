@@ -1,0 +1,38 @@
+//! `liteworp-runner`: parallel, deterministic, cache-aware experiment
+//! execution for the LITEWORP reproduction.
+//!
+//! Every headline result of the paper replays tens of independent seeded
+//! simulations. This crate turns that embarrassingly parallel workload
+//! into an execution engine with three guarantees:
+//!
+//! 1. **Determinism** — each job's RNG seed is derived purely from the
+//!    job's identity (`(scenario_hash, seed)`, mixed with splitmix64), so
+//!    aggregates are byte-identical at any thread count ([`engine`],
+//!    [`rng`]).
+//! 2. **Resumability** — job results are stored in a content-addressed
+//!    on-disk cache keyed by `fnv64(scenario + seed + code_version)`;
+//!    re-running a sweep only executes missing or changed cells
+//!    ([`cache`]).
+//! 3. **Observability** — every run produces a [`engine::Manifest`]
+//!    recording per-job wall-clock, cache hit/miss counts, and thread
+//!    utilization.
+//!
+//! The crate is dependency-free (std only) and also hosts the workspace's
+//! shared deterministic RNG ([`rng`]) and a minimal JSON reader/writer
+//! ([`json`]) so no crate in the default build needs the network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod pool;
+pub mod rng;
+pub mod stats;
+
+pub use cache::ResultCache;
+pub use engine::{run_jobs, CacheValue, JobError, JobSpec, Manifest, RunConfig, RunReport};
+pub use json::Json;
+pub use rng::{Pcg32, Rng};
+pub use stats::Summary;

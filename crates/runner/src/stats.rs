@@ -1,0 +1,88 @@
+//! The aggregation layer: summary statistics over per-seed results.
+
+/// Mean, spread, and a 95% confidence interval over independent samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval of the mean
+    /// (`1.96 · s / √n`; 0 with fewer than two samples).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of samples.
+    ///
+    /// The mean is accumulated in slice order, so for a fixed sample
+    /// order the result is bit-identical regardless of how the samples
+    /// were produced (the runner's determinism contract leans on this).
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        let mean = mean(xs);
+        let std_dev = std_dev(xs, mean);
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * std_dev / (n as f64).sqrt()
+        };
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+
+    /// Renders as `mean ± ci95`.
+    pub fn display(&self, decimals: usize) -> String {
+        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.ci95)
+    }
+}
+
+/// Mean of a slice (0 when empty), accumulated in slice order.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn std_dev(xs: &[f64], mean: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = Summary::of(&[]);
+        assert_eq!((s.n, s.mean, s.std_dev, s.ci95), (0, 0.0, 0.0, 0.0));
+        let s = Summary::of(&[5.0]);
+        assert_eq!((s.n, s.mean, s.std_dev, s.ci95), (1, 5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138_089_935).abs() < 1e-6);
+        assert!((s.ci95 - 1.96 * s.std_dev / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.display(1), "2.0 ± 2.0");
+    }
+}

@@ -11,14 +11,13 @@
 use liteworp::types::NodeId as CoreId;
 use liteworp_netsim::field::{Field, NodeId as SimId};
 use liteworp_netsim::prelude::{RadioConfig, SimDuration, SimTime, Simulator};
+use liteworp_netsim::rng::Pcg32;
 use liteworp_routing::node::ProtocolNode;
 use liteworp_routing::params::{DiscoveryMode, NodeParams};
 use liteworp_routing::Packet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Pcg32::seed_from_u64(5);
     let nodes = 25;
     let field = Field::connected_with_average_neighbors(nodes, 8.0, 30.0, 200, &mut rng)
         .expect("connected deployment");

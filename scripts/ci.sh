@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI entry point: everything must pass offline (the workspace has no
+# external dependencies, so --offline is a guarantee, not an optimization).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> cargo test (offline)"
+cargo test --offline -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> benches compile (offline)"
+cargo build --benches --offline
+
+echo "CI OK"

@@ -7,8 +7,7 @@ use liteworp_analysis::cost::CostModel;
 use liteworp_analysis::geometry::GuardGeometry;
 use liteworp_bench::Scenario;
 use liteworp_netsim::field::{Field, NodeId as SimId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use liteworp_netsim::rng::Pcg32;
 
 #[test]
 fn simulated_collision_rate_is_in_the_analysis_regime() {
@@ -34,7 +33,7 @@ fn simulated_collision_rate_is_in_the_analysis_regime() {
 fn empirical_guard_count_tracks_the_geometry() {
     // Count actual guards (common neighbors of link endpoints) over many
     // random links and compare with the lens-area expectation.
-    let mut rng = StdRng::seed_from_u64(62);
+    let mut rng = Pcg32::seed_from_u64(62);
     let field = Field::with_average_neighbors(600, 8.0, 30.0, &mut rng);
     let geo = GuardGeometry::new(30.0);
     let mut total_guards = 0usize;

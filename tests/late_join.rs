@@ -6,18 +6,17 @@
 use liteworp::types::NodeId as CoreId;
 use liteworp_netsim::field::{Field, NodeId as SimId, Position};
 use liteworp_netsim::prelude::{RadioConfig, SimDuration, SimTime, Simulator};
+use liteworp_netsim::rng::Pcg32;
 use liteworp_routing::bootstrap::preload_liteworp;
 use liteworp_routing::node::ProtocolNode;
 use liteworp_routing::params::{DiscoveryMode, NodeParams};
 use liteworp_routing::Packet;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Builds a connected 20-node field plus one extra position (the joiner)
 /// placed next to node 0. Returns `(veterans_only, full)` so the veterans
 /// can be bootstrapped without any knowledge of the joiner.
 fn field_with_joiner() -> (Field, Field) {
-    let mut rng = StdRng::seed_from_u64(71);
+    let mut rng = Pcg32::seed_from_u64(71);
     let base = Field::connected_with_average_neighbors(20, 8.0, 30.0, 200, &mut rng)
         .expect("connected deployment");
     let mut positions: Vec<Position> = base.positions().to_vec();

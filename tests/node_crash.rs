@@ -50,12 +50,11 @@ impl NodeLogic<Packet> for CrashingNode {
 fn network_survives_a_relay_crash() {
     use liteworp_netsim::field::Field;
     use liteworp_netsim::prelude::{RadioConfig, SimDuration, Simulator};
+    use liteworp_netsim::rng::Pcg32;
     use liteworp_routing::bootstrap::preload_liteworp;
     use liteworp_routing::params::NodeParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    let mut rng = StdRng::seed_from_u64(81);
+    let mut rng = Pcg32::seed_from_u64(81);
     let nodes = 40usize;
     let field = Field::connected_with_average_neighbors(nodes, 8.0, 30.0, 200, &mut rng)
         .expect("connected deployment");
