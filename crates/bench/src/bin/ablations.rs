@@ -2,12 +2,14 @@
 //! it costs (see `experiments::ablation` for the variant list).
 //!
 //! Flags: --seeds N (5), --duration S (800), --nodes N (50),
-//!        --jobs N (all cores), --no-cache
+//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::ablation::{run_with, AblationConfig};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 use liteworp_runner::Json;
 
 fn main() {
@@ -20,6 +22,17 @@ fn main() {
     eprintln!("running ablations: {cfg:?}");
     let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
     eprintln!("{}", manifest.summary_line());
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            malicious: 2,
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        Some(&manifest),
+    );
     println!(
         "Ablation study ({} nodes, M = 2, {} runs per variant, {} s each)\n",
         cfg.nodes, cfg.seeds, cfg.duration

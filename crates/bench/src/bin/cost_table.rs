@@ -1,11 +1,14 @@
 //! Section 5.2 cost analysis: closed-form accounting plus live
 //! measurements.
 //!
-//! Flags: --nodes N (100), --duration S (500), --seed N (4)
+//! Flags: --nodes N (100), --duration S (500), --seed N (4),
+//!        --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::cost::{cost_table, CostConfig};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
@@ -17,6 +20,17 @@ fn main() {
     };
     eprintln!("running cost measurement: {cfg:?}");
     let rows = cost_table(&cfg);
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            malicious: 2,
+            protected: true,
+            seed: cfg.seed,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        None,
+    );
     println!("Section 5.2: LITEWORP cost analysis\n");
     let table: Vec<Vec<String>> = rows
         .iter()

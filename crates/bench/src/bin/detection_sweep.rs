@@ -3,12 +3,14 @@
 //! network sizes and densities.
 //!
 //! Flags: --seeds N (10), --duration S (800), --jobs N (all cores),
-//!        --no-cache
+//!        --no-cache, --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::sweep::{run_with, SweepConfig};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 use liteworp_runner::Json;
 
 fn main() {
@@ -22,6 +24,18 @@ fn main() {
     eprintln!("running detection sweep: {cfg:?}");
     let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
     eprintln!("{}", manifest.summary_line());
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.node_counts.first().copied().unwrap_or(50),
+            avg_neighbors: cfg.densities.first().copied().unwrap_or(8.0),
+            malicious: 2,
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        Some(&manifest),
+    );
     println!(
         "Detection & isolation across scenarios (M = 2, {} runs per cell, {} s each)\n",
         cfg.seeds, cfg.duration

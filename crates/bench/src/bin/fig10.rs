@@ -3,12 +3,15 @@
 //! (N_B = 15, M = 2).
 //!
 //! Flags: --seeds N (10), --duration S (800), --nodes N (100),
-//!        --jobs N (all cores), --no-cache
+//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
 
+use liteworp::config::Config;
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::fig10::{run_with, Fig10Config};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 use liteworp_runner::Json;
 
 fn main() {
@@ -22,6 +25,22 @@ fn main() {
     eprintln!("running fig10: {cfg:?}");
     let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
     eprintln!("{}", manifest.summary_line());
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            avg_neighbors: cfg.avg_neighbors,
+            malicious: 2,
+            protected: true,
+            liteworp: Config {
+                confidence_index: cfg.gammas.first().copied().unwrap_or(2),
+                ..Config::default()
+            },
+            seed: 1,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        Some(&manifest),
+    );
     println!(
         "Figure 10: detection probability and isolation latency vs gamma (N_B = {}, M = 2, {} runs each)\n",
         cfg.avg_neighbors, cfg.seeds

@@ -1,10 +1,27 @@
 //! Figure 6(a): probability of wormhole detection vs number of neighbors
 //! (analytical model, Section 5.1).
+//!
+//! Flags: --trace PATH, --metrics PATH (runs one instrumented simulation
+//! seed alongside the analytical sweep)
 
+use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::fig6;
 use liteworp_bench::report::{fmt_prob, render_table};
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 
 fn main() {
+    let flags = Flags::from_env();
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            malicious: 2,
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        flags.get_f64("duration", 400.0),
+        None,
+    );
     let rows = fig6::sweep(fig6::paper_model(), fig6::default_grid());
     println!("Figure 6(a): P(wormhole detection) vs N_B");
     println!("(T=7, k=5, gamma=3, M=2, P_C=0.05 at N_B=3 scaling linearly)\n");

@@ -2,12 +2,15 @@
 //! time, 100 nodes, M in {2, 4}, with and without LITEWORP.
 //!
 //! Flags: --seeds N (default 10), --duration S (2000), --nodes N (100),
-//!        --sample S (50), --jobs N (all cores), --no-cache
+//!        --sample S (50), --jobs N (all cores), --no-cache,
+//!        --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::fig8::{run_with, Fig8Config};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 use liteworp_runner::Json;
 
 fn main() {
@@ -22,6 +25,17 @@ fn main() {
     eprintln!("running fig8: {cfg:?}");
     let (series, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
     eprintln!("{}", manifest.summary_line());
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            malicious: cfg.colluder_counts.first().copied().unwrap_or(2),
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        Some(&manifest),
+    );
     println!(
         "Figure 8: cumulative wormhole drops vs time ({} nodes, attack at 50 s, mean of {} runs)\n",
         cfg.nodes, cfg.seeds

@@ -3,12 +3,14 @@
 //! t = 2000 s).
 //!
 //! Flags: --seeds N (10), --duration S (2000), --nodes N (100),
-//!        --jobs N (all cores), --no-cache
+//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::fig9::{run_with, Fig9Config};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 use liteworp_runner::Json;
 
 fn main() {
@@ -22,6 +24,22 @@ fn main() {
     eprintln!("running fig9: {cfg:?}");
     let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
     eprintln!("{}", manifest.summary_line());
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            malicious: cfg
+                .colluder_counts
+                .iter()
+                .copied()
+                .find(|&m| m > 0)
+                .unwrap_or(2),
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        Some(&manifest),
+    );
     println!(
         "Figure 9: wormhole impact at t = {:.0} s ({} nodes, mean of {} runs)\n",
         cfg.duration, cfg.nodes, cfg.seeds

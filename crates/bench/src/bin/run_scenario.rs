@@ -6,10 +6,12 @@
 //!              [--protected 1] [--attack wormhole|encapsulation|highpower|relay|rushing]
 //!              [--duration 1000] [--seed 1] [--gamma 2] [--ct 6]
 //!              [--monitor-data 0] [--sample 100]
+//!              [--trace PATH] [--metrics PATH]
 //! ```
 
 use liteworp::config::Config;
 use liteworp_bench::cli::Flags;
+use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::{Scenario, ScenarioAttack};
 
 fn main() {
@@ -77,6 +79,8 @@ fn main() {
         );
     }
 
+    TelemetryFlags::from_flags(&flags).export_run(&run, None);
+
     println!();
     let (routes, bad) = run.route_counts();
     println!("routes: {routes} total, {bad} through malicious relays");
@@ -85,13 +89,13 @@ fn main() {
         Some(l) => println!("complete isolation {l:.1} s after attack start"),
         None => println!("isolation incomplete at end of run"),
     }
-    let mal: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
-    let honest: std::collections::BTreeSet<u64> = run
+    let mal: Vec<u32> = run.malicious().iter().map(|m| m.0).collect();
+    let honest: std::collections::BTreeSet<u32> = run
         .sim()
         .trace()
-        .with_tag("isolated")
-        .filter(|e| !mal.contains(&e.value))
-        .map(|e| e.value)
+        .isolations()
+        .filter(|i| !mal.contains(&i.suspect.0))
+        .map(|i| i.suspect.0)
         .collect();
     println!("honest nodes falsely isolated: {}", honest.len());
     println!("\nmetrics:");

@@ -1,11 +1,14 @@
 //! Table 1: the wormhole attack-mode taxonomy, each row verified by a
 //! live protected simulation run.
 //!
-//! Flags: --nodes N (40), --duration S (400), --seed N (9)
+//! Flags: --nodes N (40), --duration S (400), --seed N (9),
+//!        --trace PATH, --metrics PATH
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::tables::{table1, Table1Config};
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
@@ -16,6 +19,17 @@ fn main() {
     };
     eprintln!("running table1 verification: {cfg:?}");
     let rows = table1(&cfg);
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            nodes: cfg.nodes,
+            malicious: 2,
+            protected: true,
+            seed: cfg.seed,
+            ..Scenario::default()
+        },
+        cfg.duration,
+        None,
+    );
     println!("Table 1: wormhole attack modes (verified live)\n");
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -1,10 +1,27 @@
 //! Table 2: simulation input parameters — the paper's values next to the
 //! configuration this reproduction actually runs.
+//!
+//! Flags: --trace PATH, --metrics PATH (runs one instrumented simulation
+//! seed at the tabulated parameters)
 
+use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::tables::table2;
 use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_bench::Scenario;
 
 fn main() {
+    let flags = Flags::from_env();
+    TelemetryFlags::from_flags(&flags).export_scenario(
+        &Scenario {
+            malicious: 2,
+            protected: true,
+            seed: 1,
+            ..Scenario::default()
+        },
+        flags.get_f64("duration", 400.0),
+        None,
+    );
     println!("Table 2: input parameter values\n");
     let rows = table2();
     let table: Vec<Vec<String>> = rows

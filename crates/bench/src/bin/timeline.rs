@@ -2,8 +2,10 @@
 //! isolations, and the route milestones in between.
 //!
 //! Flags: --nodes 50 --duration 400 --seed 1 --malicious 2 --protected 1
+//!        --trace PATH --metrics PATH
 
 use liteworp_bench::cli::Flags;
+use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::timeline::{render, timeline};
 use liteworp_bench::Scenario;
 
@@ -19,6 +21,7 @@ fn main() {
     .build();
     let duration = flags.get_f64("duration", 400.0);
     run.run_until_secs(duration);
+    TelemetryFlags::from_flags(&flags).export_run(&run, None);
     print!("{}", render(&timeline(&run)));
     println!(
         "\nat t = {duration:.0} s: {} data sent, {} delivered, {} swallowed by the wormhole",

@@ -84,6 +84,11 @@ impl Flags {
         self.get_parsed(key).unwrap_or(false)
     }
 
+    /// String flag (`None` when absent), e.g. `--trace out.jsonl`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.values.get(key).map(|v| {
             v.parse()
@@ -104,6 +109,9 @@ mod tests {
         assert_eq!(f.get_usize("a", 0), 1);
         assert_eq!(f.get_opt_usize("a"), Some(1));
         assert_eq!(f.get_opt_usize("b"), None);
+        let f = Flags::parse(["--trace", "out.jsonl"]);
+        assert_eq!(f.get_str("trace"), Some("out.jsonl"));
+        assert_eq!(f.get_str("metrics"), None);
     }
 
     #[test]

@@ -254,15 +254,15 @@ fn execute(cell: &SimCell, derived_seed: u64) -> SeedOutcome {
     let first_detection_latency = run
         .sim()
         .trace()
-        .first_time("isolated")
+        .first_isolation_time()
         .map(|t| t.saturating_since(run.attack_start()).as_secs_f64());
-    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
-    let falsely_isolated: BTreeSet<u64> = run
+    let malicious: Vec<u32> = run.malicious().iter().map(|m| m.0).collect();
+    let falsely_isolated: BTreeSet<u32> = run
         .sim()
         .trace()
-        .with_tag("isolated")
-        .filter(|e| !malicious.contains(&e.value))
-        .map(|e| e.value)
+        .isolations()
+        .filter(|i| !malicious.contains(&i.suspect.0))
+        .map(|i| i.suspect.0)
         .collect();
 
     SeedOutcome {

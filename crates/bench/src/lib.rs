@@ -10,6 +10,7 @@ pub mod exec;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod telemetry_out;
 pub mod timeline;
 pub mod timing;
 

@@ -344,8 +344,8 @@ impl ScenarioRun {
     pub fn detected(&self, m: CoreId) -> bool {
         self.sim
             .trace()
-            .with_tag("isolated")
-            .any(|e| e.value == m.0 as u64)
+            .isolations()
+            .any(|i| i.suspect == SimId(m.0))
     }
 
     /// The time at which *every* honest neighbor of `m` had isolated it,
@@ -360,9 +360,9 @@ impl ScenarioRun {
             let t = self
                 .sim
                 .trace()
-                .with_tag("isolated")
-                .filter(|e| e.value == m.0 as u64 && e.node == SimId(n.0))
-                .map(|e| e.time)
+                .isolations()
+                .filter(|i| i.suspect == SimId(m.0) && i.guard == SimId(n.0))
+                .map(|i| i.time)
                 .next()?;
             if t > latest {
                 latest = t;
@@ -432,12 +432,7 @@ mod tests {
         assert!(
             run.all_detected(),
             "every colluder should be detected; trace: {:?}",
-            run.sim()
-                .trace()
-                .events()
-                .iter()
-                .take(40)
-                .collect::<Vec<_>>()
+            run.sim().trace().events().take(40).collect::<Vec<_>>()
         );
     }
 
@@ -470,6 +465,6 @@ mod tests {
         assert!(run.data_delivered() > 0, "traffic should flow");
         assert!(!run.all_routes().is_empty());
         // No honest node should ever be isolated.
-        assert_eq!(run.sim().trace().with_tag("isolated").count(), 0);
+        assert_eq!(run.sim().trace().isolations().count(), 0);
     }
 }

@@ -1,0 +1,237 @@
+//! Machine-readable telemetry export behind the `--trace <path>` and
+//! `--metrics <path>` flags every experiment binary accepts.
+//!
+//! `--trace` writes the typed protocol event log as JSONL (one event per
+//! line, sim-time order). `--metrics` writes one JSON document with exact
+//! per-event-kind counters, the simulator's frame/packet metrics,
+//! log2-bucket histograms (detection latency, route hops, per-job wall
+//! clock), and — for batch experiments — the full run manifest with the
+//! engine's profiling percentiles.
+//!
+//! Batch experiments aggregate over many seeds and cache only their
+//! aggregate outcomes, so the export runs *one dedicated instrumented
+//! seed* of a representative scenario (cache-bypassing by construction)
+//! and serializes that run's trace; the manifest still describes the full
+//! batch.
+
+use crate::cli::Flags;
+use crate::scenario::{Scenario, ScenarioRun};
+use liteworp_netsim::prelude::TraceKind;
+use liteworp_runner::{Json, Manifest};
+use liteworp_telemetry::Histogram;
+use std::path::{Path, PathBuf};
+
+/// Where (and whether) to export telemetry, parsed from the CLI.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryFlags {
+    /// `--trace <path>`: JSONL event trace destination.
+    pub trace: Option<PathBuf>,
+    /// `--metrics <path>`: metrics snapshot destination.
+    pub metrics: Option<PathBuf>,
+}
+
+impl TelemetryFlags {
+    /// Reads `--trace` and `--metrics` from parsed flags.
+    pub fn from_flags(flags: &Flags) -> Self {
+        TelemetryFlags {
+            trace: flags.get_str("trace").map(PathBuf::from),
+            metrics: flags.get_str("metrics").map(PathBuf::from),
+        }
+    }
+
+    /// Whether any export was requested.
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Runs one instrumented seed of `scenario` for `duration` simulated
+    /// seconds and exports its telemetry. No-op when inactive.
+    pub fn export_scenario(&self, scenario: &Scenario, duration: f64, manifest: Option<&Manifest>) {
+        if !self.active() {
+            return;
+        }
+        eprintln!(
+            "telemetry: instrumented run ({} nodes, M={}, LITEWORP {}, seed {}) for {duration} s",
+            scenario.nodes,
+            scenario.malicious,
+            if scenario.protected { "on" } else { "off" },
+            scenario.seed,
+        );
+        let mut run = scenario.build();
+        run.run_until_secs(duration);
+        self.export_run(&run, manifest);
+    }
+
+    /// Exports the telemetry of an already-finished run. No-op when
+    /// inactive.
+    pub fn export_run(&self, run: &ScenarioRun, manifest: Option<&Manifest>) {
+        if let Some(path) = &self.trace {
+            write_or_warn(path, &run.sim().trace().log().to_jsonl());
+            eprintln!(
+                "telemetry: wrote {} events to {}",
+                run.sim().trace().log().len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &self.metrics {
+            write_or_warn(path, &(metrics_json(run, manifest).dump() + "\n"));
+            eprintln!("telemetry: wrote metrics to {}", path.display());
+        }
+    }
+}
+
+/// Builds the `--metrics` document for one finished run.
+pub fn metrics_json(run: &ScenarioRun, manifest: Option<&Manifest>) -> Json {
+    let log = run.sim().trace().log();
+    let m = run.sim().metrics();
+
+    // Detection latency: attack start → each isolation, in milliseconds.
+    let mut detection_latency_ms = Histogram::default();
+    for iso in run.sim().trace().isolations() {
+        let since = iso.time.saturating_since(run.attack_start());
+        detection_latency_ms.record(since.as_micros() / 1_000);
+    }
+    // Hop counts of established routes.
+    let mut route_hops = Histogram::default();
+    for e in run.sim().trace().events() {
+        if let TraceKind::RouteEstablished { hops, .. } = e.kind {
+            route_hops.record(hops as u64);
+        }
+    }
+    // Per-job wall clock of the surrounding batch, when there was one.
+    let job_wall_ms = manifest.map(|man| {
+        let mut h = Histogram::default();
+        for j in &man.per_job {
+            h.record(j.wall_ms.max(0.0) as u64);
+        }
+        h
+    });
+
+    let mut custom: Vec<(&'static str, Json)> = Vec::new();
+    for (k, v) in m.iter_custom() {
+        custom.push((k, Json::from(v)));
+    }
+
+    Json::object([
+        (
+            "scenario",
+            Json::object([
+                ("nodes", Json::from(run.sim().node_count())),
+                (
+                    "malicious",
+                    Json::Arr(
+                        run.malicious()
+                            .iter()
+                            .map(|c| Json::from(c.0 as u64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "attack_start_s",
+                    Json::from(run.attack_start().as_secs_f64()),
+                ),
+                ("now_s", Json::from(run.sim().now().as_secs_f64())),
+            ]),
+        ),
+        ("events", log.counts_json()),
+        ("events_retained", Json::from(log.len())),
+        ("events_dropped", Json::from(log.dropped())),
+        (
+            "sim_metrics",
+            Json::object(
+                [
+                    ("frames_sent", Json::from(m.frames_sent)),
+                    ("frames_delivered", Json::from(m.frames_delivered)),
+                    ("frames_collided", Json::from(m.frames_collided)),
+                    ("frames_lost_noise", Json::from(m.frames_lost_noise)),
+                    ("tunnel_messages", Json::from(m.tunnel_messages)),
+                    ("mac_deferrals", Json::from(m.mac_deferrals)),
+                ]
+                .into_iter()
+                .chain(custom),
+            ),
+        ),
+        (
+            "histograms",
+            Json::object([
+                ("detection_latency_ms", detection_latency_ms.to_json()),
+                ("route_hops", route_hops.to_json()),
+                (
+                    "job_wall_ms",
+                    job_wall_ms.map_or(Json::Null, |h| h.to_json()),
+                ),
+            ]),
+        ),
+        ("manifest", manifest.map_or(Json::Null, |man| man.to_json())),
+    ])
+}
+
+fn write_or_warn(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("warning: cannot create {}: {e}", parent.display());
+            return;
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_paths() {
+        let f = Flags::parse(["--trace", "t.jsonl", "--metrics", "m.json"]);
+        let t = TelemetryFlags::from_flags(&f);
+        assert!(t.active());
+        assert_eq!(t.trace.as_deref(), Some(Path::new("t.jsonl")));
+        assert_eq!(t.metrics.as_deref(), Some(Path::new("m.json")));
+        assert!(!TelemetryFlags::from_flags(&Flags::default()).active());
+    }
+
+    #[test]
+    fn metrics_document_has_the_expected_shape() {
+        let mut run = Scenario {
+            nodes: 30,
+            malicious: 2,
+            protected: true,
+            seed: 5,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(400.0);
+        let doc = metrics_json(&run, None);
+        let parsed = Json::parse(&doc.dump()).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("scenario")
+                .and_then(|s| s.get("nodes"))
+                .and_then(Json::as_u64),
+            Some(30)
+        );
+        let events = parsed.get("events").expect("event counters");
+        assert!(events.get("isolated").and_then(Json::as_u64).unwrap_or(0) > 0);
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("detection_latency_ms"))
+            .expect("latency histogram");
+        assert!(hist.get("count").and_then(Json::as_u64).unwrap_or(0) > 0);
+        assert!(!hist
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        assert_eq!(parsed.get("manifest"), Some(&Json::Null));
+        assert!(
+            parsed
+                .get("sim_metrics")
+                .and_then(|m| m.get("frames_sent"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+    }
+}

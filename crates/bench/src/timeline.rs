@@ -5,6 +5,16 @@
 use crate::scenario::ScenarioRun;
 use liteworp::types::NodeId as CoreId;
 use liteworp_netsim::field::NodeId as SimId;
+use liteworp_netsim::prelude::TraceKind;
+
+/// The γ the run's nodes are configured with (0 when unprotected).
+fn confidence_index(run: &ScenarioRun) -> usize {
+    run.protocol_node(CoreId(0))
+        .params()
+        .liteworp
+        .as_ref()
+        .map_or(0, |c| c.confidence_index)
+}
 
 /// One line of the chronology.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,8 +27,9 @@ pub struct TimelineEntry {
 
 /// Builds the chronology of a finished run.
 ///
-/// Includes the attack start, each node's first suspicion / isolation
-/// event about each colluder (condensed: first and γ-th), per-colluder
+/// Includes the attack start, each colluder's first suspicion, the γ-th
+/// guard alert about it (the alert that confirms isolation under the
+/// detection confidence index), its first isolation, per-colluder
 /// full-isolation instants, and route-establishment milestones.
 pub fn timeline(run: &ScenarioRun) -> Vec<TimelineEntry> {
     let mut out = Vec::new();
@@ -28,30 +39,66 @@ pub fn timeline(run: &ScenarioRun) -> Vec<TimelineEntry> {
         description: format!("attack starts (colluders: {:?})", run.malicious()),
     });
 
-    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
+    let malicious: Vec<u32> = run.malicious().iter().map(|m| m.0).collect();
+    let gamma = confidence_index(run);
 
-    // First suspicion and first isolation per suspect.
+    // First suspicion, γ-th confirming alert, and first isolation per
+    // suspect.
     for &m in run.malicious() {
         let first_susp = run
             .sim()
             .trace()
-            .with_tag("suspected")
-            .find(|e| e.value == m.0 as u64);
-        if let Some(e) = first_susp {
+            .suspicions()
+            .find(|&(_, _, suspect)| suspect == SimId(m.0));
+        if let Some((t, guard, _)) = first_susp {
             out.push(TimelineEntry {
-                time: e.time.as_secs_f64(),
-                description: format!("{} first suspected (by {})", m, e.node),
+                time: t.as_secs_f64(),
+                description: format!("{} first suspected (by {})", m, guard),
             });
+        }
+        // The γ-th accepted alert at the first guard that isolates by
+        // quorum is the alert that tipped the confidence index.
+        if let Some(iso) = run
+            .sim()
+            .trace()
+            .isolations()
+            .find(|i| i.suspect == SimId(m.0) && i.by_alerts)
+        {
+            let gamma_th = run
+                .sim()
+                .trace()
+                .events()
+                .filter_map(|e| match e.kind {
+                    TraceKind::AlertReceived {
+                        guard,
+                        suspect,
+                        accepted: true,
+                    } if SimId(e.node) == iso.guard && suspect == m.0 => Some((e.time_us, guard)),
+                    _ => None,
+                })
+                .nth(gamma.saturating_sub(1));
+            if let Some((t_us, guard)) = gamma_th {
+                out.push(TimelineEntry {
+                    time: t_us as f64 / 1e6,
+                    description: format!(
+                        "{} accused by alert {gamma} of {gamma} (guard {} convinces {}, \
+                         confirming isolation)",
+                        m,
+                        SimId(guard),
+                        iso.guard
+                    ),
+                });
+            }
         }
         let first_iso = run
             .sim()
             .trace()
-            .with_tag("isolated")
-            .find(|e| e.value == m.0 as u64);
-        if let Some(e) = first_iso {
+            .isolations()
+            .find(|i| i.suspect == SimId(m.0));
+        if let Some(iso) = first_iso {
             out.push(TimelineEntry {
-                time: e.time.as_secs_f64(),
-                description: format!("{} first isolated (by {})", m, e.node),
+                time: iso.time.as_secs_f64(),
+                description: format!("{} first isolated (by {})", m, iso.guard),
             });
         }
         if let Some(t) = run.full_isolation_time(m) {
@@ -68,11 +115,14 @@ pub fn timeline(run: &ScenarioRun) -> Vec<TimelineEntry> {
 
     // Any honest casualties.
     let mut seen_honest = std::collections::BTreeSet::new();
-    for e in run.sim().trace().with_tag("isolated") {
-        if !malicious.contains(&e.value) && seen_honest.insert(e.value) {
+    for iso in run.sim().trace().isolations() {
+        if !malicious.contains(&iso.suspect.0) && seen_honest.insert(iso.suspect.0) {
             out.push(TimelineEntry {
-                time: e.time.as_secs_f64(),
-                description: format!("HONEST node n{} falsely isolated (by {})", e.value, e.node),
+                time: iso.time.as_secs_f64(),
+                description: format!(
+                    "HONEST node {} falsely isolated (by {})",
+                    iso.suspect, iso.guard
+                ),
             });
         }
     }

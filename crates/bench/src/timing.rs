@@ -3,7 +3,12 @@
 //! dependency graph, so the benches measure with `std::time::Instant`
 //! directly: auto-calibrated batch sizes for nanosecond-scale operations,
 //! fixed sample counts for whole-simulation runs.
+//!
+//! Besides the human-readable line on stdout, every measurement writes a
+//! machine-readable `BENCH_<name>.json` file (for diffing across commits)
+//! into `LITEWORP_BENCH_DIR`, defaulting to `results/bench`.
 
+use liteworp_runner::Json;
 pub use std::hint::black_box;
 use std::time::Instant;
 
@@ -33,6 +38,16 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         }
     }
     println!("{name:<44} {:>14.1} ns/iter  (x{iters})", best * 1e9);
+    write_record(
+        name,
+        Json::object([
+            ("name", Json::from(name)),
+            ("unit", Json::from("ns/iter")),
+            ("value", Json::from(best * 1e9)),
+            ("iters_per_sample", Json::from(iters)),
+            ("samples", Json::from(5u64)),
+        ]),
+    );
 }
 
 /// Benchmark a slow operation: run it `samples` times and report the
@@ -47,4 +62,73 @@ pub fn bench_heavy<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
     let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("{name:<44} mean {mean:>10.1} ms   min {min:>10.1} ms  ({samples} samples)");
+    write_record(
+        name,
+        Json::object([
+            ("name", Json::from(name)),
+            ("unit", Json::from("ms")),
+            ("value", Json::from(mean)),
+            ("min", Json::from(min)),
+            ("samples", Json::from(samples as u64)),
+        ]),
+    );
+}
+
+/// The directory benchmark records go to: `LITEWORP_BENCH_DIR` or
+/// `results/bench`.
+pub fn bench_dir() -> std::path::PathBuf {
+    std::env::var_os("LITEWORP_BENCH_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| std::path::PathBuf::from("results/bench"))
+}
+
+/// Writes `BENCH_<sanitized name>.json`. Benches are best-effort
+/// observability, so I/O failures warn instead of aborting the run.
+fn write_record(name: &str, record: Json) {
+    let dir = bench_dir();
+    let file = dir.join(format!("BENCH_{}.json", sanitize(name)));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(&file, record.dump() + "\n")
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: cannot write {}: {e}", file.display());
+    }
+}
+
+/// Maps a free-form bench name to a safe file stem.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_only_alphanumerics() {
+        assert_eq!(sanitize("sim: 30 nodes / 100 s"), "sim__30_nodes___100_s");
+        assert_eq!(sanitize("hash_frame"), "hash_frame");
+    }
+
+    #[test]
+    fn bench_record_is_parseable_json() {
+        let dir = std::env::temp_dir().join(format!("lw_bench_test_{}", std::process::id()));
+        std::env::set_var("LITEWORP_BENCH_DIR", &dir);
+        bench_heavy("unit test op", 2, || 1 + 1);
+        std::env::remove_var("LITEWORP_BENCH_DIR");
+        let path = dir.join("BENCH_unit_test_op.json");
+        let text = std::fs::read_to_string(&path).expect("record written");
+        let json = Json::parse(&text).expect("valid json");
+        assert_eq!(
+            json.get("name").and_then(Json::as_str),
+            Some("unit test op")
+        );
+        assert_eq!(json.get("unit").and_then(Json::as_str), Some("ms"));
+        assert_eq!(json.get("samples").and_then(Json::as_u64), Some(2));
+        assert!(json.get("value").and_then(Json::as_f64).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -1,0 +1,79 @@
+//! Property tests of the typed telemetry stream over randomized small
+//! wormhole scenarios, driven by the in-repo deterministic PCG32.
+//!
+//! Invariants checked on every run:
+//! 1. The event stream is non-decreasing in sim time — the trace is
+//!    recorded at dispatch, so any regression here means the simulator
+//!    executed events out of order.
+//! 2. Every quorum isolation (`Isolated { by_alerts: true }`) at a node
+//!    is preceded, at that same node, by at least γ accepted
+//!    `AlertReceived` events for the same suspect — the detection
+//!    confidence index is never bypassed.
+
+use liteworp_bench::Scenario;
+use liteworp_netsim::prelude::TraceKind;
+use liteworp_runner::rng::{Pcg32, Rng};
+use std::collections::HashMap;
+
+const CASES: usize = 5;
+
+#[test]
+fn event_stream_is_chronological_and_quorum_isolations_have_gamma_alerts() {
+    let mut rng = Pcg32::seed_from_u64(0x7E1E_0001);
+    let mut quorum_isolations = 0u64;
+    for case in 0..CASES {
+        let scenario = Scenario {
+            nodes: rng.gen_range(24usize..32),
+            malicious: 2,
+            protected: true,
+            seed: rng.gen_range(0u64..1000),
+            ..Scenario::default()
+        };
+        let gamma = scenario.liteworp.confidence_index as u64;
+        let mut run = scenario.build();
+        run.run_until_secs(400.0);
+        assert_eq!(
+            run.sim().trace().log().dropped(),
+            0,
+            "case {case}: the ring must hold every event of a small run"
+        );
+
+        let mut last_us = 0u64;
+        let mut accepted: HashMap<(u32, u32), u64> = HashMap::new();
+        for e in run.sim().trace().events() {
+            assert!(
+                e.time_us >= last_us,
+                "case {case}: event at {} us after one at {last_us} us: {e:?}",
+                e.time_us
+            );
+            last_us = e.time_us;
+            match e.kind {
+                TraceKind::AlertReceived {
+                    suspect,
+                    accepted: true,
+                    ..
+                } => {
+                    *accepted.entry((e.node, suspect)).or_insert(0) += 1;
+                }
+                TraceKind::Isolated {
+                    suspect,
+                    by_alerts: true,
+                } => {
+                    quorum_isolations += 1;
+                    let n = accepted.get(&(e.node, suspect)).copied().unwrap_or(0);
+                    assert!(
+                        n >= gamma,
+                        "case {case}: n{} isolated n{suspect} by quorum after only \
+                         {n} accepted alerts (gamma = {gamma})",
+                        e.node
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        quorum_isolations > 0,
+        "the property is vacuous: no quorum isolation occurred in {CASES} attacked runs"
+    );
+}

@@ -108,6 +108,7 @@ pub struct LocalMonitor {
     last_alert_round: std::collections::BTreeMap<NodeId, Micros>,
     externally_suspected: BTreeSet<NodeId>,
     last_collision: Option<Micros>,
+    watch_expiries: u64,
 }
 
 impl LocalMonitor {
@@ -128,6 +129,7 @@ impl LocalMonitor {
             last_alert_round: std::collections::BTreeMap::new(),
             externally_suspected: BTreeSet::new(),
             last_collision: None,
+            watch_expiries: 0,
         }
     }
 
@@ -274,6 +276,7 @@ impl LocalMonitor {
     pub fn expire(&mut self, table: &mut NeighborTable, now: Micros) -> Vec<MonitorEvent> {
         let mut events = Vec::new();
         for (dropper, _sig, armed_at) in self.watch.expire(now) {
+            self.watch_expiries += 1;
             // A node never charges itself: its own unforwarded receptions
             // are either terminal or already rejected at admission. And a
             // guard that suffered a collision while the entry was armed
@@ -308,6 +311,12 @@ impl LocalMonitor {
     /// Whether this monitor has already accused `node`.
     pub fn has_accused(&self, node: NodeId) -> bool {
         self.accused.contains(&node)
+    }
+
+    /// Cumulative count of watch-buffer entries that timed out
+    /// unforwarded (drop candidates), whether or not a charge followed.
+    pub fn watch_expiries(&self) -> u64 {
+        self.watch_expiries
     }
 
     fn punish(
@@ -620,6 +629,29 @@ mod tests {
         mon.observe(&mut table, &tx2, Micros(4_000_000));
         let events = mon.expire(&mut table, Micros(8_000_000));
         assert!(events.is_empty(), "armed for a suspect: {events:?}");
+    }
+
+    #[test]
+    fn watch_expiries_accumulate_even_when_charges_are_suppressed() {
+        let (mut table, mut mon) = setup();
+        let tx = |seq| PacketObs {
+            sender: NodeId(1),
+            claimed_prev: None,
+            link_dst: Some(NodeId(2)),
+            sig: sig(PacketKind::RouteReply, seq),
+            terminal: false,
+        };
+        mon.observe(&mut table, &tx(1), Micros(0));
+        assert_eq!(mon.watch_expiries(), 0, "nothing expired yet");
+        mon.expire(&mut table, Micros(3_000_000));
+        assert_eq!(mon.watch_expiries(), 1);
+        // A collision overlapping the armed window suppresses the charge,
+        // but the expiry itself is still counted.
+        mon.observe(&mut table, &tx(2), Micros(4_000_000));
+        mon.note_collision(Micros(4_500_000));
+        let events = mon.expire(&mut table, Micros(8_000_000));
+        assert!(events.is_empty(), "charge graced: {events:?}");
+        assert_eq!(mon.watch_expiries(), 2);
     }
 
     #[test]

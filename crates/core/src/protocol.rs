@@ -94,6 +94,13 @@ pub enum Effect {
         /// Counter value after the increment.
         malc: u32,
     },
+    /// Watch-buffer entries timed out unforwarded during this expiry
+    /// sweep (informational; the drop charges, if any, arrive as
+    /// [`Effect::Suspected`] in the same batch).
+    WatchExpired {
+        /// Entries that expired in this sweep (≥ 1).
+        expired: u32,
+    },
 }
 
 /// Per-node LITEWORP instance.
@@ -222,10 +229,22 @@ impl Liteworp {
     }
 
     /// Runs watch-buffer expiry (drop detection). Call at least once per
-    /// watch timeout δ.
+    /// watch timeout δ. When entries expired, the first effect is a
+    /// single [`Effect::WatchExpired`] carrying the sweep's expiry count.
     pub fn expire(&mut self, now: Micros) -> Vec<Effect> {
+        let before = self.monitor.watch_expiries();
         let events = self.monitor.expire(&mut self.table, now);
-        self.lower(events)
+        let expired = self.monitor.watch_expiries() - before;
+        let mut effects = self.lower(events);
+        if expired > 0 {
+            effects.insert(
+                0,
+                Effect::WatchExpired {
+                    expired: expired.min(u32::MAX as u64) as u32,
+                },
+            );
+        }
+        effects
     }
 
     /// Canonical byte encoding of an alert, bound to the accusing guard
@@ -523,6 +542,11 @@ mod tests {
                 .iter()
                 .any(|e| matches!(e, Effect::Isolated { suspect: NodeId(2) })),
             "six dropped replies should isolate: {effects:?}"
+        );
+        assert_eq!(
+            effects.first(),
+            Some(&Effect::WatchExpired { expired: 6 }),
+            "the sweep reports its expiry count first: {effects:?}"
         );
     }
 

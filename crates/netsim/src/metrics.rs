@@ -1,7 +1,8 @@
-//! Run metrics and the trace of notable protocol events.
+//! Run metrics and the typed trace of notable protocol events.
 
 use crate::field::NodeId;
 use crate::time::SimTime;
+use liteworp_telemetry::{Event, EventKind, EventLog};
 use std::collections::BTreeMap;
 
 /// Counters accumulated over a simulation run.
@@ -20,7 +21,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(m.get("routes_established"), 3);
 /// assert_eq!(m.get("never_touched"), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Frames put on the air.
     pub frames_sent: u64,
@@ -58,6 +59,21 @@ impl Metrics {
         self.custom.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Folds another run's counters into this one — built-in fields and
+    /// custom counters alike — so per-seed metrics aggregate into one
+    /// network- or batch-wide view.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.frames_collided += other.frames_collided;
+        self.frames_lost_noise += other.frames_lost_noise;
+        self.tunnel_messages += other.tunnel_messages;
+        self.mac_deferrals += other.mac_deferrals;
+        for (key, n) in other.iter_custom() {
+            self.add(key, n);
+        }
+    }
+
     /// Fraction of frame receptions destroyed by collisions — the empirical
     /// counterpart of the analysis parameter `P_C`.
     pub fn collision_fraction(&self) -> f64 {
@@ -70,57 +86,86 @@ impl Metrics {
     }
 }
 
-/// One notable protocol event, recorded for post-run analysis.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// When the event happened.
+/// One isolation event, decoded from the typed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Isolation {
+    /// When the isolation took effect.
     pub time: SimTime,
-    /// Node that reported it.
-    pub node: NodeId,
-    /// Event tag (e.g. `"isolated"`, `"route_established"`).
-    pub tag: &'static str,
-    /// Event-specific value (often a peer node id).
-    pub value: u64,
+    /// Node that removed the suspect from its neighbor view.
+    pub guard: NodeId,
+    /// The isolated node.
+    pub suspect: NodeId,
+    /// Whether γ guard alerts (rather than a local `MalC` threshold)
+    /// confirmed it.
+    pub by_alerts: bool,
 }
 
-/// An append-only log of [`TraceEvent`]s.
+/// The typed protocol event trace of one run.
 ///
-/// Protocols record rare, analysis-relevant events here (detections,
-/// isolations, route establishment), not per-packet chatter.
+/// A thin simulator-facing wrapper over [`liteworp_telemetry::EventLog`]:
+/// it stamps events with [`SimTime`] / [`NodeId`] at the edge and offers
+/// decoded queries for the events experiments read most (suspicions,
+/// isolations). Protocols record rare, analysis-relevant events here
+/// (detections, isolations, route establishment), not per-packet chatter.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    log: EventLog,
 }
 
 impl Trace {
     /// Appends an event.
-    pub fn record(&mut self, time: SimTime, node: NodeId, tag: &'static str, value: u64) {
-        self.events.push(TraceEvent {
-            time,
-            node,
-            tag,
-            value,
+    pub fn record(&mut self, time: SimTime, node: NodeId, kind: EventKind) {
+        self.log.record(Event {
+            time_us: time.as_micros(),
+            node: node.0,
+            kind,
         });
     }
 
-    /// All events in insertion (chronological) order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The underlying event log (ring buffer, counters, JSONL export).
+    pub fn log(&self) -> &EventLog {
+        &self.log
     }
 
-    /// Events with a given tag.
-    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.tag == tag)
+    /// Retained events in chronological order.
+    pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.log.events()
     }
 
-    /// Time of the first event with the tag, if any.
-    pub fn first_time(&self, tag: &str) -> Option<SimTime> {
-        self.with_tag(tag).map(|e| e.time).next()
+    /// Exact number of events of this kind ever recorded (ring eviction
+    /// does not affect it). Matches on the variant only.
+    pub fn count(&self, kind: &EventKind) -> u64 {
+        self.log.count(kind)
     }
 
-    /// Time of the last event with the tag, if any.
-    pub fn last_time(&self, tag: &str) -> Option<SimTime> {
-        self.with_tag(tag).map(|e| e.time).last()
+    /// Decoded isolation events, in order.
+    pub fn isolations(&self) -> impl Iterator<Item = Isolation> + '_ {
+        self.events().filter_map(|e| match e.kind {
+            EventKind::Isolated { suspect, by_alerts } => Some(Isolation {
+                time: SimTime::from_micros(e.time_us),
+                guard: NodeId(e.node),
+                suspect: NodeId(suspect),
+                by_alerts,
+            }),
+            _ => None,
+        })
+    }
+
+    /// Decoded local suspicions as `(time, guard, suspect)`, in order.
+    pub fn suspicions(&self) -> impl Iterator<Item = (SimTime, NodeId, NodeId)> + '_ {
+        self.events().filter_map(|e| match e.kind {
+            EventKind::Suspected { suspect } => Some((
+                SimTime::from_micros(e.time_us),
+                NodeId(e.node),
+                NodeId(suspect),
+            )),
+            _ => None,
+        })
+    }
+
+    /// Time of the first isolation anywhere in the network, if any.
+    pub fn first_isolation_time(&self) -> Option<SimTime> {
+        self.isolations().map(|i| i.time).next()
     }
 }
 
@@ -142,6 +187,50 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_builtin_and_custom_counters() {
+        let mut a = Metrics {
+            frames_sent: 10,
+            frames_delivered: 8,
+            tunnel_messages: 1,
+            ..Metrics::default()
+        };
+        a.add("alerts", 2);
+        a.incr("only_in_a");
+
+        let mut b = Metrics {
+            frames_sent: 5,
+            frames_collided: 3,
+            mac_deferrals: 7,
+            ..Metrics::default()
+        };
+        b.add("alerts", 4);
+        b.incr("only_in_b");
+
+        a.merge(&b);
+        assert_eq!(a.frames_sent, 15);
+        assert_eq!(a.frames_delivered, 8);
+        assert_eq!(a.frames_collided, 3);
+        assert_eq!(a.frames_lost_noise, 0);
+        assert_eq!(a.tunnel_messages, 1);
+        assert_eq!(a.mac_deferrals, 7);
+        assert_eq!(a.get("alerts"), 6);
+        assert_eq!(a.get("only_in_a"), 1);
+        assert_eq!(a.get("only_in_b"), 1);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut m = Metrics {
+            frames_sent: 4,
+            ..Metrics::default()
+        };
+        m.add("x", 9);
+        let before = m.clone();
+        m.merge(&Metrics::default());
+        assert_eq!(m, before);
+    }
+
+    #[test]
     fn collision_fraction_safe_when_empty() {
         assert_eq!(Metrics::default().collision_fraction(), 0.0);
     }
@@ -158,15 +247,43 @@ mod tests {
     }
 
     #[test]
-    fn trace_queries() {
+    fn trace_decodes_typed_queries() {
         let mut t = Trace::default();
-        t.record(SimTime::from_micros(5), NodeId(1), "isolated", 9);
-        t.record(SimTime::from_micros(9), NodeId(2), "isolated", 9);
-        t.record(SimTime::from_micros(7), NodeId(1), "route", 3);
-        assert_eq!(t.events().len(), 3);
-        assert_eq!(t.with_tag("isolated").count(), 2);
-        assert_eq!(t.first_time("isolated"), Some(SimTime::from_micros(5)));
-        assert_eq!(t.last_time("isolated"), Some(SimTime::from_micros(9)));
-        assert_eq!(t.first_time("nope"), None);
+        t.record(
+            SimTime::from_micros(5),
+            NodeId(1),
+            EventKind::Isolated {
+                suspect: 9,
+                by_alerts: false,
+            },
+        );
+        t.record(
+            SimTime::from_micros(7),
+            NodeId(1),
+            EventKind::RouteEstablished { dest: 3, hops: 2 },
+        );
+        t.record(
+            SimTime::from_micros(9),
+            NodeId(2),
+            EventKind::Isolated {
+                suspect: 9,
+                by_alerts: true,
+            },
+        );
+        assert_eq!(t.events().count(), 3);
+        let isolations: Vec<Isolation> = t.isolations().collect();
+        assert_eq!(isolations.len(), 2);
+        assert_eq!(isolations[0].guard, NodeId(1));
+        assert_eq!(isolations[1].suspect, NodeId(9));
+        assert!(isolations[1].by_alerts);
+        assert_eq!(t.first_isolation_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(
+            t.count(&EventKind::Isolated {
+                suspect: 0,
+                by_alerts: false
+            }),
+            2
+        );
+        assert_eq!(Trace::default().first_isolation_time(), None);
     }
 }

@@ -13,6 +13,7 @@ use crate::frame::{Frame, FrameSpec};
 use crate::metrics::{Metrics, Trace};
 use crate::time::{SimDuration, SimTime};
 use liteworp_runner::rng::Pcg32;
+use liteworp_telemetry::EventKind as TraceKind;
 use std::any::Any;
 
 /// An effect requested by node logic, applied by the simulator.
@@ -110,9 +111,10 @@ impl<'a, P> Context<'a, P> {
         self.metrics
     }
 
-    /// Records a notable protocol event in the run trace.
-    pub fn trace(&mut self, tag: &'static str, value: u64) {
-        self.trace.record(self.now, self.me, tag, value);
+    /// Records a typed protocol event in the run trace, stamped with the
+    /// current time and this node's identity.
+    pub fn trace(&mut self, kind: TraceKind) {
+        self.trace.record(self.now, self.me, kind);
     }
 }
 
@@ -195,14 +197,14 @@ mod tests {
         ctx.set_timer(SimDuration::from_secs(1), 99);
         ctx.tunnel(NodeId(5), 8, SimDuration::ZERO);
         ctx.metrics().incr("x");
-        ctx.trace("evt", 1);
+        ctx.trace(TraceKind::HelloSent);
         assert_eq!(actions.len(), 3);
         assert!(matches!(actions[0], Action::Send(_)));
         assert!(matches!(actions[1], Action::Timer { token: 99, .. }));
         assert!(matches!(actions[2], Action::Tunnel { to: NodeId(5), .. }));
         assert_eq!(metrics.get("x"), 1);
-        assert_eq!(trace.events().len(), 1);
-        assert_eq!(trace.events()[0].node, NodeId(3));
+        assert_eq!(trace.events().count(), 1);
+        assert_eq!(trace.events().next().unwrap().node, 3);
     }
 
     #[test]

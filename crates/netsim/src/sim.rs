@@ -323,6 +323,14 @@ impl<P: Clone + 'static> Simulator<P> {
             } => self.tx_end(seq, frame, retries_used),
             EventKind::TunnelDeliver { from, to, payload } => {
                 self.metrics.tunnel_messages += 1;
+                self.trace.record(
+                    self.now,
+                    to,
+                    liteworp_telemetry::EventKind::TunnelRelay {
+                        from: from.0,
+                        to: to.0,
+                    },
+                );
                 self.with_logic(to, |logic, ctx| logic.on_tunnel(ctx, from, &payload));
             }
         }
@@ -555,11 +563,12 @@ impl<P: Clone + 'static> Simulator<P> {
 pub mod prelude {
     pub use crate::field::{Field, NodeId, Position};
     pub use crate::frame::{Dest, Frame, FrameSpec, TxPower};
-    pub use crate::metrics::{Metrics, Trace, TraceEvent};
+    pub use crate::metrics::{Isolation, Metrics, Trace};
     pub use crate::node::{Action, Context, NodeLogic};
     pub use crate::radio::RadioConfig;
     pub use crate::sim::Simulator;
     pub use crate::time::{SimDuration, SimTime};
+    pub use liteworp_telemetry::{Event, EventKind as TraceKind, MalcReason};
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@ use liteworp::discovery::{DiscoveryMsg, DiscoveryOut};
 use liteworp::monitor::PacketObs;
 use liteworp::prelude::{Admission, AlertDisposition, Config, Effect, KeyStore, Liteworp};
 use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
-use liteworp_netsim::prelude::{Context, Dest, Frame, FrameSpec, NodeLogic, SimDuration, SimTime};
+use liteworp_netsim::prelude::{
+    Context, Dest, Frame, FrameSpec, MalcReason, NodeLogic, SimDuration, SimTime, TraceKind,
+};
 use liteworp_netsim::rng::Rng;
 use std::any::Any;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -299,11 +301,24 @@ impl ProtocolNode {
                     return;
                 }
                 let Some(lw) = self.lw.as_mut() else { return };
-                match lw.handle_alert(*guard, *suspect, *mac, micros(ctx.now())) {
+                let disposition = lw.handle_alert(*guard, *suspect, *mac, micros(ctx.now()));
+                let accepted = matches!(
+                    disposition,
+                    AlertDisposition::Isolated | AlertDisposition::Counted
+                );
+                ctx.trace(TraceKind::AlertReceived {
+                    guard: guard.0,
+                    suspect: suspect.0,
+                    accepted,
+                });
+                match disposition {
                     AlertDisposition::Isolated => {
                         self.stats.alerts_accepted += 1;
                         ctx.metrics().incr("isolations");
-                        ctx.trace("isolated", suspect.0 as u64);
+                        ctx.trace(TraceKind::Isolated {
+                            suspect: suspect.0,
+                            by_alerts: true,
+                        });
                         self.purge_routes_through(*suspect);
                     }
                     AlertDisposition::Counted => {
@@ -394,6 +409,9 @@ impl ProtocolNode {
             DiscoveryOut::Broadcast(msg) => (Dest::Broadcast, msg),
             DiscoveryOut::Unicast(to, msg) => (Dest::Unicast(sim_id(to)), msg),
         };
+        if matches!(msg, DiscoveryMsg::Hello) {
+            ctx.trace(TraceKind::HelloSent);
+        }
         let pkt = Packet::Discovery { sender: me, msg };
         let bytes = pkt.wire_bytes();
         ctx.send(FrameSpec::new(dest, pkt, bytes));
@@ -406,16 +424,18 @@ impl ProtocolNode {
         msg: &DiscoveryMsg,
     ) {
         let Some(lw) = self.lw.as_mut() else { return };
+        let was_neighbor = lw.table().is_neighbor(sender);
+        let mut added = false;
         let now_outs: Vec<DiscoveryOut> = {
             let (disc, table) = lw.discovery_mut();
             match msg {
                 DiscoveryMsg::Hello => vec![disc.on_hello(sender)],
                 DiscoveryMsg::HelloReply { mac } => {
-                    disc.on_hello_reply(table, sender, *mac);
+                    added = disc.on_hello_reply(table, sender, *mac);
                     vec![]
                 }
                 DiscoveryMsg::ListAnnounce { list, tags } => {
-                    disc.on_list_announce(table, sender, list, tags);
+                    added = disc.on_list_announce(table, sender, list, tags);
                     vec![]
                 }
                 DiscoveryMsg::ListRequest => {
@@ -423,6 +443,9 @@ impl ProtocolNode {
                 }
             }
         };
+        if added && !was_neighbor {
+            ctx.trace(TraceKind::NeighborAdded { peer: sender.0 });
+        }
         for out in now_outs {
             self.emit_discovery(ctx, out);
         }
@@ -511,6 +534,11 @@ impl ProtocolNode {
     }
 
     fn apply_effects(&mut self, ctx: &mut Context<'_, Packet>, effects: Vec<Effect>) {
+        let (fabrication_weight, drop_weight) = self
+            .lw
+            .as_ref()
+            .map(|lw| (lw.config().fabrication_weight, lw.config().drop_weight))
+            .unwrap_or((0, 0));
         for effect in effects {
             match effect {
                 Effect::SendAlert {
@@ -520,6 +548,10 @@ impl ProtocolNode {
                 } => {
                     self.stats.alerts_sent += 1;
                     ctx.metrics().incr("alerts_sent");
+                    ctx.trace(TraceKind::AlertSent {
+                        suspect: suspect.0,
+                        recipient: recipient.0,
+                    });
                     let pkt = Packet::Alert {
                         guard: self.me,
                         suspect,
@@ -532,16 +564,39 @@ impl ProtocolNode {
                 }
                 Effect::Isolated { suspect } => {
                     ctx.metrics().incr("isolations");
-                    ctx.trace("isolated", suspect.0 as u64);
+                    ctx.trace(TraceKind::Isolated {
+                        suspect: suspect.0,
+                        by_alerts: false,
+                    });
                     self.purge_routes_through(suspect);
                 }
-                Effect::Suspected { suspect, kind, .. } => {
+                Effect::Suspected {
+                    suspect,
+                    kind,
+                    malc,
+                } => {
                     ctx.metrics().incr("suspicions");
                     ctx.metrics().incr(match kind {
                         liteworp::types::Misbehavior::Fabrication => "suspected_fabrication",
                         liteworp::types::Misbehavior::Drop => "suspected_drop",
                     });
-                    ctx.trace("suspected", suspect.0 as u64);
+                    let (delta, reason) = match kind {
+                        liteworp::types::Misbehavior::Fabrication => {
+                            (fabrication_weight, MalcReason::Fabrication)
+                        }
+                        liteworp::types::Misbehavior::Drop => (drop_weight, MalcReason::Drop),
+                    };
+                    ctx.trace(TraceKind::MalcIncrement {
+                        suspect: suspect.0,
+                        delta,
+                        malc,
+                        reason,
+                    });
+                    ctx.trace(TraceKind::Suspected { suspect: suspect.0 });
+                }
+                Effect::WatchExpired { expired } => {
+                    ctx.metrics().add("watch_expiries", expired as u64);
+                    ctx.trace(TraceKind::WatchBufferExpired { expired });
                 }
             }
         }
@@ -719,7 +774,10 @@ impl ProtocolNode {
         if am_source {
             self.retry_attempts.remove(&dest);
             ctx.metrics().incr("routes_established");
-            ctx.trace("route_established", dest.0 as u64);
+            ctx.trace(TraceKind::RouteEstablished {
+                dest: dest.0,
+                hops: hops as u32,
+            });
             self.route_log.push(RouteRecord {
                 time: now,
                 dest,

@@ -83,7 +83,7 @@ fn honest_networks_never_accuse() {
         let seed = rng.gen_range(0u64..1000);
         let mut sim = build(&field, seed, 6.0);
         sim.run_until(SimTime::from_secs_f64(150.0));
-        assert_eq!(sim.trace().with_tag("isolated").count(), 0);
+        assert_eq!(sim.trace().isolations().count(), 0);
         assert_eq!(sim.metrics().get("alerts_sent"), 0);
     }
 }

@@ -14,6 +14,7 @@ use crate::cache::{fnv64, ResultCache};
 use crate::json::Json;
 use crate::pool;
 use crate::rng::derive_seed;
+use crate::stats::Percentiles;
 use std::time::Instant;
 
 /// One unit of work: a scenario cell at one seed index.
@@ -111,6 +112,8 @@ pub struct JobRecord {
     pub failed: bool,
     /// Wall-clock of this job in milliseconds.
     pub wall_ms: f64,
+    /// Time the job waited in the pool queue, in milliseconds.
+    pub queue_wait_ms: f64,
     /// Worker thread that ran it.
     pub worker: usize,
 }
@@ -133,6 +136,14 @@ pub struct Manifest {
     pub wall_ms: f64,
     /// Busy-fraction per worker over the batch.
     pub utilization: Vec<f64>,
+    /// Per-job wall-clock percentiles (ms), over every job.
+    pub job_duration_ms: Option<Percentiles>,
+    /// Pool queue-wait percentiles (ms), over every job.
+    pub queue_wait_ms: Option<Percentiles>,
+    /// Wall-clock percentiles (ms) of jobs answered from the cache.
+    pub cache_hit_ms: Option<Percentiles>,
+    /// Wall-clock percentiles (ms) of jobs that executed a simulation.
+    pub cache_miss_ms: Option<Percentiles>,
     /// One record per job, in job order.
     pub per_job: Vec<JobRecord>,
 }
@@ -171,6 +182,35 @@ impl Manifest {
                 Json::Arr(self.utilization.iter().map(|&u| Json::from(u)).collect()),
             ),
             (
+                "profile",
+                Json::object([
+                    (
+                        "job_duration_ms",
+                        self.job_duration_ms
+                            .as_ref()
+                            .map_or(Json::Null, Percentiles::to_json),
+                    ),
+                    (
+                        "queue_wait_ms",
+                        self.queue_wait_ms
+                            .as_ref()
+                            .map_or(Json::Null, Percentiles::to_json),
+                    ),
+                    (
+                        "cache_hit_ms",
+                        self.cache_hit_ms
+                            .as_ref()
+                            .map_or(Json::Null, Percentiles::to_json),
+                    ),
+                    (
+                        "cache_miss_ms",
+                        self.cache_miss_ms
+                            .as_ref()
+                            .map_or(Json::Null, Percentiles::to_json),
+                    ),
+                ]),
+            ),
+            (
                 "per_job",
                 Json::Arr(
                     self.per_job
@@ -183,6 +223,7 @@ impl Manifest {
                                 ("cached", Json::from(j.cached)),
                                 ("failed", Json::from(j.failed)),
                                 ("wall_ms", Json::from(j.wall_ms)),
+                                ("queue_wait_ms", Json::from(j.queue_wait_ms)),
                                 ("worker", Json::from(j.worker)),
                             ])
                         })
@@ -275,6 +316,7 @@ where
             cached,
             failed: job_failed,
             wall_ms: run.elapsed.as_secs_f64() * 1000.0,
+            queue_wait_ms: run.queue_wait.as_secs_f64() * 1000.0,
             worker: run.worker,
         });
         results.push(outcome.map(|(v, _)| v).map_err(|message| JobError {
@@ -283,6 +325,19 @@ where
             message,
         }));
     }
+
+    let walls = |pred: &dyn Fn(&JobRecord) -> bool| -> Vec<f64> {
+        per_job
+            .iter()
+            .filter(|j| pred(j))
+            .map(|j| j.wall_ms)
+            .collect()
+    };
+    let job_duration_ms = Percentiles::of(&walls(&|_| true));
+    let queue_wait_ms =
+        Percentiles::of(&per_job.iter().map(|j| j.queue_wait_ms).collect::<Vec<_>>());
+    let cache_hit_ms = Percentiles::of(&walls(&|j| j.cached));
+    let cache_miss_ms = Percentiles::of(&walls(&|j| !j.cached && !j.failed));
 
     RunReport {
         results,
@@ -294,6 +349,10 @@ where
             failed,
             wall_ms: started.elapsed().as_secs_f64() * 1000.0,
             utilization: pool_stats.utilization(),
+            job_duration_ms,
+            queue_wait_ms,
+            cache_hit_ms,
+            cache_miss_ms,
             per_job,
         },
     }
@@ -427,5 +486,27 @@ mod tests {
             Some(3)
         );
         assert!(report.manifest.summary_line().contains("3 jobs"));
+
+        // Profiling: duration and queue-wait percentiles are present and
+        // consistent with the per-job records.
+        let profile = json.get("profile").expect("profile object");
+        let p50 = profile
+            .get("job_duration_ms")
+            .and_then(|p| p.get("p50"))
+            .and_then(Json::as_f64)
+            .expect("duration p50");
+        let durations = report.manifest.job_duration_ms.expect("duration profile");
+        assert_eq!(durations.n, 3);
+        assert_eq!(durations.p50, p50);
+        assert!(durations.p50 <= durations.p95 && durations.p95 <= durations.max);
+        let qw = report.manifest.queue_wait_ms.expect("queue-wait profile");
+        assert_eq!(qw.n, 3);
+        assert!(qw.max <= report.manifest.wall_ms);
+        // No cache configured: every job is a miss, no hit profile.
+        assert!(report.manifest.cache_hit_ms.is_none());
+        assert_eq!(report.manifest.cache_miss_ms.expect("miss profile").n, 3);
+        for j in json.get("per_job").and_then(Json::as_arr).unwrap() {
+            assert!(j.get("queue_wait_ms").and_then(Json::as_f64).is_some());
+        }
     }
 }

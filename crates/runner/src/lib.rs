@@ -35,4 +35,4 @@ pub use cache::ResultCache;
 pub use engine::{run_jobs, CacheValue, JobError, JobSpec, Manifest, RunConfig, RunReport};
 pub use json::Json;
 pub use rng::{Pcg32, Rng};
-pub use stats::Summary;
+pub use stats::{Percentiles, Summary};

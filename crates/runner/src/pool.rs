@@ -22,6 +22,9 @@ pub struct JobRun<T> {
     pub result: Result<T, String>,
     /// Wall-clock spent executing the job.
     pub elapsed: Duration,
+    /// Time the job spent queued before a worker picked it up (measured
+    /// from batch start; job order approximates submission order).
+    pub queue_wait: Duration,
     /// Index of the worker thread that ran it.
     pub worker: usize,
 }
@@ -101,12 +104,14 @@ where
                 let job = next_job(w, injector, locals, threads);
                 let Some(job) = job else { break };
                 let t0 = Instant::now();
+                let queue_wait = t0.duration_since(started);
                 let result = catch_unwind(AssertUnwindSafe(|| f(job))).map_err(panic_message);
                 let elapsed = t0.elapsed();
                 busy_nanos[w].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                 *slots[job].lock().expect("slot lock") = Some(JobRun {
                     result,
                     elapsed,
+                    queue_wait,
                     worker: w,
                 });
             });
@@ -195,6 +200,10 @@ mod tests {
         for (i, r) in runs.iter().enumerate() {
             assert_eq!(*r.result.as_ref().unwrap(), i * 2, "slot order preserved");
             assert!(r.worker < stats.threads);
+            assert!(
+                r.queue_wait <= stats.wall,
+                "queue wait is bounded by the batch wall-clock"
+            );
         }
     }
 

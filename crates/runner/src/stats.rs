@@ -1,5 +1,7 @@
 //! The aggregation layer: summary statistics over per-seed results.
 
+use crate::json::Json;
+
 /// Mean, spread, and a 95% confidence interval over independent samples.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -40,6 +42,53 @@ impl Summary {
     /// Renders as `mean ± ci95`.
     pub fn display(&self, decimals: usize) -> String {
         format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.ci95)
+    }
+}
+
+/// Exact nearest-rank percentiles over a small sample set (sorts a copy;
+/// fine for per-job timing profiles, wrong tool for millions of samples —
+/// use a histogram there).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub n: usize,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles; `None` when the slice is empty or any sample
+    /// is NaN.
+    pub fn of(xs: &[f64]) -> Option<Percentiles> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = |q: f64| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        Some(Percentiles {
+            n: sorted.len(),
+            p50: rank(0.50),
+            p95: rank(0.95),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Serializes as `{"n": …, "p50": …, "p95": …, "max": …}`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("n", Json::from(self.n)),
+            ("p50", Json::from(self.p50)),
+            ("p95", Json::from(self.p95)),
+            ("max", Json::from(self.max)),
+        ])
     }
 }
 
@@ -84,5 +133,19 @@ mod tests {
     fn display_formats() {
         let s = Summary::of(&[1.0, 3.0]);
         assert_eq!(s.display(1), "2.0 ± 2.0");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        assert_eq!(Percentiles::of(&[]), None);
+        assert_eq!(Percentiles::of(&[1.0, f64::NAN]), None);
+        let p = Percentiles::of(&[5.0]).unwrap();
+        assert_eq!((p.n, p.p50, p.p95, p.max), (1, 5.0, 5.0, 5.0));
+        // 1..=100: p50 is the 50th smallest, p95 the 95th.
+        let xs: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let p = Percentiles::of(&xs).unwrap();
+        assert_eq!((p.p50, p.p95, p.max), (50.0, 95.0, 100.0));
+        let json = p.to_json();
+        assert_eq!(json.get("p95").and_then(Json::as_f64), Some(95.0));
     }
 }

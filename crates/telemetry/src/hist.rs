@@ -1,0 +1,266 @@
+//! Log2-bucket histograms: fixed memory, mergeable, JSON-serializable.
+
+use liteworp_runner::json::Json;
+
+/// Buckets: index 0 holds exactly the value 0; index `b ≥ 1` holds values
+/// in `[2^(b-1), 2^b - 1]`, i.e. upper bound `2^b - 1`.
+const BUCKETS: usize = 65;
+
+/// A histogram of `u64` samples in logarithmic buckets.
+///
+/// Quantiles are bucket-resolved (reported as the containing bucket's
+/// upper bound, clamped to the observed maximum), which is exact enough
+/// for latency distributions spanning orders of magnitude while keeping
+/// the type `Copy`-free, fixed-size, and trivially mergeable across
+/// per-seed runs.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_telemetry::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), Some(100));
+/// assert!(h.p50().unwrap() <= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Bucket-resolved quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket containing the `ceil(q·count)`-th smallest sample, clamped
+    /// to the observed max.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (bucket-resolved).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket-resolved).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Serializes to a JSON object with summary fields and the non-empty
+    /// buckets as `{"le": upper_bound, "count": n}` entries.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Json::object([
+                    ("le", Json::from(bucket_upper(i))),
+                    ("count", Json::from(c)),
+                ])
+            })
+            .collect();
+        Json::object([
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max())),
+            ("p50", Json::from(self.p50())),
+            ("p95", Json::from(self.p95())),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Parses a histogram back from its [`Histogram::to_json`] shape.
+    pub fn from_json(json: &Json) -> Option<Self> {
+        let mut h = Histogram {
+            count: json.get("count")?.as_u64()?,
+            sum: json.get("sum")?.as_u64()?,
+            ..Histogram::default()
+        };
+        if h.count > 0 {
+            h.min = json.get("min")?.as_u64()?;
+            h.max = json.get("max")?.as_u64()?;
+        }
+        for bucket in json.get("buckets")?.as_arr()? {
+            let le = bucket.get("le")?.as_u64()?;
+            let count = bucket.get("count")?.as_u64()?;
+            h.buckets[bucket_index(le)] += count;
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..64 {
+            assert_eq!(bucket_index(bucket_upper(b)), b, "upper bound stays put");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolved_and_clamped() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // The median of 1..=100 is in bucket [32, 63]; p95 in [64, 127]
+        // clamps to the observed max of 100.
+        assert_eq!(h.p50(), Some(63));
+        assert_eq!(h.p95(), Some(100));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 1, 5, 9, 1000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [3u64, 70_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.p50(), whole.p50());
+        assert_eq!(a.p95(), whole.p95());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 2, 2, 40, 1_000_000] {
+            h.record(v);
+        }
+        let text = h.to_json().dump();
+        let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.p50(), h.p50());
+        assert_eq!(back.p95(), h.p95());
+    }
+}

@@ -81,6 +81,9 @@ fn main() {
                 Effect::Isolated { suspect } => {
                     println!("seq {seq}: {suspect} revoked locally")
                 }
+                Effect::WatchExpired { expired } => {
+                    println!("seq {seq}: {expired} watch-buffer entries expired unsatisfied")
+                }
             }
         }
     }

@@ -42,8 +42,8 @@ fn main() {
 
     // Who blew the whistle, and when?
     println!("\nisolation events (node -> isolated suspect):");
-    for e in run.sim().trace().with_tag("isolated").take(10) {
-        println!("  t = {} {} isolated n{}", e.time, e.node, e.value);
+    for iso in run.sim().trace().isolations().take(10) {
+        println!("  t = {} {} isolated {}", iso.time, iso.guard, iso.suspect);
     }
     match run.isolation_latency_secs() {
         Some(latency) => println!(

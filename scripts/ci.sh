@@ -13,6 +13,9 @@ cargo test --offline -q
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "==> benches compile (offline)"
 cargo build --benches --offline
 

@@ -3,7 +3,7 @@
 
 use liteworp_bench::Scenario;
 
-type Fingerprint = (u64, u64, u64, u64, Vec<(u64, u32, u64)>);
+type Fingerprint = (u64, u64, u64, u64, Vec<(u64, u32, String)>);
 
 fn fingerprint(seed: u64) -> Fingerprint {
     let mut run = Scenario {
@@ -16,12 +16,11 @@ fn fingerprint(seed: u64) -> Fingerprint {
     .build();
     run.run_until_secs(300.0);
     let m = run.sim().metrics();
-    let trace: Vec<(u64, u32, u64)> = run
+    let trace: Vec<(u64, u32, String)> = run
         .sim()
         .trace()
         .events()
-        .iter()
-        .map(|e| (e.time.as_micros(), e.node.0, e.value))
+        .map(|e| (e.time_us, e.node, format!("{:?}", e.kind)))
         .collect();
     (
         m.frames_sent,

@@ -99,18 +99,12 @@ fn wormhole_detected_on_self_built_tables() {
     sim.stagger_starts(SimDuration::from_secs(3));
     sim.run_until(SimTime::from_secs_f64(500.0));
 
-    let detected_m1 = sim
-        .trace()
-        .with_tag("isolated")
-        .any(|e| e.value == m1.0 as u64);
-    let detected_m2 = sim
-        .trace()
-        .with_tag("isolated")
-        .any(|e| e.value == m2.0 as u64);
+    let detected_m1 = sim.trace().isolations().any(|i| i.suspect.0 == m1.0);
+    let detected_m2 = sim.trace().isolations().any(|i| i.suspect.0 == m2.0);
     assert!(
         detected_m1 || detected_m2,
         "no colluder detected on self-built tables; trace: {:?}",
-        sim.trace().events().iter().take(20).collect::<Vec<_>>()
+        sim.trace().events().take(20).collect::<Vec<_>>()
     );
 }
 

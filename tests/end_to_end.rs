@@ -31,7 +31,7 @@ fn baseline_wormhole_attracts_routes_and_drops_data() {
         run.wormhole_dropped()
     );
     // And nobody notices: the baseline has no detection machinery.
-    assert_eq!(run.sim().trace().with_tag("isolated").count(), 0);
+    assert_eq!(run.sim().trace().isolations().count(), 0);
 }
 
 #[test]
@@ -56,12 +56,12 @@ fn liteworp_detects_isolates_and_caps_damage() {
         base.wormhole_dropped()
     );
     // No honest node is ever isolated.
-    let malicious: Vec<u64> = prot.malicious().iter().map(|m| m.0 as u64).collect();
-    for e in prot.sim().trace().with_tag("isolated") {
+    let malicious: Vec<u32> = prot.malicious().iter().map(|m| m.0).collect();
+    for iso in prot.sim().trace().isolations() {
         assert!(
-            malicious.contains(&e.value),
-            "honest node n{} was falsely isolated",
-            e.value
+            malicious.contains(&iso.suspect.0),
+            "honest node {} was falsely isolated",
+            iso.suspect
         );
     }
 }
@@ -116,9 +116,13 @@ fn four_colluders_are_all_detected_and_isolated() {
         run.isolation_latency_secs().is_some(),
         "isolation should complete for all four"
     );
-    let malicious: Vec<u64> = run.malicious().iter().map(|m| m.0 as u64).collect();
-    for e in run.sim().trace().with_tag("isolated") {
-        assert!(malicious.contains(&e.value), "honest victim n{}", e.value);
+    let malicious: Vec<u32> = run.malicious().iter().map(|m| m.0).collect();
+    for iso in run.sim().trace().isolations() {
+        assert!(
+            malicious.contains(&iso.suspect.0),
+            "honest victim {}",
+            iso.suspect
+        );
     }
 }
 
@@ -141,7 +145,7 @@ fn data_plane_monitoring_stays_clean_without_attackers() {
     .build();
     run.run_until_secs(600.0);
     assert_eq!(
-        run.sim().trace().with_tag("isolated").count(),
+        run.sim().trace().isolations().count(),
         0,
         "data-plane monitoring isolated an honest node"
     );
@@ -163,7 +167,7 @@ fn the_cure_is_not_worse_than_the_disease() {
     let mut prot = clean(true).build();
     base.run_until_secs(600.0);
     prot.run_until_secs(600.0);
-    assert_eq!(prot.sim().trace().with_tag("isolated").count(), 0);
+    assert_eq!(prot.sim().trace().isolations().count(), 0);
     let base_rate = base.data_delivered() as f64 / base.data_sent().max(1) as f64;
     let prot_rate = prot.data_delivered() as f64 / prot.data_sent().max(1) as f64;
     assert!(

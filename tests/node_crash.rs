@@ -91,11 +91,11 @@ fn network_survives_a_relay_crash() {
     );
     // The dead node is the only one anyone revoked (drop detection doing
     // its job), and no *live* node was isolated.
-    for e in sim.trace().with_tag("isolated") {
+    for iso in sim.trace().isolations() {
         assert_eq!(
-            e.value, crash_victim as u64,
-            "live node n{} was isolated after the crash",
-            e.value
+            iso.suspect.0, crash_victim,
+            "live node {} was isolated after the crash",
+            iso.suspect
         );
     }
 }
