@@ -162,7 +162,7 @@ impl ExecOptions {
         }
     }
 
-    fn run_config(&self) -> RunConfig {
+    pub(crate) fn run_config(&self) -> RunConfig {
         RunConfig {
             threads: pool::resolve_threads(self.jobs),
             cache: self.cache.then(|| {

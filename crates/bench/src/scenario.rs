@@ -230,6 +230,12 @@ impl ScenarioRun {
         &self.sim
     }
 
+    /// Mutable access to the simulator — the chaos harness uses this to
+    /// install a fault hook before the run starts.
+    pub fn sim_mut(&mut self) -> &mut Simulator<Packet> {
+        &mut self.sim
+    }
+
     /// Advances the run to `t` seconds.
     pub fn run_until_secs(&mut self, t: f64) {
         self.sim.run_until(SimTime::from_secs_f64(t));

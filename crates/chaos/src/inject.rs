@@ -1,0 +1,203 @@
+//! The [`Injector`]: a [`FaultHook`] executing a [`FaultPlan`].
+//!
+//! Determinism layout: the injector owns two private PCG32 streams seeded
+//! from the plan seed. The *decision* stream draws exactly one value per
+//! reception regardless of which fault classes are enabled, so zeroing
+//! one class during shrinking does not perturb the decisions of the
+//! others; the *jitter* stream is drawn only when a delay verdict needs a
+//! magnitude.
+
+use crate::plan::FaultPlan;
+use liteworp_netsim::fault::{FaultHook, Reception};
+use liteworp_netsim::field::NodeId;
+use liteworp_netsim::time::{SimDuration, SimTime};
+use liteworp_runner::rng::{Pcg32, Rng};
+
+/// Executes a [`FaultPlan`] deterministically.
+pub struct Injector {
+    plan: FaultPlan,
+    decide: Pcg32,
+    jitter: Pcg32,
+}
+
+impl Injector {
+    /// Builds an injector for `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not validate.
+    pub fn new(plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        let decide = Pcg32::seed_from_u64(plan.seed);
+        let jitter = Pcg32::seed_from_u64(plan.seed ^ 0x6a09_e667_f3bc_c908);
+        Injector {
+            plan,
+            decide,
+            jitter,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FaultHook for Injector {
+    fn on_reception(&mut self, _now: SimTime, _tx: NodeId, _rx: NodeId) -> Reception {
+        // One draw per reception, always, to keep streams aligned across
+        // shrink steps.
+        let u = self.decide.gen_f64();
+        let mut edge = self.plan.drop;
+        if u < edge {
+            return Reception::Drop;
+        }
+        edge += self.plan.corrupt;
+        if u < edge {
+            return Reception::Corrupt;
+        }
+        edge += self.plan.duplicate;
+        if u < edge {
+            return Reception::Duplicate;
+        }
+        edge += self.plan.delay;
+        if u < edge {
+            let us = self.jitter.gen_range(1..=self.plan.max_jitter_us.max(1));
+            return Reception::Delay(SimDuration::from_micros(us));
+        }
+        Reception::Deliver
+    }
+
+    fn down_until(&self, now: SimTime, node: NodeId) -> Option<SimTime> {
+        let t = now.as_micros();
+        self.plan
+            .crashes
+            .iter()
+            .filter(|c| c.node == node.0 && c.from_us <= t && t < c.until_us)
+            .map(|c| c.until_us)
+            .max()
+            .map(SimTime::from_micros)
+    }
+
+    fn timer_delay(&self, node: NodeId, delay: SimDuration) -> SimDuration {
+        match self.plan.drifts.iter().find(|d| d.node == node.0) {
+            Some(d) => {
+                let scaled = delay.as_micros() as i128 * (1_000_000 + d.ppm) as i128 / 1_000_000;
+                SimDuration::from_micros(scaled.max(0) as u64)
+            }
+            None => delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{ClockDrift, CrashWindow};
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            drop: 0.25,
+            corrupt: 0.25,
+            duplicate: 0.25,
+            delay: 0.25,
+            max_jitter_us: 1000,
+            crashes: vec![CrashWindow {
+                node: 4,
+                from_us: 100,
+                until_us: 200,
+            }],
+            drifts: vec![ClockDrift {
+                node: 2,
+                ppm: 100_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn verdicts_follow_plan_probabilities() {
+        let mut inj = Injector::new(plan());
+        let mut counts = [0u32; 5];
+        for i in 0..4000 {
+            let v = inj.on_reception(SimTime::from_micros(i), NodeId(0), NodeId(1));
+            let idx = match v {
+                Reception::Deliver => 0,
+                Reception::Drop => 1,
+                Reception::Corrupt => 2,
+                Reception::Duplicate => 3,
+                Reception::Delay(d) => {
+                    assert!(d.as_micros() >= 1 && d.as_micros() <= 1000);
+                    4
+                }
+            };
+            counts[idx] += 1;
+        }
+        // Every fault class fires roughly a quarter of the time.
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!((800..1200).contains(&c), "class {i}: {c} of 4000");
+        }
+        assert_eq!(counts[0], 0, "intensity 1.0 leaves nothing untouched");
+    }
+
+    #[test]
+    fn verdict_stream_is_deterministic() {
+        let run = || {
+            let mut inj = Injector::new(plan());
+            (0..64)
+                .map(|i| inj.on_reception(SimTime::from_micros(i), NodeId(0), NodeId(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zeroing_one_class_preserves_other_decisions() {
+        // The decision stream draws once per reception either way, so a
+        // reception that dropped in the full plan cannot turn into a
+        // different fault class when `corrupt` is zeroed.
+        let full = plan();
+        let mut without_corrupt = plan();
+        without_corrupt.corrupt = 0.0;
+        let mut a = Injector::new(full);
+        let mut b = Injector::new(without_corrupt);
+        for i in 0..2000 {
+            let now = SimTime::from_micros(i);
+            let va = a.on_reception(now, NodeId(0), NodeId(1));
+            let vb = b.on_reception(now, NodeId(0), NodeId(1));
+            if va == Reception::Drop {
+                assert_eq!(vb, Reception::Drop, "drop decisions must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_window_bounds_are_half_open() {
+        let inj = Injector::new(plan());
+        let down = |t| inj.down_until(SimTime::from_micros(t), NodeId(4));
+        assert_eq!(down(99), None);
+        assert_eq!(down(100), Some(SimTime::from_micros(200)));
+        assert_eq!(down(199), Some(SimTime::from_micros(200)));
+        assert_eq!(down(200), None);
+        assert_eq!(
+            inj.down_until(SimTime::from_micros(150), NodeId(5)),
+            None,
+            "other nodes unaffected"
+        );
+    }
+
+    #[test]
+    fn drift_scales_timer_delays() {
+        let inj = Injector::new(plan());
+        let d = SimDuration::from_micros(1000);
+        assert_eq!(inj.timer_delay(NodeId(2), d).as_micros(), 1100);
+        assert_eq!(inj.timer_delay(NodeId(3), d).as_micros(), 1000);
+        let mut negative = plan();
+        negative.drifts = vec![ClockDrift {
+            node: 2,
+            ppm: -100_000,
+        }];
+        let inj = Injector::new(negative);
+        assert_eq!(inj.timer_delay(NodeId(2), d).as_micros(), 900);
+    }
+}

@@ -1,0 +1,536 @@
+//! Fault plans: the complete, serializable description of what to break.
+//!
+//! A [`FaultPlan`] is pure data — which fraction of receptions to drop,
+//! corrupt, duplicate, or delay, which nodes crash when, and whose clocks
+//! drift. Combined with a scenario and a seed it identifies a chaos run
+//! exactly: the [`descriptor`](FaultPlan::descriptor) string feeds the
+//! runner's content-addressed cache, and [`cli_args`](FaultPlan::cli_args)
+//! round-trips the plan through a `chaos_fuzz --replay` command line.
+
+use liteworp_runner::rng::{Pcg32, Rng};
+
+/// One node-crash window: the node is dead (no timers, no radio, no
+/// tunnel) for `from_us <= t < until_us`, then reboots with state intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing node's index.
+    pub node: u32,
+    /// Start of the outage, inclusive, in simulation microseconds.
+    pub from_us: u64,
+    /// End of the outage, exclusive; must be strictly greater than
+    /// `from_us`.
+    pub until_us: u64,
+}
+
+/// A per-node clock-drift entry: every timer delay the node schedules is
+/// scaled by `(1_000_000 + ppm) / 1_000_000`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDrift {
+    /// The drifting node's index.
+    pub node: u32,
+    /// Parts-per-million skew; positive runs slow, negative fast. Must be
+    /// greater than `-1_000_000`.
+    pub ppm: i64,
+}
+
+/// A complete fault-injection plan.
+///
+/// Probabilities apply independently per `(frame, receiver)` pair, after
+/// the simulator's own collision and noise models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's private PCG32 streams (independent of the
+    /// scenario seed, so shrinking fault intensities never perturbs the
+    /// underlying traffic pattern).
+    pub seed: u64,
+    /// Probability a reception vanishes silently.
+    pub drop: f64,
+    /// Probability a reception arrives corrupted (seen as a collision).
+    pub corrupt: f64,
+    /// Probability a reception arrives twice.
+    pub duplicate: f64,
+    /// Probability a reception is delayed (and possibly reordered).
+    pub delay: f64,
+    /// Upper bound on the delay jitter, in microseconds.
+    pub max_jitter_us: u64,
+    /// Node outage windows.
+    pub crashes: Vec<CrashWindow>,
+    /// Per-node clock skews.
+    pub drifts: Vec<ClockDrift>,
+}
+
+impl Default for FaultPlan {
+    /// The null plan: injects nothing at all.
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_jitter_us: 0,
+            crashes: Vec::new(),
+            drifts: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether this plan injects nothing (the null plan).
+    pub fn is_null(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.duplicate == 0.0
+            && self.delay == 0.0
+            && self.crashes.is_empty()
+            && self.drifts.is_empty()
+    }
+
+    /// Total per-reception fault probability (the sum of `drop`,
+    /// `corrupt`, `duplicate`, and `delay`) — the "fault intensity" the
+    /// oracle's honest-immunity ceiling is expressed against.
+    pub fn intensity(&self) -> f64 {
+        self.drop + self.corrupt + self.duplicate + self.delay
+    }
+
+    /// Validates ranges: probabilities in `[0, 1]` with a total at most 1,
+    /// well-formed crash windows, and sane drift magnitudes.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("corrupt", self.corrupt),
+            ("duplicate", self.duplicate),
+            ("delay", self.delay),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} probability {p} outside [0, 1]"));
+            }
+        }
+        if self.intensity() > 1.0 {
+            return Err(format!("total fault intensity {} > 1", self.intensity()));
+        }
+        if self.delay > 0.0 && self.max_jitter_us == 0 {
+            return Err("delay probability set but max_jitter_us is 0".into());
+        }
+        for c in &self.crashes {
+            if c.until_us <= c.from_us {
+                return Err(format!("empty crash window for node {}", c.node));
+            }
+        }
+        for d in &self.drifts {
+            if d.ppm <= -1_000_000 {
+                return Err(format!("drift {} ppm would reverse time", d.ppm));
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable, human-readable identity string. Together with the
+    /// scenario descriptor it keys the runner's result cache, so any field
+    /// change invalidates cached outcomes.
+    pub fn descriptor(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Draws a random plan under `profile`'s ceilings for a run of
+    /// `run_us` microseconds over `nodes` nodes.
+    pub fn sample(rng: &mut Pcg32, nodes: u32, run_us: u64, profile: &FuzzProfile) -> FaultPlan {
+        let frac = |rng: &mut Pcg32, max: f64| {
+            if max > 0.0 {
+                rng.gen_f64() * max
+            } else {
+                0.0
+            }
+        };
+        let drop = frac(rng, profile.drop_max);
+        let corrupt = frac(rng, profile.corrupt_max);
+        let duplicate = frac(rng, profile.duplicate_max);
+        let delay = frac(rng, profile.delay_max);
+        let max_jitter_us = if delay > 0.0 {
+            rng.gen_range(1..=profile.jitter_max_us.max(1))
+        } else {
+            0
+        };
+        let mut crashes = Vec::new();
+        let crash_count = rng.gen_range(0..=profile.crashes_max as u64);
+        for _ in 0..crash_count {
+            let len = rng
+                .gen_range(profile.crash_min_us..=profile.crash_max_us.max(profile.crash_min_us));
+            if len >= run_us {
+                continue;
+            }
+            let from_us = rng.gen_range(0..=(run_us - len));
+            crashes.push(CrashWindow {
+                node: rng.gen_range(0..nodes),
+                from_us,
+                until_us: from_us + len,
+            });
+        }
+        let mut drifts = Vec::new();
+        let drift_count = rng.gen_range(0..=profile.drift_nodes_max as u64);
+        for _ in 0..drift_count {
+            let magnitude = rng.gen_range(0..=profile.drift_ppm_max.unsigned_abs());
+            let ppm = if rng.gen_bool(0.5) {
+                magnitude as i64
+            } else {
+                -(magnitude as i64)
+            };
+            drifts.push(ClockDrift {
+                node: rng.gen_range(0..nodes),
+                ppm,
+            });
+        }
+        let plan = FaultPlan {
+            seed: rng.next_u64(),
+            drop,
+            corrupt,
+            duplicate,
+            delay,
+            max_jitter_us,
+            crashes,
+            drifts,
+        };
+        debug_assert!(plan.validate().is_ok());
+        plan
+    }
+
+    /// Ordered simplification candidates for greedy shrinking: each is a
+    /// strictly "smaller" plan (one fault class removed, a list cleared or
+    /// halved, or a probability halved). The driver keeps the first
+    /// candidate that still violates and repeats until none does.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        let mut push = |plan: FaultPlan| {
+            if plan != *self {
+                out.push(plan);
+            }
+        };
+        // Whole fault classes first: the biggest steps.
+        if !self.crashes.is_empty() {
+            push(FaultPlan {
+                crashes: Vec::new(),
+                ..self.clone()
+            });
+        }
+        if !self.drifts.is_empty() {
+            push(FaultPlan {
+                drifts: Vec::new(),
+                ..self.clone()
+            });
+        }
+        if self.drop > 0.0 {
+            push(FaultPlan {
+                drop: 0.0,
+                ..self.clone()
+            });
+        }
+        if self.corrupt > 0.0 {
+            push(FaultPlan {
+                corrupt: 0.0,
+                ..self.clone()
+            });
+        }
+        if self.duplicate > 0.0 {
+            push(FaultPlan {
+                duplicate: 0.0,
+                ..self.clone()
+            });
+        }
+        if self.delay > 0.0 {
+            push(FaultPlan {
+                delay: 0.0,
+                max_jitter_us: 0,
+                ..self.clone()
+            });
+        }
+        // Then finer steps: halve lists and probabilities.
+        if self.crashes.len() > 1 {
+            push(FaultPlan {
+                crashes: self.crashes[..self.crashes.len() / 2].to_vec(),
+                ..self.clone()
+            });
+        }
+        if self.drifts.len() > 1 {
+            push(FaultPlan {
+                drifts: self.drifts[..self.drifts.len() / 2].to_vec(),
+                ..self.clone()
+            });
+        }
+        let halve = |p: f64| if p > 1e-6 { p / 2.0 } else { 0.0 };
+        if self.drop > 1e-6 {
+            push(FaultPlan {
+                drop: halve(self.drop),
+                ..self.clone()
+            });
+        }
+        if self.corrupt > 1e-6 {
+            push(FaultPlan {
+                corrupt: halve(self.corrupt),
+                ..self.clone()
+            });
+        }
+        if self.duplicate > 1e-6 {
+            push(FaultPlan {
+                duplicate: halve(self.duplicate),
+                ..self.clone()
+            });
+        }
+        if self.delay > 1e-6 {
+            push(FaultPlan {
+                delay: halve(self.delay),
+                ..self.clone()
+            });
+        }
+        if self.max_jitter_us > 1 && self.delay > 0.0 {
+            push(FaultPlan {
+                max_jitter_us: self.max_jitter_us / 2,
+                ..self.clone()
+            });
+        }
+        out
+    }
+
+    /// The `chaos_fuzz --replay` flags reproducing exactly this plan.
+    pub fn cli_args(&self) -> String {
+        let mut s = format!(
+            "--plan-seed {} --drop {} --corrupt {} --duplicate {} --delay {} --jitter-us {}",
+            self.seed, self.drop, self.corrupt, self.duplicate, self.delay, self.max_jitter_us
+        );
+        if !self.crashes.is_empty() {
+            let spec: Vec<String> = self
+                .crashes
+                .iter()
+                .map(|c| format!("{}@{}-{}", c.node, c.from_us, c.until_us))
+                .collect();
+            s.push_str(&format!(" --crashes {}", spec.join(",")));
+        }
+        if !self.drifts.is_empty() {
+            let spec: Vec<String> = self
+                .drifts
+                .iter()
+                .map(|d| format!("{}@{}", d.node, d.ppm))
+                .collect();
+            s.push_str(&format!(" --drifts {}", spec.join(",")));
+        }
+        s
+    }
+}
+
+/// Parses a `--crashes` spec: `node@from-until[,node@from-until...]`,
+/// times in microseconds.
+pub fn parse_crashes(spec: &str) -> Result<Vec<CrashWindow>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (node, window) = part
+            .split_once('@')
+            .ok_or_else(|| format!("bad crash entry {part:?} (want node@from-until)"))?;
+        let (from, until) = window
+            .split_once('-')
+            .ok_or_else(|| format!("bad crash window {window:?} (want from-until)"))?;
+        out.push(CrashWindow {
+            node: node
+                .parse()
+                .map_err(|e| format!("bad node {node:?}: {e}"))?,
+            from_us: from
+                .parse()
+                .map_err(|e| format!("bad start {from:?}: {e}"))?,
+            until_us: until
+                .parse()
+                .map_err(|e| format!("bad end {until:?}: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a `--drifts` spec: `node@ppm[,node@ppm...]`.
+pub fn parse_drifts(spec: &str) -> Result<Vec<ClockDrift>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (node, ppm) = part
+            .split_once('@')
+            .ok_or_else(|| format!("bad drift entry {part:?} (want node@ppm)"))?;
+        out.push(ClockDrift {
+            node: node
+                .parse()
+                .map_err(|e| format!("bad node {node:?}: {e}"))?,
+            ppm: ppm.parse().map_err(|e| format!("bad ppm {ppm:?}: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Sampling ceilings for [`FaultPlan::sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzProfile {
+    /// Maximum drop probability.
+    pub drop_max: f64,
+    /// Maximum corruption probability.
+    pub corrupt_max: f64,
+    /// Maximum duplication probability.
+    pub duplicate_max: f64,
+    /// Maximum delay probability.
+    pub delay_max: f64,
+    /// Maximum jitter bound, microseconds.
+    pub jitter_max_us: u64,
+    /// Maximum number of crash windows.
+    pub crashes_max: u32,
+    /// Minimum crash-window length, microseconds.
+    pub crash_min_us: u64,
+    /// Maximum crash-window length, microseconds.
+    pub crash_max_us: u64,
+    /// Maximum number of drifting nodes.
+    pub drift_nodes_max: u32,
+    /// Maximum drift magnitude, ppm.
+    pub drift_ppm_max: i64,
+}
+
+impl FuzzProfile {
+    /// The benign envelope: fault intensities low enough that the paper's
+    /// false-alarm analysis (Section 5.1) predicts essentially zero false
+    /// isolations at the default γ = 2, yet every fault class is
+    /// exercised. Jitter stays far below the 2 s watch timeout so delayed
+    /// forwards do not masquerade as drops.
+    pub fn benign() -> Self {
+        FuzzProfile {
+            drop_max: 0.01,
+            corrupt_max: 0.02,
+            duplicate_max: 0.02,
+            delay_max: 0.02,
+            jitter_max_us: 100_000,
+            crashes_max: 2,
+            crash_min_us: 2_000_000,
+            crash_max_us: 20_000_000,
+            drift_nodes_max: 3,
+            drift_ppm_max: 200,
+        }
+    }
+
+    /// A harsher envelope for hunting: everything benign allows, times
+    /// five, with longer outages. Violations found here are interesting
+    /// but do not indict the protocol's benign-regime guarantees.
+    pub fn harsh() -> Self {
+        FuzzProfile {
+            drop_max: 0.05,
+            corrupt_max: 0.10,
+            duplicate_max: 0.10,
+            delay_max: 0.10,
+            jitter_max_us: 500_000,
+            crashes_max: 4,
+            crash_min_us: 2_000_000,
+            crash_max_us: 60_000_000,
+            drift_nodes_max: 6,
+            drift_ppm_max: 1_000,
+        }
+    }
+
+    /// The worst-case intensity a plan sampled under this profile can
+    /// reach (the oracle's benign ceiling).
+    pub fn intensity_max(&self) -> f64 {
+        self.drop_max + self.corrupt_max + self.duplicate_max + self.delay_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan(seed: u64) -> FaultPlan {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        FaultPlan::sample(&mut rng, 30, 300_000_000, &FuzzProfile::benign())
+    }
+
+    #[test]
+    fn null_plan_is_null() {
+        assert!(FaultPlan::default().is_null());
+        assert_eq!(FaultPlan::default().intensity(), 0.0);
+        assert!(FaultPlan::default().validate().is_ok());
+    }
+
+    #[test]
+    fn sampled_plans_validate_and_stay_under_profile() {
+        let profile = FuzzProfile::benign();
+        for seed in 0..50 {
+            let plan = sample_plan(seed);
+            plan.validate().expect("sampled plan must validate");
+            assert!(plan.intensity() <= profile.intensity_max() + 1e-12);
+            assert!(plan.crashes.len() <= profile.crashes_max as usize);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(sample_plan(7), sample_plan(7));
+        assert_ne!(sample_plan(7), sample_plan(8));
+    }
+
+    #[test]
+    fn descriptor_distinguishes_plans() {
+        let a = sample_plan(1);
+        let b = sample_plan(2);
+        assert_ne!(a.descriptor(), b.descriptor());
+        assert_eq!(a.descriptor(), a.clone().descriptor());
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler() {
+        let plan = sample_plan(3);
+        for cand in plan.shrink_candidates() {
+            assert_ne!(cand, plan);
+            cand.validate().expect("shrunk plan must validate");
+            assert!(
+                cand.intensity() <= plan.intensity() + 1e-12,
+                "shrinking must not raise intensity"
+            );
+        }
+        // The null plan cannot shrink further.
+        assert!(FaultPlan::default().shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn crash_and_drift_specs_round_trip() {
+        let mut plan = sample_plan(4);
+        plan.crashes = vec![
+            CrashWindow {
+                node: 3,
+                from_us: 1_000_000,
+                until_us: 4_000_000,
+            },
+            CrashWindow {
+                node: 9,
+                from_us: 2,
+                until_us: 5,
+            },
+        ];
+        plan.drifts = vec![
+            ClockDrift { node: 1, ppm: 40 },
+            ClockDrift { node: 8, ppm: -25 },
+        ];
+        let crash_spec = "3@1000000-4000000,9@2-5";
+        let drift_spec = "1@40,8@-25";
+        assert_eq!(parse_crashes(crash_spec).unwrap(), plan.crashes);
+        assert_eq!(parse_drifts(drift_spec).unwrap(), plan.drifts);
+        let args = plan.cli_args();
+        assert!(args.contains(crash_spec), "{args}");
+        assert!(args.contains(drift_spec), "{args}");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(parse_crashes("3@5-2x").is_err());
+        assert!(parse_crashes("nope").is_err());
+        assert!(parse_drifts("1@fast").is_err());
+        let mut plan = FaultPlan::default();
+        plan.drop = 1.5;
+        assert!(plan.validate().is_err());
+        let mut plan = FaultPlan::default();
+        plan.delay = 0.1;
+        assert!(plan.validate().is_err(), "delay without jitter bound");
+        let mut plan = FaultPlan::default();
+        plan.crashes = vec![CrashWindow {
+            node: 0,
+            from_us: 5,
+            until_us: 5,
+        }];
+        assert!(plan.validate().is_err(), "empty crash window");
+    }
+}

@@ -1,0 +1,96 @@
+//! Pluggable fault injection for the simulated radio channel and nodes.
+//!
+//! A [`FaultHook`] installed via [`Simulator::set_fault_hook`] is consulted
+//! at three points:
+//!
+//! * **per reception** — after the collision and noise models have passed a
+//!   frame, the hook decides whether the receiver actually gets it
+//!   ([`Reception`]): deliver, drop it silently, corrupt it (the receiver
+//!   sees a checksum failure, i.e. a collision), duplicate it, or delay it
+//!   by a bounded jitter (which also reorders it against later traffic);
+//! * **per event** — a node inside a crash window runs no timers, start
+//!   hooks, or transmission attempts (they are deferred to the reboot
+//!   time) and receives nothing at all, over the air or through tunnels;
+//! * **per timer** — a node's timer delays can be scaled to model clock
+//!   drift.
+//!
+//! Without a hook the simulator behaves byte-for-byte identically to a
+//! build without this module, so fault-free runs keep their cached
+//! results.
+//!
+//! [`Simulator::set_fault_hook`]: crate::sim::Simulator::set_fault_hook
+
+use crate::field::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// What happens to one frame at one receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reception {
+    /// The frame arrives normally.
+    Deliver,
+    /// The frame vanishes silently — the receiver never learns a
+    /// transmission happened (the dangerous case for LITEWORP guards,
+    /// which cannot tell a faded frame from a maliciously dropped one).
+    Drop,
+    /// The frame arrives damaged: the receiver detects a checksum failure
+    /// and observes it as a collision (so the collision-grace logic in the
+    /// protocol applies).
+    Corrupt,
+    /// The frame arrives twice back to back.
+    Duplicate,
+    /// The frame arrives after an extra jitter, possibly reordered behind
+    /// traffic transmitted later.
+    Delay(SimDuration),
+}
+
+/// A fault-injection policy consulted by the simulator.
+///
+/// All methods have pass-through defaults, so implementations override
+/// only the faults they model. Implementations must be deterministic
+/// functions of their own seeded state — the simulator calls them in a
+/// fixed order, so a given (scenario, plan) pair always replays exactly.
+pub trait FaultHook {
+    /// Decides the fate of a frame that survived collision and noise at
+    /// `receiver`. Called once per (frame, in-range receiver) pair, in
+    /// receiver-id order.
+    fn on_reception(&mut self, now: SimTime, transmitter: NodeId, receiver: NodeId) -> Reception {
+        let _ = (now, transmitter, receiver);
+        Reception::Deliver
+    }
+
+    /// If `node` is crashed at `now`, returns the reboot time (strictly
+    /// after `now`). Deferred events re-run at that time; receptions while
+    /// down are lost outright.
+    fn down_until(&self, now: SimTime, node: NodeId) -> Option<SimTime> {
+        let _ = (now, node);
+        None
+    }
+
+    /// Maps a requested timer delay to the delay actually scheduled for
+    /// `node` — the clock-drift hook.
+    fn timer_delay(&self, node: NodeId, delay: SimDuration) -> SimDuration {
+        let _ = node;
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Passthrough;
+    impl FaultHook for Passthrough {}
+
+    #[test]
+    fn defaults_are_transparent() {
+        let mut hook = Passthrough;
+        let now = SimTime::from_micros(5);
+        assert_eq!(
+            hook.on_reception(now, NodeId(0), NodeId(1)),
+            Reception::Deliver
+        );
+        assert_eq!(hook.down_until(now, NodeId(0)), None);
+        let d = SimDuration::from_millis(3);
+        assert_eq!(hook.timer_delay(NodeId(0), d), d);
+    }
+}

@@ -16,6 +16,9 @@
 //!   latency (instantaneous = the paper's out-of-band wormhole channel).
 //! * **Deterministic execution**: a seeded RNG and a totally ordered event
 //!   queue make every run reproducible.
+//! * **Fault injection**: an optional [`fault::FaultHook`] drops, corrupts,
+//!   duplicates, or delays individual receptions and models node crashes
+//!   and clock drift — the substrate of the chaos-testing harness.
 //!
 //! # Quick start
 //!
@@ -52,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod field;
 pub mod frame;
 pub mod medium;

@@ -46,6 +46,7 @@
 //! assert_eq!(listener.heard, 1);
 //! ```
 
+use crate::fault::{FaultHook, Reception};
 use crate::field::{Field, NodeId};
 use crate::frame::{Frame, FrameSpec};
 use crate::medium::{Medium, TxRecord};
@@ -72,6 +73,11 @@ enum EventKind<P> {
         from: NodeId,
         to: NodeId,
         payload: P,
+    },
+    /// A frame held back by a [`FaultHook`] jitter verdict, arriving late.
+    FaultDeliver {
+        to: NodeId,
+        frame: Frame<P>,
     },
 }
 
@@ -142,6 +148,7 @@ pub struct Simulator<P> {
     trace: Trace,
     started: bool,
     start_times: Vec<SimTime>,
+    fault: Option<Box<dyn FaultHook>>,
 }
 
 impl<P: Clone + 'static> Simulator<P> {
@@ -174,6 +181,7 @@ impl<P: Clone + 'static> Simulator<P> {
             trace: Trace::default(),
             started: false,
             start_times: Vec::new(),
+            fault: None,
         }
     }
 
@@ -260,6 +268,20 @@ impl<P: Clone + 'static> Simulator<P> {
         self.nodes.len()
     }
 
+    /// Installs a fault-injection hook (see [`crate::fault`]).
+    ///
+    /// Without a hook the simulator's behavior is byte-for-byte identical
+    /// to a build without the fault module, so fault-free runs keep their
+    /// determinism and cached results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        assert!(!self.started, "cannot install a fault hook after start");
+        self.fault = Some(hook);
+    }
+
     /// Schedules an external timer for a node — the hook experiments use
     /// to trigger behavior (e.g. "start the attack at t = 50 s").
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
@@ -310,6 +332,32 @@ impl<P: Clone + 'static> Simulator<P> {
     }
 
     fn dispatch(&mut self, kind: EventKind<P>) {
+        // Crash windows: a down node runs no start hooks, timers, or
+        // transmission attempts (those resume at reboot, state intact) and
+        // receives nothing at all while down.
+        if self.fault.is_some() {
+            let (defer_to, drop_rx) = {
+                let hook = self.fault.as_deref().expect("checked above");
+                match &kind {
+                    EventKind::NodeStart(n)
+                    | EventKind::Timer { node: n, .. }
+                    | EventKind::TxAttempt(n) => (hook.down_until(self.now, *n), false),
+                    EventKind::TunnelDeliver { to, .. } | EventKind::FaultDeliver { to, .. } => {
+                        (None, hook.down_until(self.now, *to).is_some())
+                    }
+                    EventKind::TxEnd { .. } => (None, false),
+                }
+            };
+            if let Some(up) = defer_to {
+                assert!(up > self.now, "down_until must be strictly future");
+                self.push_event(up, kind);
+                return;
+            }
+            if drop_rx {
+                self.metrics.incr("fault_rx_while_down");
+                return;
+            }
+        }
         match kind {
             EventKind::NodeStart(node) => self.with_logic(node, |logic, ctx| logic.on_start(ctx)),
             EventKind::Timer { node, token } => {
@@ -332,6 +380,10 @@ impl<P: Clone + 'static> Simulator<P> {
                     },
                 );
                 self.with_logic(to, |logic, ctx| logic.on_tunnel(ctx, from, &payload));
+            }
+            EventKind::FaultDeliver { to, frame } => {
+                self.metrics.frames_delivered += 1;
+                self.with_logic(to, |logic, ctx| logic.on_frame(ctx, &frame));
             }
         }
     }
@@ -362,6 +414,10 @@ impl<P: Clone + 'static> Simulator<P> {
             match action {
                 Action::Send(spec) => self.enqueue_frame(node, spec),
                 Action::Timer { delay, token } => {
+                    let delay = match &self.fault {
+                        Some(hook) => hook.timer_delay(node, delay),
+                        None => delay,
+                    };
                     self.push_event(self.now + delay, EventKind::Timer { node, token });
                 }
                 Action::Tunnel {
@@ -514,6 +570,14 @@ impl<P: Clone + 'static> Simulator<P> {
             if rpos.distance_to(&record.origin) > record.range {
                 continue;
             }
+            let receiver_down = self
+                .fault
+                .as_deref()
+                .is_some_and(|h| h.down_until(self.now, receiver).is_some());
+            if receiver_down {
+                self.metrics.incr("fault_rx_while_down");
+                continue;
+            }
             if self.medium.collides(seq, receiver, rpos) {
                 self.metrics.frames_collided += 1;
                 self.with_logic(receiver, |logic, ctx| logic.on_collision(ctx));
@@ -522,6 +586,54 @@ impl<P: Clone + 'static> Simulator<P> {
             if self.radio.noise_loss > 0.0 && self.rng.gen_f64() < self.radio.noise_loss {
                 self.metrics.frames_lost_noise += 1;
                 continue;
+            }
+            let verdict = match self.fault.as_deref_mut() {
+                Some(hook) => hook.on_reception(self.now, tx, receiver),
+                None => Reception::Deliver,
+            };
+            match verdict {
+                Reception::Deliver => {}
+                Reception::Drop => {
+                    // Silent loss: no ACK for a unicast destination, so the
+                    // link-layer retry path runs exactly as for noise.
+                    self.metrics.incr("fault_frames_dropped");
+                    continue;
+                }
+                Reception::Corrupt => {
+                    // Checksum failure: observed as a collision.
+                    self.metrics.incr("fault_frames_corrupted");
+                    self.metrics.frames_collided += 1;
+                    self.with_logic(receiver, |logic, ctx| logic.on_collision(ctx));
+                    continue;
+                }
+                Reception::Duplicate => {
+                    self.metrics.incr("fault_frames_duplicated");
+                    self.metrics.frames_delivered += 2;
+                    if frame.dest == crate::frame::Dest::Unicast(receiver) {
+                        link_dst_got_it = true;
+                    }
+                    self.with_logic(receiver, |logic, ctx| logic.on_frame(ctx, &frame));
+                    self.with_logic(receiver, |logic, ctx| logic.on_frame(ctx, &frame));
+                    continue;
+                }
+                Reception::Delay(jitter) => {
+                    // The frame will still arrive, so the link-layer ACK
+                    // counts now; delivery happens after the jitter.
+                    self.metrics.incr("fault_frames_delayed");
+                    if frame.dest == crate::frame::Dest::Unicast(receiver) {
+                        link_dst_got_it = true;
+                    }
+                    let at = self.now + jitter;
+                    let held = frame.clone();
+                    self.push_event(
+                        at,
+                        EventKind::FaultDeliver {
+                            to: receiver,
+                            frame: held,
+                        },
+                    );
+                    continue;
+                }
             }
             self.metrics.frames_delivered += 1;
             if frame.dest == crate::frame::Dest::Unicast(receiver) {
@@ -905,6 +1017,106 @@ mod tests {
             let at = r.started_at.expect("every node starts");
             assert!(at <= SimTime::from_secs_f64(2.0));
         }
+    }
+
+    #[test]
+    fn drop_all_hook_silences_the_channel() {
+        use crate::fault::{FaultHook, Reception};
+        struct DropAll;
+        impl FaultHook for DropAll {
+            fn on_reception(&mut self, _now: SimTime, _tx: NodeId, _rx: NodeId) -> Reception {
+                Reception::Drop
+            }
+        }
+        let field = chain_field(10.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.set_fault_hook(Box::new(DropAll));
+        sim.push_node(Box::new(Beacon::new(5, SimDuration::from_millis(10))));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert!(sink_of(&sim, NodeId(1)).heard.is_empty());
+        assert_eq!(sim.metrics().get("fault_frames_dropped"), 5);
+    }
+
+    #[test]
+    fn delayed_frames_arrive_late_and_duplicates_twice() {
+        use crate::fault::{FaultHook, Reception};
+        // First reception delayed by 100 ms, the rest duplicated.
+        struct Mixed {
+            first: bool,
+        }
+        impl FaultHook for Mixed {
+            fn on_reception(&mut self, _now: SimTime, _tx: NodeId, _rx: NodeId) -> Reception {
+                if self.first {
+                    self.first = false;
+                    Reception::Delay(SimDuration::from_millis(100))
+                } else {
+                    Reception::Duplicate
+                }
+            }
+        }
+        let field = chain_field(10.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.set_fault_hook(Box::new(Mixed { first: true }));
+        sim.push_node(Box::new(Beacon::new(2, SimDuration::from_millis(10))));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(0.05));
+        // Only the duplicated second frame has arrived so far (twice).
+        assert_eq!(sink_of(&sim, NodeId(1)).heard, vec![(NodeId(0), 1); 2]);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // The delayed first frame lands after its jitter, reordered.
+        let heard = &sink_of(&sim, NodeId(1)).heard;
+        assert_eq!(heard.len(), 3);
+        assert_eq!(heard[2], (NodeId(0), 0));
+    }
+
+    #[test]
+    fn crashed_node_misses_traffic_and_resumes() {
+        use crate::fault::FaultHook;
+        // Node 1 is down for t in [0, 0.5 s): the early beacons are lost,
+        // the late ones arrive, and its own start hook runs at reboot.
+        struct DownEarly;
+        impl FaultHook for DownEarly {
+            fn down_until(&self, now: SimTime, node: NodeId) -> Option<SimTime> {
+                let until = SimTime::from_secs_f64(0.5);
+                (node == NodeId(1) && now < until).then_some(until)
+            }
+        }
+        let field = chain_field(10.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.set_fault_hook(Box::new(DownEarly));
+        sim.push_node(Box::new(Beacon::new(10, SimDuration::from_millis(100))));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let heard = sink_of(&sim, NodeId(1)).heard.len();
+        assert!(heard >= 4 && heard <= 6, "heard {heard} of 10");
+        assert!(sim.metrics().get("fault_rx_while_down") >= 4);
+    }
+
+    #[test]
+    fn timer_drift_scales_delays() {
+        use crate::fault::FaultHook;
+        // +100000 ppm (10% fast clock... i.e. slow timers): the 10th beacon
+        // at nominal t = 0.9 s lands at 0.99 s instead.
+        struct Slow;
+        impl FaultHook for Slow {
+            fn timer_delay(&self, node: NodeId, delay: SimDuration) -> SimDuration {
+                if node == NodeId(0) {
+                    SimDuration::from_micros(delay.as_micros() * 11 / 10)
+                } else {
+                    delay
+                }
+            }
+        }
+        let field = chain_field(10.0, 2);
+        let mut sim = Simulator::new(field, RadioConfig::default(), 7);
+        sim.set_fault_hook(Box::new(Slow));
+        sim.push_node(Box::new(Beacon::new(10, SimDuration::from_millis(100))));
+        sim.push_node(Box::new(Sink::default()));
+        sim.run_until(SimTime::from_secs_f64(0.95));
+        assert_eq!(sink_of(&sim, NodeId(1)).heard.len(), 9);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sink_of(&sim, NodeId(1)).heard.len(), 10);
     }
 
     #[test]

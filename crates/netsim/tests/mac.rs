@@ -55,7 +55,10 @@ struct Sink {
 }
 impl NodeLogic<P> for Sink {
     fn on_frame(&mut self, _ctx: &mut Context<'_, P>, f: &Frame<P>) {
-        if f.addressed_to(NodeId(1)) {
+        // Count only the unicast under test: `addressed_to` would also
+        // match the jammer's broadcasts, which can land cleanly once the
+        // colliding transmissions are out of the way.
+        if f.dest == Dest::Unicast(NodeId(1)) {
             self.received += 1;
         }
     }

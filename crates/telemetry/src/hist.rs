@@ -27,7 +27,7 @@ const BUCKETS: usize = 65;
 /// assert_eq!(h.max(), Some(100));
 /// assert!(h.p50().unwrap() <= 3);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; BUCKETS],
     count: u64,

@@ -1,18 +1,47 @@
 #!/bin/bash
 # Regenerates every experiment output under results/.
-set -x
-cd /root/repo
+#
+# Fails fast: the first binary that exits nonzero aborts the script with a
+# clear "FAILED at <step>" line instead of silently producing a partial
+# results/ tree. Each step's stderr goes to results/<step>.log.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
 B=target/release
-$B/table2 > results/table2.txt 2>/dev/null
-$B/fig6a > results/fig6a.txt 2>/dev/null
-$B/fig6b > results/fig6b.txt 2>/dev/null
-$B/table1 > results/table1.txt 2>results/table1.log
-$B/cost_table > results/cost_table.txt 2>results/cost_table.log
-$B/fig8 --seeds 10 > results/fig8.txt 2>results/fig8.log
-$B/fig9 --seeds 10 > results/fig9.txt 2>results/fig9.log
-$B/fig10 --seeds 10 > results/fig10.txt 2>results/fig10.log
-$B/detection_sweep --seeds 10 > results/detection_sweep.txt 2>results/detection_sweep.log
+OUT=results
+
+if [ ! -x "$B/table2" ]; then
+    echo "error: release binaries missing; run 'cargo build --release' first" >&2
+    exit 1
+fi
+
+# step <name> [args...]: runs $B/<name>, stdout to results/<name>.txt,
+# stderr to results/<name>.log, and reports pass/fail with timing.
+step() {
+    local name=$1
+    shift
+    local start=$SECONDS
+    echo "== $name $* " >&2
+    local rc=0
+    "$B/$name" "$@" > "$OUT/$name.txt" 2> "$OUT/$name.log" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAILED at $name (exit $rc); see $OUT/$name.log" >&2
+        tail -n 20 "$OUT/$name.log" >&2 || true
+        exit "$rc"
+    fi
+    echo "   ok: $name (${SECONDS}s total, +$((SECONDS - start))s)" >&2
+}
+
+step table2
+step fig6a
+step fig6b
+step table1
+step cost_table
+step fig8 --seeds 10
+step fig9 --seeds 10
+step fig10 --seeds 10
+step detection_sweep --seeds 10
+step ablations --seeds 5
+step chaos_fuzz --smoke
+
 echo ALL_DONE
-# ablations appended
-$B/ablations --seeds 5 > results/ablations.txt 2>results/ablations.log
-echo ABLATIONS_DONE

@@ -19,4 +19,7 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> benches compile (offline)"
 cargo build --benches --offline
 
+echo "==> chaos_fuzz smoke (fixed-seed fault-injection gate)"
+./target/release/chaos_fuzz --smoke --no-cache
+
 echo "CI OK"

@@ -1,0 +1,126 @@
+//! Differential test: the closed-form detection and false-alarm models of
+//! `crates/analysis` (Section 5) against the full protocol simulation of
+//! `crates/netsim`, at three density points.
+//!
+//! The analysis and the simulator share no code beyond the protocol
+//! constants, so agreement here means the reproduction's two halves
+//! describe the same protocol.
+
+use liteworp_analysis::detection::{CollisionModel, DetectionModel};
+use liteworp_analysis::false_alarm::FalseAlarmModel;
+use liteworp_bench::exec::{run_cells, ExecOptions, SimCell};
+use liteworp_bench::experiments::sweep::{run_with, SweepConfig};
+use liteworp_bench::Scenario;
+
+/// Densities (average neighbor counts) compared. All are above the
+/// paper's detection knee, where both model and simulation should sit
+/// near certain detection.
+const DENSITIES: [f64; 3] = [6.0, 8.0, 12.0];
+/// Allowed |model − simulation| gap on detection probability.
+const DETECTION_BOUND: f64 = 0.15;
+/// Runs per density cell.
+const SEEDS: u64 = 6;
+
+/// The analytical model at the protocol's γ, fed the *simulated* collision
+/// probability measured at this density.
+fn model_at(p_c: f64) -> DetectionModel {
+    DetectionModel {
+        window: 7,
+        detections_needed: 5,
+        confidence_index: Scenario::default().liteworp.confidence_index as u64,
+        collisions: CollisionModel::Constant(p_c),
+    }
+}
+
+/// Empirical collision probability of an attack-free channel at the given
+/// density — the one free parameter the analysis takes from measurement.
+fn measured_collision_fraction(n_b: f64) -> f64 {
+    let mut run = Scenario {
+        nodes: 50,
+        avg_neighbors: n_b,
+        malicious: 0,
+        protected: true,
+        seed: 71,
+        ..Scenario::default()
+    }
+    .build();
+    run.run_until_secs(200.0);
+    run.sim().metrics().collision_fraction()
+}
+
+#[test]
+fn analytical_detection_matches_simulated_rate() {
+    let cfg = SweepConfig {
+        node_counts: vec![50],
+        densities: DENSITIES.to_vec(),
+        seeds: SEEDS,
+        duration: 400.0,
+    };
+    let (rows, _) = run_with(&cfg, &ExecOptions::default());
+    assert_eq!(rows.len(), DENSITIES.len());
+    for row in rows {
+        let p_c = measured_collision_fraction(row.avg_neighbors);
+        let model = model_at(p_c);
+        let predicted = model.detection_probability_with(model.guards(row.avg_neighbors), p_c);
+        assert!(
+            (predicted - row.detection_rate).abs() <= DETECTION_BOUND,
+            "density {}: model predicts {predicted:.3}, simulation measured {:.3} \
+             (P_C = {p_c:.4}, bound {DETECTION_BOUND})",
+            row.avg_neighbors,
+            row.detection_rate,
+        );
+    }
+}
+
+#[test]
+fn analytical_false_alarms_match_simulated_rate() {
+    // Model side: at the measured collision rates, the closed form says a
+    // false network-wide isolation is essentially impossible.
+    let mut expected_total = 0.0;
+    for &n_b in &DENSITIES {
+        let p_c = measured_collision_fraction(n_b);
+        let model = FalseAlarmModel::new(model_at(p_c));
+        let p_fi = model.false_isolation_probability_with(model.detection_model().guards(n_b), p_c);
+        assert!(
+            p_fi < 1e-3,
+            "density {n_b}: analytical false-isolation probability {p_fi} \
+             is not negligible (P_C = {p_c:.4})"
+        );
+        expected_total += p_fi * SEEDS as f64 * 50.0;
+    }
+    // Simulation side: attack-free runs at the same three densities must
+    // show zero false isolations — consistent with a per-node-per-run
+    // probability whose expected count over the whole batch is << 1.
+    assert!(
+        expected_total < 0.5,
+        "batch too large for a zero-count test"
+    );
+    let cells: Vec<SimCell> = DENSITIES
+        .iter()
+        .map(|&n_b| {
+            SimCell::snapshot(
+                format!("false-alarm nb={n_b}"),
+                Scenario {
+                    nodes: 50,
+                    avg_neighbors: n_b,
+                    malicious: 0,
+                    protected: true,
+                    ..Scenario::default()
+                },
+                SEEDS,
+                9000,
+                400.0,
+            )
+        })
+        .collect();
+    let batch = run_cells(&cells, &ExecOptions::default());
+    for (cell, outcomes) in cells.iter().zip(&batch.outcomes) {
+        assert_eq!(outcomes.len(), SEEDS as usize, "{}: lost runs", cell.label);
+        let false_isolations: f64 = outcomes.iter().map(|o| o.false_isolations).sum();
+        assert_eq!(
+            false_isolations, 0.0,
+            "{}: simulated honest isolations where the model predicts none",
+            cell.label
+        );
+    }
+}

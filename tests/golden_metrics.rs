@@ -1,0 +1,160 @@
+//! Golden-metric regression tests: fixed-seed aggregate statistics of the
+//! headline experiments (Figure 8, Figure 9, Table 2) compared against
+//! baselines committed in `tests/golden/`.
+//!
+//! The simulator is deterministic, so a drift beyond the tolerances below
+//! means simulator or protocol behavior changed. If the change is
+//! intentional, regenerate the baselines and commit them:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_metrics
+//! ```
+
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::{fig8, fig9, tables};
+use liteworp_runner::Json;
+use std::path::PathBuf;
+
+/// Absolute tolerance for packet counts (fig8 cumulative drops).
+const TOL_COUNT: f64 = 1e-6;
+/// Absolute tolerance for fractions in [0, 1] (fig9 rates and CIs).
+const TOL_FRACTION: f64 = 1e-9;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Loads the committed baseline, or rewrites it from `actual` when
+/// `UPDATE_GOLDEN` is set.
+fn baseline(name: &str, actual: &Json) -> Json {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual.dump() + "\n").unwrap();
+        eprintln!("updated baseline {}", path.display());
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); generate it with \
+             UPDATE_GOLDEN=1 cargo test --test golden_metrics",
+            path.display()
+        )
+    });
+    Json::parse(&text).expect("baseline is valid JSON")
+}
+
+fn field(row: &Json, key: &str) -> f64 {
+    row.get(key)
+        .unwrap_or_else(|| panic!("baseline row missing {key:?}"))
+        .as_f64()
+        .unwrap_or_else(|| panic!("baseline field {key:?} is not a number"))
+}
+
+fn assert_close(label: &str, expected: f64, actual: f64, tol: f64) {
+    assert!(
+        (expected - actual).abs() <= tol,
+        "{label}: baseline {expected} vs actual {actual} (tolerance {tol}); \
+         if this change is intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test golden_metrics"
+    );
+}
+
+/// Small fixed-seed Figure 8 cell: cumulative wormhole drops over time,
+/// M = 2, baseline vs LITEWORP.
+#[test]
+fn fig8_drop_series_matches_baseline() {
+    let cfg = fig8::Fig8Config {
+        nodes: 50,
+        colluder_counts: vec![2],
+        seeds: 2,
+        duration: 400.0,
+        sample_every: 100.0,
+    };
+    let (series, _) = fig8::run_with(&cfg, &ExecOptions::default());
+    let actual = Json::Arr(series.iter().map(|s| s.to_json()).collect());
+    let expected = baseline("fig8.json", &actual);
+    let (exp, act) = (expected.as_arr().unwrap(), actual.as_arr().unwrap());
+    assert_eq!(exp.len(), act.len(), "series count changed");
+    for (e, a) in exp.iter().zip(act) {
+        let label = format!(
+            "fig8 m={} protected={}",
+            field(e, "colluders"),
+            e.get("protected").unwrap().as_bool().unwrap()
+        );
+        let exp_drops = e.get("dropped").unwrap().as_arr().unwrap();
+        let act_drops = a.get("dropped").unwrap().as_arr().unwrap();
+        assert_eq!(exp_drops.len(), act_drops.len(), "{label}: sample count");
+        for (i, (ed, ad)) in exp_drops.iter().zip(act_drops).enumerate() {
+            assert_close(
+                &format!("{label} sample {i}"),
+                ed.as_f64().unwrap(),
+                ad.as_f64().unwrap(),
+                TOL_COUNT,
+            );
+        }
+    }
+}
+
+/// Small fixed-seed Figure 9 snapshot: fraction of data dropped and of
+/// routes through the wormhole, M ∈ {0, 2}.
+#[test]
+fn fig9_fractions_match_baseline() {
+    let cfg = fig9::Fig9Config {
+        nodes: 50,
+        colluder_counts: vec![0, 2],
+        seeds: 2,
+        duration: 400.0,
+    };
+    let (rows, _) = fig9::run_with(&cfg, &ExecOptions::default());
+    let actual = Json::Arr(rows.iter().map(|r| r.to_json()).collect());
+    let expected = baseline("fig9.json", &actual);
+    let (exp, act) = (expected.as_arr().unwrap(), actual.as_arr().unwrap());
+    assert_eq!(exp.len(), act.len(), "row count changed");
+    for (e, a) in exp.iter().zip(act) {
+        let label = format!(
+            "fig9 m={} protected={}",
+            field(e, "colluders"),
+            e.get("protected").unwrap().as_bool().unwrap()
+        );
+        for key in [
+            "fraction_dropped",
+            "fraction_dropped_ci95",
+            "fraction_malicious_routes",
+            "fraction_malicious_routes_ci95",
+        ] {
+            assert_close(
+                &format!("{label} {key}"),
+                field(e, key),
+                field(a, key),
+                TOL_FRACTION,
+            );
+        }
+    }
+}
+
+/// Table 2 is a parameter dump of the live defaults: any drift here means
+/// the reproduction silently changed a paper parameter.
+#[test]
+fn table2_parameters_match_baseline() {
+    let rows = tables::table2();
+    let actual = Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::object([
+                    ("parameter", Json::from(r.parameter.as_str())),
+                    ("paper", Json::from(r.paper.as_str())),
+                    ("ours", Json::from(r.ours.as_str())),
+                ])
+            })
+            .collect(),
+    );
+    let expected = baseline("table2.json", &actual);
+    assert_eq!(
+        expected.dump(),
+        actual.dump(),
+        "Table 2 parameters drifted from the committed baseline; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,97 @@
+//! Property tests for `liteworp_telemetry::Histogram` under deterministic
+//! random workloads: merge is associative and commutative, and quantiles
+//! are monotone in `q` and bounded by the observed min/max.
+
+use liteworp_runner::{Pcg32, Rng};
+use liteworp_telemetry::Histogram;
+
+/// A histogram of `n` samples drawn from a seeded mix of scales, so every
+/// power-of-two bucket range gets traffic.
+fn random_hist(rng: &mut Pcg32, n: usize) -> Histogram {
+    let mut h = Histogram::default();
+    for _ in 0..n {
+        let magnitude = rng.gen_range(0u32..40);
+        h.record(rng.gen_range(0u64..=(1u64 << magnitude)));
+    }
+    h
+}
+
+#[test]
+fn merge_is_commutative() {
+    let mut rng = Pcg32::seed_from_u64(81);
+    for trial in 0..50 {
+        let a = random_hist(&mut rng, 1 + trial % 200);
+        let b = random_hist(&mut rng, 1 + (trial * 7) % 200);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "trial {trial}: a.merge(b) != b.merge(a)");
+    }
+}
+
+#[test]
+fn merge_is_associative() {
+    let mut rng = Pcg32::seed_from_u64(82);
+    for trial in 0..50 {
+        let a = random_hist(&mut rng, 1 + trial % 150);
+        let b = random_hist(&mut rng, 1 + (trial * 3) % 150);
+        let c = random_hist(&mut rng, 1 + (trial * 11) % 150);
+        // (a ⊔ b) ⊔ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊔ (b ⊔ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right, "trial {trial}: merge is not associative");
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let mut rng = Pcg32::seed_from_u64(83);
+    for trial in 0..20 {
+        let a = random_hist(&mut rng, 1 + trial * 13);
+        let mut merged = a.clone();
+        merged.merge(&Histogram::default());
+        assert_eq!(merged, a, "trial {trial}: merging empty changed state");
+        let mut from_empty = Histogram::default();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a, "trial {trial}: empty.merge(a) != a");
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    let mut rng = Pcg32::seed_from_u64(84);
+    for trial in 0..50 {
+        let h = random_hist(&mut rng, 1 + trial * 17);
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        let mut prev = 0u64;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = h.quantile(q).unwrap();
+            assert!(
+                v >= prev,
+                "trial {trial}: quantile({q}) = {v} < quantile at previous step {prev}"
+            );
+            assert!(
+                (min..=max).contains(&v),
+                "trial {trial}: quantile({q}) = {v} outside observed [{min}, {max}]"
+            );
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), Some(max), "trial {trial}: q=1 is the max");
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = Histogram::default();
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+}
