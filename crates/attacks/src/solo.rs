@@ -6,7 +6,7 @@ use liteworp_netsim::prelude::{Context, Dest, Frame, FrameSpec, NodeLogic, SimTi
 use liteworp_routing::node::ProtocolNode;
 use liteworp_routing::packet::Packet;
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Mode 3: rebroadcasts route requests at boosted power so distant nodes
 /// hear it directly and (if unprotected) route through it.
@@ -18,7 +18,7 @@ pub struct HighPowerNode {
     inner: ProtocolNode,
     active_from: SimTime,
     power_mult: f64,
-    seen: HashSet<(NodeId, u64)>,
+    seen: BTreeSet<(NodeId, u64)>,
 }
 
 impl HighPowerNode {
@@ -35,7 +35,7 @@ impl HighPowerNode {
             inner,
             active_from,
             power_mult,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
         }
     }
 
@@ -197,7 +197,7 @@ pub struct RushingNode {
     inner: ProtocolNode,
     active_from: SimTime,
     drop_data: bool,
-    seen: HashSet<(NodeId, u64)>,
+    seen: BTreeSet<(NodeId, u64)>,
 }
 
 impl RushingNode {
@@ -210,7 +210,7 @@ impl RushingNode {
             inner,
             active_from,
             drop_data,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
         }
     }
 

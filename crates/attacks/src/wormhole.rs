@@ -29,7 +29,7 @@ use liteworp_routing::node::{core_id, sim_id, ProtocolNode};
 use liteworp_routing::packet::Packet;
 use liteworp_routing::params::NodeParams;
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How a wormhole endpoint fills the previous-hop field it forges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,12 +81,12 @@ pub struct WormholeNode {
     inner: ProtocolNode,
     attack: WormholeConfig,
     /// Requests already tunneled, by (source, seq).
-    tunneled: HashSet<(NodeId, u64)>,
+    tunneled: BTreeSet<(NodeId, u64)>,
     /// Our forged rebroadcasts awaiting a reply: (source, seq) → colluder
     /// that tunneled us the request.
-    forged_rebroadcasts: HashMap<(NodeId, u64), NodeId>,
+    forged_rebroadcasts: BTreeMap<(NodeId, u64), NodeId>,
     /// Replies already tunneled back, by (source, seq).
-    replied: HashSet<(NodeId, u64)>,
+    replied: BTreeSet<(NodeId, u64)>,
     /// Announced senders heard directly over the radio — the attacker's
     /// passive neighbor knowledge, used for forging when the honest core
     /// runs without LITEWORP (baseline runs have no neighbor table).
@@ -103,9 +103,9 @@ impl WormholeNode {
         WormholeNode {
             inner,
             attack,
-            tunneled: HashSet::new(),
-            forged_rebroadcasts: HashMap::new(),
-            replied: HashSet::new(),
+            tunneled: BTreeSet::new(),
+            forged_rebroadcasts: BTreeMap::new(),
+            replied: BTreeSet::new(),
             observed_neighbors: std::collections::BTreeSet::new(),
             forge_rotation: 0,
         }

@@ -11,7 +11,7 @@ use crate::exec::ExecOptions;
 use crate::scenario::Scenario;
 use liteworp_chaos::{check, Immunity, Injector, OracleConfig, Violation};
 use liteworp_runner::{CacheValue, JobSpec, Json, Manifest};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One chaos cell: a scenario under a fault plan, at many seeds.
 #[derive(Debug, Clone)]
@@ -117,7 +117,7 @@ pub struct ChaosRun {
 pub fn run_chaos_cells(cells: &[ChaosCell], opts: &ExecOptions) -> ChaosRun {
     let cfg = opts.run_config();
     let mut specs = Vec::new();
-    let mut lookup: HashMap<(u64, u64), &ChaosCell> = HashMap::new();
+    let mut lookup: BTreeMap<(u64, u64), &ChaosCell> = BTreeMap::new();
     for cell in cells {
         let descriptor = cell.descriptor();
         for s in 0..cell.seeds {
@@ -139,6 +139,7 @@ pub fn run_chaos_cells(cells: &[ChaosCell], opts: &ExecOptions) -> ChaosRun {
     for cell in cells {
         let mut per_cell = Vec::with_capacity(cell.seeds as usize);
         for _ in 0..cell.seeds {
+            // lint: allow(P002) pool invariant: exactly one JobRun per job index
             match results.next().expect("one result per job") {
                 Ok(outcome) => per_cell.push(outcome),
                 Err(e) => eprintln!("warning: {e}; excluded from sweep"),

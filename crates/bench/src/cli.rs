@@ -1,7 +1,7 @@
 //! Minimal flag parsing for the experiment binaries (`--key value` pairs
 //! and bare boolean switches like `--no-cache`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed `--key value` flags.
 ///
@@ -19,7 +19,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
 }
 
 impl Flags {
@@ -42,14 +42,17 @@ impl Flags {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut it = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = it.next() {
             let key = arg
                 .strip_prefix("--")
+                // lint: allow(P003) CLI usage error: aborting with the offending
+                // argument is the intended bin-facing behavior
                 .unwrap_or_else(|| panic!("expected --flag, got {arg:?}"))
                 .to_string();
             let value = match it.peek() {
+                // lint: allow(P002) invariant: peek() just returned Some
                 Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
                 _ => "true".to_string(),
             };
@@ -92,6 +95,7 @@ impl Flags {
     fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
         self.values.get(key).map(|v| {
             v.parse()
+                // lint: allow(P003) CLI usage error: abort with flag name and value
                 .unwrap_or_else(|_| panic!("flag --{key}: cannot parse {v:?}"))
         })
     }

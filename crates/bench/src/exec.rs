@@ -9,8 +9,8 @@
 
 use crate::scenario::Scenario;
 use liteworp_runner::{pool, CacheValue, JobSpec, Json, Manifest, ResultCache, RunConfig, Summary};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
-use std::collections::HashMap;
 
 /// Version string folded into every cache key. Bump the suffix whenever
 /// simulator or measurement behavior changes, so stale cached results are
@@ -196,7 +196,7 @@ pub struct CellRun {
 pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
     let cfg = opts.run_config();
     let mut specs = Vec::new();
-    let mut lookup: HashMap<(u64, u64), &SimCell> = HashMap::new();
+    let mut lookup: BTreeMap<(u64, u64), &SimCell> = BTreeMap::new();
     for cell in cells {
         let descriptor = cell.descriptor();
         for s in 0..cell.seeds {
@@ -220,6 +220,7 @@ pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
     for cell in cells {
         let mut per_cell = Vec::with_capacity(cell.seeds as usize);
         for _ in 0..cell.seeds {
+            // lint: allow(P002) pool invariant: exactly one JobRun per job index
             match results.next().expect("one result per job") {
                 Ok(outcome) => per_cell.push(outcome),
                 Err(e) => eprintln!("warning: {e}; excluded from aggregates"),

@@ -99,6 +99,7 @@ pub fn run_with(cfg: &Fig8Config, opts: &ExecOptions) -> (Vec<DropSeries>, Manif
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &m in &cfg.colluder_counts {
         for protected in [false, true] {
+            // lint: allow(P002) runner invariant: one outcome set per cell
             let outcomes = cell_outcomes.next().expect("one outcome set per cell");
             let dropped = (0..times.len())
                 .map(|i| {

@@ -97,6 +97,7 @@ pub fn run_with(cfg: &Fig9Config, opts: &ExecOptions) -> (Vec<Fig9Row>, Manifest
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &m in &cfg.colluder_counts {
         for protected in [false, true] {
+            // lint: allow(P002) runner invariant: one outcome set per cell
             let outcomes = cell_outcomes.next().expect("one outcome set per cell");
             let dropped = summarize(&outcomes, |o| o.drops / o.data_sent.max(1.0));
             let malicious = summarize(&outcomes, |o| o.routes_malicious / o.routes_total.max(1.0));

@@ -95,6 +95,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &ExecOptions) -> (Vec<SweepRow>, Manife
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &nodes in &cfg.node_counts {
         for &n_b in &cfg.densities {
+            // lint: allow(P002) runner invariant: one outcome set per cell
             let outcomes = cell_outcomes.next().expect("one outcome set per cell");
             let n = outcomes.len().max(1) as f64;
             let detected = outcomes.iter().filter(|o| o.all_detected).count() as f64;

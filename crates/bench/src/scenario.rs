@@ -132,8 +132,10 @@ impl Scenario {
             500,
             &mut rng,
         )
+        // lint: allow(P002) documented panic: no deployment for this seed
         .expect("no connected deployment found");
         let malicious = choose_colluders(&field, self.malicious, &mut rng)
+            // lint: allow(P002) documented panic: no placement for this seed
             .expect("no colluder placement more than 2 hops apart found");
 
         let params = NodeParams {
@@ -155,6 +157,7 @@ impl Scenario {
             let id = CoreId(i as u32);
             let mut inner = ProtocolNode::new(id, params.clone());
             if self.protected {
+                // lint: allow(P002) invariant: guarded by self.protected just above
                 let lw = inner.liteworp_mut().expect("protection enabled");
                 preload_liteworp(lw, SimId(i as u32), sim.field());
             }
@@ -285,6 +288,8 @@ impl ScenarioRun {
         if let Some(a) = logic.as_any().downcast_ref::<RushingNode>() {
             return a.inner();
         }
+        // lint: allow(P003) exhaustive downcast over every node type the
+        // scenario builder installs; a miss is a builder bug
         panic!("node {id} has an unknown logic type");
     }
 

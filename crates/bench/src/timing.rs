@@ -17,6 +17,7 @@ use std::time::Instant;
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     let mut iters: u64 = 1;
     loop {
+        // lint: allow(D001) this module *is* the wall-clock profiling seam
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -28,6 +29,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     }
     let mut best = f64::INFINITY;
     for _ in 0..5 {
+        // lint: allow(D001) this module *is* the wall-clock profiling seam
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -55,6 +57,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 pub fn bench_heavy<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) {
     let mut times = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
+        // lint: allow(D001) this module *is* the wall-clock profiling seam
         let start = Instant::now();
         black_box(f());
         times.push(start.elapsed().as_secs_f64() * 1e3);

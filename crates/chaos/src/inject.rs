@@ -27,6 +27,8 @@ impl Injector {
     ///
     /// Panics if the plan does not validate.
     pub fn new(plan: FaultPlan) -> Self {
+        // lint: allow(P002) documented panic: executing an invalid plan
+        // would silently skew fault probabilities
         plan.validate().expect("invalid fault plan");
         let decide = Pcg32::seed_from_u64(plan.seed);
         let jitter = Pcg32::seed_from_u64(plan.seed ^ 0x6a09_e667_f3bc_c908);

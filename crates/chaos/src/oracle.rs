@@ -34,7 +34,7 @@
 use liteworp::config::Config;
 use liteworp_runner::json::Json;
 use liteworp_telemetry::{EventKind, EventLog, MalcReason};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which invariant a [`Violation`] breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -214,13 +214,13 @@ pub fn check(log: &EventLog, cfg: &OracleConfig) -> (Vec<Violation>, ReplayStats
         });
         return (violations, stats);
     }
-    let malicious: HashSet<u32> = cfg.malicious.iter().copied().collect();
+    let malicious: BTreeSet<u32> = cfg.malicious.iter().copied().collect();
     // Replay state, all keyed by (observer node, suspect).
-    let mut accepted_guards: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
-    let mut crossed: HashSet<(u32, u32)> = HashSet::new();
-    let mut isolated: HashSet<(u32, u32)> = HashSet::new();
-    let mut net_isolated: HashSet<(u32, u32)> = HashSet::new();
-    let mut last_expiry: HashMap<u32, u64> = HashMap::new();
+    let mut accepted_guards: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
+    let mut crossed: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut isolated: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut net_isolated: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut last_expiry: BTreeMap<u32, u64> = BTreeMap::new();
     for e in log.events() {
         stats.events += 1;
         let (t, n) = (e.time_us, e.node);

@@ -17,7 +17,7 @@
 //! authenticated alert messages and calls [`LocalMonitor::expire`] on a
 //! timer to run drop detection.
 
-use crate::config::Config;
+use crate::config::{Config, InvalidConfig};
 use crate::malc::MalcTable;
 use crate::neighbor::NeighborTable;
 use crate::types::{Micros, Misbehavior, NodeId, PacketKind, PacketSig};
@@ -116,12 +116,21 @@ impl LocalMonitor {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use
+    /// [`LocalMonitor::try_new`] to handle the error instead.
     pub fn new(config: Config) -> Self {
-        config.validate().expect("invalid LITEWORP config");
+        // lint: allow(P002) documented panic; Self::try_new is the
+        // fallible variant for callers with untrusted configs
+        Self::try_new(config).expect("invalid LITEWORP config")
+    }
+
+    /// Creates a monitor, returning [`InvalidConfig`] instead of
+    /// panicking when the parameters are inconsistent.
+    pub fn try_new(config: Config) -> Result<Self, InvalidConfig> {
+        config.validate()?;
         let watch = WatchBuffer::new(config.watch_capacity);
         let malc = MalcTable::new(config.malc_window_us);
-        LocalMonitor {
+        Ok(LocalMonitor {
             config,
             watch,
             malc,
@@ -130,7 +139,7 @@ impl LocalMonitor {
             externally_suspected: BTreeSet::new(),
             last_collision: None,
             watch_expiries: 0,
-        }
+        })
     }
 
     /// Records that another guard's alert named `node` as a suspect

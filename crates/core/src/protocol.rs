@@ -14,7 +14,7 @@
 //! * call [`Liteworp::expire`] on a periodic timer (≥ once per δ).
 
 use crate::alert::{AlertBuffer, AlertOutcome};
-use crate::config::Config;
+use crate::config::{Config, InvalidConfig};
 use crate::discovery::Discovery;
 use crate::keys::{KeyStore, Mac};
 use crate::monitor::{LocalMonitor, MonitorEvent, PacketObs};
@@ -141,18 +141,27 @@ impl Liteworp {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid; use
+    /// [`Liteworp::try_new`] to handle the error instead.
     pub fn new(config: Config, keys: KeyStore) -> Self {
-        config.validate().expect("invalid LITEWORP config");
+        // lint: allow(P002) documented panic; Self::try_new is the
+        // fallible variant for callers with untrusted configs
+        Self::try_new(config, keys).expect("invalid LITEWORP config")
+    }
+
+    /// Creates the instance, returning [`InvalidConfig`] instead of
+    /// panicking when the configuration is inconsistent.
+    pub fn try_new(config: Config, keys: KeyStore) -> Result<Self, InvalidConfig> {
+        let monitor = LocalMonitor::try_new(config.clone())?;
         let me = keys.owner();
-        Liteworp {
-            monitor: LocalMonitor::new(config.clone()),
+        Ok(Liteworp {
+            monitor,
             alerts: AlertBuffer::new(config.confidence_index),
             table: NeighborTable::new(me),
             discovery: Discovery::new(keys),
             config,
             keys,
-        }
+        })
     }
 
     /// This node's identity.

@@ -1,0 +1,57 @@
+//! Diagnostic and source-file types shared by every rule family.
+
+/// How a file participates in the build; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source under `src/` (not `src/bin/`): all rules apply.
+    Lib,
+    /// Binary source (`src/bin/**`, `src/main.rs`): determinism rules
+    /// apply, panic-hygiene rules do not (a CLI may abort).
+    Bin,
+    /// Integration tests (`tests/**`): only allow-comment hygiene.
+    Test,
+    /// Benchmarks (`benches/**`): only allow-comment hygiene (benches
+    /// legitimately read the wall clock).
+    Bench,
+    /// Examples (`examples/**`): only allow-comment hygiene.
+    Example,
+}
+
+/// One source file queued for checking.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostics print this verbatim).
+    pub path: String,
+    /// Full file contents.
+    pub src: String,
+    /// Build role of the file.
+    pub class: FileClass,
+    /// Whether this is a crate root (`src/lib.rs`), which must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// One finding: a rule violated at a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`D001`, `P002`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation, including the remedy.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the canonical single-line form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}

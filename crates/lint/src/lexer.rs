@@ -1,0 +1,376 @@
+//! A lightweight Rust lexer: enough fidelity to tell code from comments,
+//! strings (including raw and byte strings), char literals, and lifetimes,
+//! with byte-accurate spans. It does not parse; rules pattern-match over
+//! the token stream.
+
+/// What a token is. Literal contents are never inspected by rules, so all
+/// string-ish literals collapse into [`Kind::Str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`foo`, `fn`, `HashMap`, `r#type`).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+    /// A string, raw-string, byte-string, or raw-byte-string literal.
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`42`, `0xFF`, `1.5e3`, `1_000u64`).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its byte span.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Kind,
+    /// Byte offset of the first byte.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+}
+
+/// One comment (line or block), span covering the comment markers.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub lo: usize,
+    /// Byte offset one past the comment end.
+    pub hi: usize,
+}
+
+/// The result of lexing one file: tokens, comments, and a line table.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Comments, in order (doc comments included).
+    pub comments: Vec<Comment>,
+    line_starts: Vec<usize>,
+    len: usize,
+}
+
+impl Lexed {
+    /// Lexes `src`. Never fails: unterminated constructs extend to EOF.
+    pub fn lex(src: &str) -> Lexed {
+        let b = src.as_bytes();
+        let mut tokens = Vec::new();
+        let mut comments = Vec::new();
+        let mut line_starts = vec![0usize];
+        for (i, &c) in b.iter().enumerate() {
+            if c == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    let lo = i;
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    comments.push(Comment { lo, hi: i });
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    let lo = i;
+                    let mut depth = 1usize;
+                    i += 2;
+                    while i < b.len() && depth > 0 {
+                        if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    comments.push(Comment { lo, hi: i });
+                }
+                b'"' => {
+                    let lo = i;
+                    i = skip_string(b, i + 1);
+                    tokens.push(Token {
+                        kind: Kind::Str,
+                        lo,
+                        hi: i,
+                    });
+                }
+                b'r' | b'b' if starts_special_literal(b, i) => {
+                    let lo = i;
+                    i = skip_special_literal(b, i);
+                    let kind = if b[lo] == b'b' && b.get(lo + 1) == Some(&b'\'') {
+                        Kind::Char
+                    } else {
+                        Kind::Str
+                    };
+                    tokens.push(Token { kind, lo, hi: i });
+                }
+                b'\'' => {
+                    let lo = i;
+                    let (kind, next) = skip_quote(b, i);
+                    i = next;
+                    tokens.push(Token { kind, lo, hi: i });
+                }
+                _ if c == b'_' || c.is_ascii_alphabetic() => {
+                    let lo = i;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: Kind::Ident,
+                        lo,
+                        hi: i,
+                    });
+                }
+                _ if c.is_ascii_digit() => {
+                    let lo = i;
+                    i = skip_number(b, i);
+                    tokens.push(Token {
+                        kind: Kind::Num,
+                        lo,
+                        hi: i,
+                    });
+                }
+                _ if c < 0x80 => {
+                    tokens.push(Token {
+                        kind: Kind::Punct(c as char),
+                        lo: i,
+                        hi: i + 1,
+                    });
+                    i += 1;
+                }
+                _ => i += utf8_len(c), // non-ascii outside strings: skip the char
+            }
+        }
+        Lexed {
+            tokens,
+            comments,
+            line_starts,
+            len: b.len(),
+        }
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col as u32 + 1)
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        self.line_col(offset).0
+    }
+
+    /// Byte length of the lexed source.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the source was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0xF0..=0xFF => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// `i` points at `r` or `b`: does a raw/byte string or byte char start here?
+fn starts_special_literal(b: &[u8], i: usize) -> bool {
+    match (b[i], b.get(i + 1)) {
+        (b'r', Some(&b'"')) | (b'r', Some(&b'#')) => matches_raw(b, i + 1),
+        (b'b', Some(&b'"')) | (b'b', Some(&b'\'')) => true,
+        (b'b', Some(&b'r')) => matches_raw(b, i + 2),
+        _ => false,
+    }
+}
+
+/// At `i` sits `"` or a run of `#` that must end in `"` for a raw string.
+fn matches_raw(b: &[u8], mut i: usize) -> bool {
+    while b.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&b'"')
+}
+
+/// Skips the body of a normal (escaped) string; `i` is just past the
+/// opening quote. Returns the offset just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at `i`.
+fn skip_special_literal(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+        if b.get(i) == Some(&b'\'') {
+            // byte char literal: escape-aware, single quote terminated
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return i + 1,
+                    _ => i += 1,
+                }
+            }
+            return i;
+        }
+        if b.get(i) == Some(&b'"') {
+            return skip_string(b, i + 1);
+        }
+    }
+    // raw (possibly byte-) string: r, then hashes, then quote
+    debug_assert_eq!(b[i], b'r');
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote (guaranteed by starts_special_literal)
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// `i` points at a `'`: lifetime or char literal? Returns (kind, next).
+fn skip_quote(b: &[u8], i: usize) -> (Kind, usize) {
+    let next = b.get(i + 1).copied().unwrap_or(0);
+    let is_ident_start = next == b'_' || next.is_ascii_alphabetic();
+    if is_ident_start && b.get(i + 2) != Some(&b'\'') {
+        // lifetime: 'a, 'static (identifier not followed by closing quote)
+        let mut j = i + 1;
+        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        return (Kind::Lifetime, j);
+    }
+    // char literal, escape-aware
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return (Kind::Char, j + 1),
+            b'\n' => break, // unterminated; bail at end of line
+            _ => j += 1,
+        }
+    }
+    (Kind::Char, j)
+}
+
+/// Skips a numeric literal (integers, floats, radix prefixes, suffixes).
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'_' || c.is_ascii_alphanumeric() {
+            i += 1;
+        } else if c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+            i += 1;
+        } else if (c == b'+' || c == b'-')
+            && matches!(b.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
+            && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+        {
+            i += 1; // exponent sign: 1.5e-3
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let lx = Lexed::lex(src);
+        lx.tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| src[t.lo..t.hi].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now in /* nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"Instant::now()"#;
+            let b = b"unwrap()";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.iter().any(|s| s == "HashMap" || s == "Instant"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let lx = Lexed::lex(src);
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .count();
+        let chars = lx.tokens.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "a\nbb\n  c";
+        let lx = Lexed::lex(src);
+        let c = lx.tokens.last().copied();
+        let Some(tok) = c else { panic!("no tokens") };
+        assert_eq!(lx.line_col(tok.lo), (3, 3));
+    }
+
+    #[test]
+    fn byte_char_literal_lexes() {
+        let src = "let q = b'\\''; let x = b\"bytes\";";
+        let lx = Lexed::lex(src);
+        assert!(lx.tokens.iter().any(|t| t.kind == Kind::Char));
+        assert!(lx.tokens.iter().any(|t| t.kind == Kind::Str));
+    }
+}

@@ -1,0 +1,54 @@
+//! `liteworp-lint`: a std-only static-analysis pass for the workspace.
+//!
+//! The reproduction's headline guarantees — bit-identical reruns for the
+//! runner cache, a byte-identical no-fault path for the chaos seam, and
+//! honest metric reporting — rest on conventions `rustc` and clippy do not
+//! check: no wall-clock time in simulation paths, no hash-order iteration
+//! in protocol state, all randomness via the seeded PCG32 streams, no
+//! panics in library crates. This crate is the automatic, offline gate for
+//! those conventions.
+//!
+//! # Architecture
+//!
+//! * [`lexer`] — a lightweight Rust lexer (comment-, string-, and
+//!   raw-string-aware, no external deps) producing spanned tokens.
+//! * [`rules`] — the rule families, matched over the token stream:
+//!   **D-rules** (determinism), **P-rules** (panic hygiene), **S-rules**
+//!   (structure), **L-rules** (lint-comment hygiene).
+//! * [`allow`] — the `// lint: allow(<rule>) <reason>` escape hatch; a
+//!   justification is mandatory and unused allows are themselves errors.
+//! * [`scan`] — workspace walking and file classification (library, bin,
+//!   test, bench, example); rules apply per class.
+//! * [`report`] — human-readable (`path:line:col: RULE message`) and JSON
+//!   renderings of the diagnostic list.
+//!
+//! The `lint` binary wires these together and exits non-zero when any
+//! diagnostic survives the allow pass, making it usable as a CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use diag::{Diagnostic, FileClass, SourceFile};
+pub use scan::check_workspace;
+
+/// Runs every applicable rule on one in-memory source file and applies the
+/// allow pass. Structure rules that need cross-file context (S002) run in
+/// [`check_workspace`] instead.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let lexed = lexer::Lexed::lex(&file.src);
+    let allows = allow::parse_allows(&file.src, &lexed);
+    let mut diags = Vec::new();
+    diags.extend(allow::syntax_diagnostics(file, &allows));
+    diags.extend(rules::token_rules(file, &lexed));
+    if file.is_crate_root {
+        diags.extend(rules::crate_root_rules(file, &lexed));
+    }
+    allow::apply(file, &allows, diags)
+}

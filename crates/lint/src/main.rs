@@ -1,0 +1,59 @@
+//! The `lint` binary: the workspace determinism / protocol-invariant gate.
+//!
+//! ```text
+//! lint [--root <dir>] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or IO error.
+
+use liteworp_lint::{check_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                print!("{}", report::rule_table());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: lint [--root <dir>] [--json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match check_workspace(&root) {
+        Ok((diags, files_scanned)) => {
+            if json {
+                println!("{}", report::json(&diags, files_scanned));
+            } else {
+                print!("{}", report::human(&diags, files_scanned));
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

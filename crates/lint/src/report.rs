@@ -1,0 +1,95 @@
+//! Human and JSON renderings of a diagnostic run.
+
+use crate::diag::Diagnostic;
+use crate::rules::RULES;
+
+/// Human-readable report: one line per diagnostic plus a summary.
+pub fn human(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str(&format!("lint: {files_scanned} files clean\n"));
+    } else {
+        out.push_str(&format!(
+            "lint: {} diagnostic(s) across {files_scanned} file(s)\n",
+            diags.len()
+        ));
+    }
+    out
+}
+
+/// JSON report: `{"files_scanned": …, "diagnostics": [ … ]}`.
+pub fn json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"files_scanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+            escape(d.rule),
+            escape(&d.path),
+            d.line,
+            d.col,
+            escape(&d.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The rule table, for `--list-rules`.
+pub fn rule_table() -> String {
+    let mut out = String::new();
+    for r in RULES {
+        out.push_str(&format!(
+            "{}  {}\n      protects: {}\n",
+            r.id, r.summary, r.invariant
+        ));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic {
+            rule: "D001",
+            path: "a.rs".to_string(),
+            line: 1,
+            col: 2,
+            message: "uses \"now\"".to_string(),
+        };
+        let j = json(&[d], 1);
+        assert!(j.contains(r#"\"now\""#), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

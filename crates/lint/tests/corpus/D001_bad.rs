@@ -1,0 +1,5 @@
+//! Corpus: wall-clock read in library code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,5 @@
+//! Corpus: simulation time flows through explicit tick values.
+
+pub fn stamp(now_ticks: u64) -> u64 {
+    now_ticks + 1
+}

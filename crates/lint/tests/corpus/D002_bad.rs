@@ -1,0 +1,3 @@
+//! Corpus: default-hasher map in library code.
+
+pub type Table = std::collections::HashMap<u32, u32>;

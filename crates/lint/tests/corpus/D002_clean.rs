@@ -1,0 +1,3 @@
+//! Corpus: ordered map keeps state walks deterministic.
+
+pub type Table = std::collections::BTreeMap<u32, u32>;

@@ -1,0 +1,6 @@
+//! Corpus: ambient randomness.
+
+pub fn roll() -> u32 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

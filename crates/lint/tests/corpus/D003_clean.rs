@@ -1,0 +1,6 @@
+//! Corpus: randomness flows through a caller-seeded state word.
+
+pub fn roll(state: &mut u64) -> u32 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*state >> 32) as u32
+}

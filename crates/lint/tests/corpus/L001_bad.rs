@@ -1,0 +1,5 @@
+//! Corpus: an allow with no written reason is rejected.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint: allow(P001)
+}

@@ -1,0 +1,6 @@
+//! Corpus: a justified allow suppresses cleanly.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint: allow(P001) corpus fixture: slice is non-empty by contract
+    *xs.first().unwrap()
+}

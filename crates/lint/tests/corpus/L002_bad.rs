@@ -1,0 +1,4 @@
+//! Corpus: allows must name real rules.
+
+// lint: allow(Q999) no such rule
+pub fn noop() {}

@@ -1,0 +1,9 @@
+//! Corpus: allows naming real rules parse cleanly.
+
+pub fn check(x: u32) -> u32 {
+    if x == 0 {
+        // lint: allow(P003) corpus fixture: zero is rejected by the caller
+        panic!("zero");
+    }
+    x
+}

@@ -1,0 +1,4 @@
+//! Corpus: stale allows are themselves errors.
+
+// lint: allow(P001) nothing here unwraps anymore
+pub fn noop() {}

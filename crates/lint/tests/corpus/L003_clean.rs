@@ -1,0 +1,5 @@
+//! Corpus: a used allow is not stale.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint: allow(P001) corpus fixture: non-empty by contract
+}

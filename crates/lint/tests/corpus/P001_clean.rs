@@ -1,0 +1,5 @@
+//! Corpus: library code returns options instead of panicking.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}

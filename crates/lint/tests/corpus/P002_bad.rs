@@ -1,0 +1,5 @@
+//! Corpus: expect in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}

@@ -1,0 +1,5 @@
+//! Corpus: typed error instead of expect.
+
+pub fn first(xs: &[u32]) -> Result<u32, &'static str> {
+    xs.first().copied().ok_or("empty slice")
+}

@@ -1,0 +1,7 @@
+//! Corpus: panic in library code.
+
+pub fn check(x: u32) {
+    if x > 10 {
+        panic!("too big: {x}");
+    }
+}

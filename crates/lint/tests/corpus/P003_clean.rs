@@ -1,0 +1,8 @@
+//! Corpus: library code reports errors as values.
+
+pub fn check(x: u32) -> Result<(), u32> {
+    if x > 10 {
+        return Err(x);
+    }
+    Ok(())
+}

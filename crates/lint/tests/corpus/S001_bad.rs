@@ -1,0 +1,3 @@
+//! Corpus: crate root without the unsafe-code hardening attribute.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Corpus: hardened crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,11 @@
+//! Corpus: counter tables drifted from the variant list.
+
+pub enum EventKind {
+    Send,
+    Recv,
+    Drop,
+}
+
+pub const KIND_COUNT: usize = 2;
+
+pub const KIND_NAMES: [&str; KIND_COUNT] = ["send", "recv"];

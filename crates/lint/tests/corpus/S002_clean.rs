@@ -1,0 +1,11 @@
+//! Corpus: counter tables exhaustive against the variant list.
+
+pub enum EventKind {
+    Send,
+    Recv,
+    Drop,
+}
+
+pub const KIND_COUNT: usize = 3;
+
+pub const KIND_NAMES: [&str; KIND_COUNT] = ["send", "recv", "drop"];

@@ -101,6 +101,7 @@ impl Medium {
     pub fn collides(&self, seq: u64, receiver: NodeId, pos: Position) -> bool {
         let subject = self
             .get(seq)
+            // lint: allow(P002) invariant: queried only for live transmissions
             .expect("collision query for unknown transmission");
         let (start, end) = (subject.start, subject.end);
         self.records.iter().any(|other| {

@@ -159,6 +159,7 @@ impl<P: Clone + 'static> Simulator<P> {
     /// Panics if the radio configuration is invalid or its range disagrees
     /// with the field's range.
     pub fn new(field: Field, radio: RadioConfig, seed: u64) -> Self {
+        // lint: allow(P002) documented panic: bad radio parameters
         radio.validate().expect("invalid radio configuration");
         assert!(
             (field.range() - radio.range_m).abs() < 1e-9,
@@ -310,6 +311,7 @@ impl<P: Clone + 'static> Simulator<P> {
             if head.time > deadline {
                 break;
             }
+            // lint: allow(P002) invariant: peeked non-empty in the loop condition
             let ev = self.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
@@ -337,6 +339,7 @@ impl<P: Clone + 'static> Simulator<P> {
         // receives nothing at all while down.
         if self.fault.is_some() {
             let (defer_to, drop_rx) = {
+                // lint: allow(P002) invariant: is_some checked in the branch above
                 let hook = self.fault.as_deref().expect("checked above");
                 match &kind {
                     EventKind::NodeStart(n)
@@ -513,6 +516,7 @@ impl<P: Clone + 'static> Simulator<P> {
             .mac
             .queue
             .pop_front()
+            // lint: allow(P002) invariant: TxEnd is scheduled with every TxStart
             .expect("queue emptied unexpectedly");
         let retries_used = mac_frame.retries_used;
         let spec = mac_frame.spec;
@@ -553,6 +557,7 @@ impl<P: Clone + 'static> Simulator<P> {
         let record = self
             .medium
             .get(seq)
+            // lint: allow(P002) invariant: transmissions outlive their TxEnd
             .expect("TxEnd for pruned transmission")
             .clone();
         // Deliver to every in-range node, in id order, applying the

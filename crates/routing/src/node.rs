@@ -29,7 +29,7 @@ use liteworp_netsim::prelude::{
 };
 use liteworp_netsim::rng::Rng;
 use std::any::Any;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Converts a core node id to the simulator's id type.
 pub fn sim_id(n: NodeId) -> liteworp_netsim::field::NodeId {
@@ -85,14 +85,14 @@ pub struct ProtocolNode {
     lw: Option<Liteworp>,
     monitoring: bool,
     seq: u64,
-    seen_reqs: HashSet<(NodeId, u64)>,
-    replied: HashSet<(NodeId, u64)>,
-    reverse: HashMap<(NodeId, u64), NodeId>,
-    routes: HashMap<NodeId, RouteEntry>,
-    pending_data: HashMap<NodeId, VecDeque<u64>>,
-    discovering: HashSet<NodeId>,
-    retry_attempts: HashMap<NodeId, u32>,
-    pending_forwards: HashMap<u64, (Dest, Packet)>,
+    seen_reqs: BTreeSet<(NodeId, u64)>,
+    replied: BTreeSet<(NodeId, u64)>,
+    reverse: BTreeMap<(NodeId, u64), NodeId>,
+    routes: BTreeMap<NodeId, RouteEntry>,
+    pending_data: BTreeMap<NodeId, VecDeque<u64>>,
+    discovering: BTreeSet<NodeId>,
+    retry_attempts: BTreeMap<NodeId, u32>,
+    pending_forwards: BTreeMap<u64, (Dest, Packet)>,
     next_forward_token: u64,
     current_dest: Option<NodeId>,
     stats: NodeStats,
@@ -114,14 +114,14 @@ impl ProtocolNode {
             lw,
             monitoring: true,
             seq: 0,
-            seen_reqs: HashSet::new(),
-            replied: HashSet::new(),
-            reverse: HashMap::new(),
-            routes: HashMap::new(),
-            pending_data: HashMap::new(),
-            discovering: HashSet::new(),
-            retry_attempts: HashMap::new(),
-            pending_forwards: HashMap::new(),
+            seen_reqs: BTreeSet::new(),
+            replied: BTreeSet::new(),
+            reverse: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            pending_data: BTreeMap::new(),
+            discovering: BTreeSet::new(),
+            retry_attempts: BTreeMap::new(),
+            pending_forwards: BTreeMap::new(),
             next_forward_token: 0,
             current_dest: None,
             stats: NodeStats::default(),
@@ -191,16 +191,15 @@ impl ProtocolNode {
 
     /// Start-of-life behavior: discovery, expiry tick, traffic timers.
     pub fn handle_start(&mut self, ctx: &mut Context<'_, Packet>) {
-        match (self.params.discovery, self.lw.is_some()) {
-            (DiscoveryMode::Messages { collect }, true)
-            | (DiscoveryMode::LateJoin { collect }, true) => {
-                let lw = self.lw.as_mut().expect("checked");
-                let (disc, _table) = lw.discovery_mut();
-                let out = disc.begin();
-                self.emit_discovery(ctx, out);
-                ctx.set_timer(collect, timer::encode(timer::ANNOUNCE, 0));
-            }
-            _ => {}
+        if let (
+            DiscoveryMode::Messages { collect } | DiscoveryMode::LateJoin { collect },
+            Some(lw),
+        ) = (self.params.discovery, self.lw.as_mut())
+        {
+            let (disc, _table) = lw.discovery_mut();
+            let out = disc.begin();
+            self.emit_discovery(ctx, out);
+            ctx.set_timer(collect, timer::encode(timer::ANNOUNCE, 0));
         }
         if self.lw.is_some() {
             ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));

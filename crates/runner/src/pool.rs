@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How one job ended.
@@ -92,6 +92,8 @@ where
     let slots: Vec<Mutex<Option<JobRun<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let busy_nanos: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
+    // lint: allow(D001) wall-clock profiling of host execution, never
+    // of simulated behavior; results feed the manifest profile block
     let started = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..threads {
@@ -103,12 +105,13 @@ where
             scope.spawn(move || loop {
                 let job = next_job(w, injector, locals, threads);
                 let Some(job) = job else { break };
+                // lint: allow(D001) per-job host wall time for PoolStats only
                 let t0 = Instant::now();
                 let queue_wait = t0.duration_since(started);
                 let result = catch_unwind(AssertUnwindSafe(|| f(job))).map_err(panic_message);
                 let elapsed = t0.elapsed();
                 busy_nanos[w].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-                *slots[job].lock().expect("slot lock") = Some(JobRun {
+                *slots[job].lock().unwrap_or_else(PoisonError::into_inner) = Some(JobRun {
                     result,
                     elapsed,
                     queue_wait,
@@ -130,7 +133,10 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(PoisonError::into_inner)
+                // lint: allow(P002) invariant: every queued job index is
+                // popped exactly once and writes its slot; job panics are
+                // contained by catch_unwind above
                 .expect("every job index was executed exactly once")
         })
         .collect();
@@ -145,14 +151,18 @@ fn next_job(
     locals: &[Mutex<VecDeque<usize>>],
     threads: usize,
 ) -> Option<usize> {
-    if let Some(job) = locals[w].lock().expect("local lock").pop_front() {
+    if let Some(job) = locals[w]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .pop_front()
+    {
         return Some(job);
     }
     {
-        let mut inj = injector.lock().expect("injector lock");
+        let mut inj = injector.lock().unwrap_or_else(PoisonError::into_inner);
         if !inj.is_empty() {
             let take = batch_size(inj.len(), threads);
-            let mut local = locals[w].lock().expect("local lock");
+            let mut local = locals[w].lock().unwrap_or_else(PoisonError::into_inner);
             for _ in 0..take {
                 match inj.pop_front() {
                     Some(job) => local.push_back(job),
@@ -166,7 +176,11 @@ fn next_job(
     // Injector dry: steal from the most loaded sibling's back.
     for offset in 1..threads {
         let victim = (w + offset) % threads;
-        if let Some(job) = locals[victim].lock().expect("victim lock").pop_back() {
+        if let Some(job) = locals[victim]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+        {
             return Some(job);
         }
     }

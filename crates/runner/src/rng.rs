@@ -192,6 +192,7 @@ macro_rules! impl_sample_int {
                 lo.wrapping_add(sample_u64_below(rng, span + 1) as $t)
             }
             fn predecessor(hi: Self) -> Self {
+                // lint: allow(P002) documented panic: an empty range is a caller bug
                 hi.checked_sub(1).expect("empty range ..0")
             }
         }

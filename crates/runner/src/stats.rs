@@ -68,7 +68,7 @@ impl Percentiles {
             return None;
         }
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         let rank = |q: f64| {
             let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             sorted[idx - 1]
@@ -77,7 +77,7 @@ impl Percentiles {
             n: sorted.len(),
             p50: rank(0.50),
             p95: rank(0.95),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
         })
     }
 

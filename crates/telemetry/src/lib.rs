@@ -17,6 +17,8 @@
 //! Events serialize to one JSON object per line (JSONL) so traces stream
 //! to disk and diff cleanly between runs.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod hist;
 pub mod log;

@@ -7,14 +7,24 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release (offline)"
 cargo build --release --offline
 
-echo "==> cargo test (offline)"
-cargo test --offline -q
+echo "==> cargo test (offline, whole workspace)"
+# --workspace matters: the root manifest is both the workspace and the
+# liteworp-repro package, so a bare `cargo test` would cover only the
+# root package's integration tests and skip every member crate's suites
+# (including the lint engine's fixture corpus).
+cargo test --workspace --offline -q
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> lint (determinism / panic-hygiene / structure gate)"
+./target/release/lint --root .
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
 echo "==> benches compile (offline)"
 cargo build --benches --offline

@@ -1,1 +1,3 @@
 //! Workspace root package: hosts runnable examples and integration tests.
+
+#![forbid(unsafe_code)]

@@ -2,6 +2,7 @@
 //! different seeds genuinely differ.
 
 use liteworp_bench::Scenario;
+use liteworp_chaos::{FaultPlan, Injector};
 
 type Fingerprint = (u64, u64, u64, u64, Vec<(u64, u32, String)>);
 
@@ -34,6 +35,44 @@ fn fingerprint(seed: u64) -> Fingerprint {
 #[test]
 fn same_seed_same_world() {
     assert_eq!(fingerprint(51), fingerprint(51));
+}
+
+/// A chaos-injected run is exactly as reproducible as a clean one: two
+/// runs with the same (scenario seed, fault plan) pair serialize
+/// byte-identical trace logs. This is the determinism discipline the lint
+/// gate's D-rules exist to protect, exercised end to end through the
+/// fault-injection seam.
+#[test]
+fn chaos_injected_trace_is_byte_identical() {
+    fn jsonl() -> String {
+        let mut run = Scenario {
+            nodes: 25,
+            malicious: 2,
+            protected: true,
+            seed: 97,
+            ..Scenario::default()
+        }
+        .build();
+        let plan = FaultPlan {
+            seed: 11,
+            drop: 0.05,
+            duplicate: 0.03,
+            delay: 0.04,
+            max_jitter_us: 20_000,
+            ..FaultPlan::default()
+        };
+        plan.validate().expect("plan within documented bounds");
+        run.sim_mut().set_fault_hook(Box::new(Injector::new(plan)));
+        run.run_until_secs(120.0);
+        run.sim().trace().log().to_jsonl()
+    }
+    let a = jsonl();
+    let b = jsonl();
+    assert!(!a.is_empty(), "chaos run produced no trace events");
+    assert_eq!(
+        a, b,
+        "chaos-injected traces diverged between identical runs"
+    );
 }
 
 #[test]
