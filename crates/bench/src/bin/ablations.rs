@@ -2,7 +2,12 @@
 //! it costs (see `experiments::ablation` for the variant list).
 //!
 //! Flags: --seeds N (5), --duration S (800), --nodes N (50),
-//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
+//!        --jobs N (all cores), --no-cache, --cache-dir DIR,
+//!        --trace PATH, --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;

@@ -11,7 +11,10 @@
 //!   scenario seed each. Exits nonzero if any run violates an invariant.
 //!   Flags: `--runs` (200), `--seed` (1), `--nodes` (25), `--malicious`
 //!   (0), `--duration` (200), `--gamma` (protocol default), `--profile
-//!   benign|harsh` (benign), `--jobs N`, `--no-cache`.
+//!   benign|harsh` (benign), `--jobs N`, `--no-cache`, plus the shared
+//!   supervision flags (`--max-retries`, `--job-deadline`, `--journal`,
+//!   `--resume`, `--engine-faults`, `--engine-fault-seed`; see
+//!   EXPERIMENTS.md).
 //! * `--smoke`: fixed-seed CI gate. Phase A sweeps benign fault plans at
 //!   the protocol γ and requires zero violations; phase B weakens the
 //!   deployment to γ=1, requires the sweep to surface an honest-immunity

@@ -3,7 +3,11 @@
 //! network sizes and densities.
 //!
 //! Flags: --seeds N (10), --duration S (800), --jobs N (all cores),
-//!        --no-cache, --trace PATH, --metrics PATH
+//!        --no-cache, --cache-dir DIR, --trace PATH, --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;

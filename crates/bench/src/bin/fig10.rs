@@ -3,7 +3,12 @@
 //! (N_B = 15, M = 2).
 //!
 //! Flags: --seeds N (10), --duration S (800), --nodes N (100),
-//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
+//!        --jobs N (all cores), --no-cache, --cache-dir DIR,
+//!        --trace PATH, --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
 
 use liteworp::config::Config;
 use liteworp_bench::cli::Flags;

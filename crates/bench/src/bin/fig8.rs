@@ -3,7 +3,11 @@
 //!
 //! Flags: --seeds N (default 10), --duration S (2000), --nodes N (100),
 //!        --sample S (50), --jobs N (all cores), --no-cache,
-//!        --trace PATH, --metrics PATH
+//!        --cache-dir DIR, --trace PATH, --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;

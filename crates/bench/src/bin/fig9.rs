@@ -3,7 +3,12 @@
 //! t = 2000 s).
 //!
 //! Flags: --seeds N (10), --duration S (2000), --nodes N (100),
-//!        --jobs N (all cores), --no-cache, --trace PATH, --metrics PATH
+//!        --jobs N (all cores), --no-cache, --cache-dir DIR,
+//!        --trace PATH, --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;

@@ -10,6 +10,7 @@
 use crate::exec::ExecOptions;
 use crate::scenario::Scenario;
 use liteworp_chaos::{check, Immunity, Injector, OracleConfig, Violation};
+use liteworp_runner::supervisor::{JobContext, JobFailure, JobFaultHook};
 use liteworp_runner::{CacheValue, JobSpec, Json, Manifest};
 use std::collections::BTreeMap;
 
@@ -130,9 +131,12 @@ pub fn run_chaos_cells(cells: &[ChaosCell], opts: &ExecOptions) -> ChaosRun {
             specs.push(spec);
         }
     }
-    let report = liteworp_runner::run_jobs(&cfg, &specs, |job, derived_seed| {
+    let sup = opts.supervision();
+    let fault_plan = opts.engine_fault_plan();
+    let hook = fault_plan.as_ref().map(|p| p as &dyn JobFaultHook);
+    let report = liteworp_runner::run_supervised(&cfg, &sup, &specs, hook, |job, derived, ctx| {
         let cell = lookup[&(job.scenario_hash(), job.seed)];
-        execute_chaos(cell, derived_seed)
+        execute_chaos_supervised(cell, derived, ctx)
     });
     let mut results = report.results.into_iter();
     let mut outcomes = Vec::with_capacity(cells.len());
@@ -158,6 +162,22 @@ pub fn run_chaos_cells(cells: &[ChaosCell], opts: &ExecOptions) -> ChaosRun {
 /// Public so the shrinking loop can re-execute single candidates
 /// synchronously without going through the pool.
 pub fn execute_chaos(cell: &ChaosCell, derived_seed: u64) -> ChaosOutcome {
+    match execute_chaos_supervised(cell, derived_seed, &JobContext::unsupervised()) {
+        Ok(outcome) => outcome,
+        // Invariant: an unsupervised context has no deadline, so the
+        // supervised body cannot fail.
+        Err(failure) => unreachable!("unsupervised chaos run failed: {failure}"),
+    }
+}
+
+/// The supervised job body: like [`execute_chaos`] but charging simulated
+/// time to `ctx` in chunks, so a `--job-deadline` can cut a hung or
+/// oversized chaos run short deterministically.
+pub fn execute_chaos_supervised(
+    cell: &ChaosCell,
+    derived_seed: u64,
+    ctx: &JobContext,
+) -> Result<ChaosOutcome, JobFailure> {
     let mut scenario = cell.scenario.clone();
     scenario.seed = derived_seed;
     let mut run = scenario.build();
@@ -165,11 +185,20 @@ pub fn execute_chaos(cell: &ChaosCell, derived_seed: u64) -> ChaosOutcome {
         run.sim_mut()
             .set_fault_hook(Box::new(Injector::new(cell.plan.clone())));
     }
-    run.run_until_secs(cell.duration);
+    // Chunked stepping mirrors `exec::execute`: boundaries are a pure
+    // function of the cell, and the event queue behaves identically under
+    // incremental deadlines, so results are unchanged.
+    let chunk = (cell.duration / 8.0).max(1.0);
+    let mut t = 0.0;
+    while t < cell.duration {
+        t = (t + chunk).min(cell.duration);
+        ctx.charge_sim_to_secs(t)?;
+        run.run_until_secs(t);
+    }
     let malicious: Vec<u32> = run.malicious().iter().map(|m| m.0).collect();
     let oracle = OracleConfig::from_protocol(&scenario.liteworp, &malicious, cell.immunity);
     let (violations, stats) = check(run.sim().trace().log(), &oracle);
-    ChaosOutcome {
+    Ok(ChaosOutcome {
         violations,
         events: stats.events,
         isolations: stats.isolations,
@@ -177,7 +206,7 @@ pub fn execute_chaos(cell: &ChaosCell, derived_seed: u64) -> ChaosOutcome {
         malc_increments: stats.malc_increments,
         watch_expiries: stats.watch_expiries,
         all_detected: run.all_detected(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -81,6 +81,16 @@ impl Flags {
         self.get_parsed(key)
     }
 
+    /// Optional `u64` flag (`None` when absent).
+    pub fn get_opt_u64(&self, key: &str) -> Option<u64> {
+        self.get_parsed(key)
+    }
+
+    /// Optional float flag (`None` when absent).
+    pub fn get_opt_f64(&self, key: &str) -> Option<f64> {
+        self.get_parsed(key)
+    }
+
     /// Boolean switch: `true` when passed bare (`--no-cache`) or as
     /// `--no-cache true`; `false` when absent or `--no-cache false`.
     pub fn get_bool(&self, key: &str) -> bool {

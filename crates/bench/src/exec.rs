@@ -8,6 +8,8 @@
 //! are identical at any `--jobs` value and cache hits are exact.
 
 use crate::scenario::Scenario;
+use liteworp_chaos::EngineFaultPlan;
+use liteworp_runner::supervisor::{JobContext, JobFailure, JobFaultHook, Supervision};
 use liteworp_runner::{pool, CacheValue, JobSpec, Json, Manifest, ResultCache, RunConfig, Summary};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -141,7 +143,7 @@ impl CacheValue for SeedOutcome {
 }
 
 /// Execution options shared by every experiment binary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads (`None` = `LITEWORP_JOBS` env or all cores).
     pub jobs: Option<usize>,
@@ -149,16 +151,63 @@ pub struct ExecOptions {
     pub cache: bool,
     /// Cache directory override (`None` = `results/cache`).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Retries after a job's first failed attempt (`--max-retries`).
+    pub max_retries: u32,
+    /// Per-job deadline in *simulated* seconds (`--job-deadline`).
+    pub job_deadline_secs: Option<f64>,
+    /// Write-ahead sweep journal path (`--journal`).
+    pub journal: Option<std::path::PathBuf>,
+    /// Resume finished jobs from the journal (`--resume`).
+    pub resume: bool,
+    /// Probability of injected transient engine faults per job
+    /// (`--engine-faults`; exercises the supervisor, recovered by
+    /// retries).
+    pub engine_faults: f64,
+    /// Seed of the engine-fault plan (`--engine-fault-seed`).
+    pub engine_fault_seed: u64,
+}
+
+impl Default for ExecOptions {
+    /// All supervision features off and no cache — the in-process
+    /// default for library callers and tests. Binaries get the cache-on
+    /// default via [`ExecOptions::from_flags`].
+    fn default() -> Self {
+        ExecOptions {
+            jobs: None,
+            cache: false,
+            cache_dir: None,
+            max_retries: 0,
+            job_deadline_secs: None,
+            journal: None,
+            resume: false,
+            engine_faults: 0.0,
+            engine_fault_seed: 0,
+        }
+    }
 }
 
 impl ExecOptions {
-    /// Reads `--jobs N` and `--no-cache` from parsed flags. The cache is
-    /// on by default for binaries (interrupted sweeps resume).
+    /// Reads the execution flags shared by every experiment binary:
+    /// `--jobs N`, `--no-cache`, `--cache-dir <dir>`, `--max-retries N`,
+    /// `--job-deadline <sim-secs>`, `--journal <path>`, `--resume`,
+    /// `--engine-faults <p>`, `--engine-fault-seed N`. The cache is on by
+    /// default for binaries (interrupted sweeps resume).
     pub fn from_flags(flags: &crate::cli::Flags) -> Self {
+        let journal = flags.get_str("journal").map(std::path::PathBuf::from);
+        let resume = flags.get_bool("resume");
+        if resume && journal.is_none() {
+            eprintln!("warning: --resume has no effect without --journal <path>");
+        }
         ExecOptions {
             jobs: flags.get_opt_usize("jobs"),
             cache: !flags.get_bool("no-cache"),
-            cache_dir: None,
+            cache_dir: flags.get_str("cache-dir").map(std::path::PathBuf::from),
+            max_retries: flags.get_u64("max-retries", 0) as u32,
+            job_deadline_secs: flags.get_opt_f64("job-deadline"),
+            journal,
+            resume,
+            engine_faults: flags.get_f64("engine-faults", 0.0),
+            engine_fault_seed: flags.get_u64("engine-fault-seed", 0),
         }
     }
 
@@ -175,6 +224,22 @@ impl ExecOptions {
             code_version: SIM_CODE_VERSION.to_string(),
         }
     }
+
+    pub(crate) fn supervision(&self) -> Supervision {
+        Supervision {
+            max_retries: self.max_retries,
+            journal: self.journal.clone(),
+            resume: self.resume,
+            ..Supervision::default()
+        }
+        .with_deadline_secs(self.job_deadline_secs)
+    }
+
+    /// The engine-fault hook, when `--engine-faults` is positive.
+    pub(crate) fn engine_fault_plan(&self) -> Option<EngineFaultPlan> {
+        (self.engine_faults > 0.0)
+            .then(|| EngineFaultPlan::transient(self.engine_fault_seed, self.engine_faults))
+    }
 }
 
 /// Results of a cell batch: the successful outcomes of cell `i` in seed
@@ -190,9 +255,12 @@ pub struct CellRun {
 /// Runs every seed of every cell on the thread pool and groups the
 /// results back per cell.
 ///
-/// A seed that panics (e.g. no connected deployment found) is reported on
-/// stderr and dropped from its cell's outcomes; the rest of the batch is
-/// unaffected.
+/// Execution is supervised per [`ExecOptions`]: jobs get retries,
+/// sim-time deadlines, and optional journaling. A seed that still fails
+/// after its retry budget (e.g. no connected deployment found, or a
+/// deadline overrun) is quarantined — reported on stderr with its
+/// reproducer seed and dropped from its cell's outcomes; the rest of the
+/// batch is unaffected and the manifest's `failures` block records it.
 pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
     let cfg = opts.run_config();
     let mut specs = Vec::new();
@@ -210,9 +278,12 @@ pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
         }
     }
 
-    let report = liteworp_runner::run_jobs(&cfg, &specs, |job, derived_seed| {
+    let sup = opts.supervision();
+    let fault_plan = opts.engine_fault_plan();
+    let hook = fault_plan.as_ref().map(|p| p as &dyn JobFaultHook);
+    let report = liteworp_runner::run_supervised(&cfg, &sup, &specs, hook, |job, derived, ctx| {
         let cell = lookup[&(job.scenario_hash(), job.seed)];
-        execute(cell, derived_seed)
+        execute(cell, derived, ctx)
     });
 
     let mut results = report.results.into_iter();
@@ -240,16 +311,28 @@ pub fn summarize(outcomes: &[SeedOutcome], metric: impl Fn(&SeedOutcome) -> f64)
     Summary::of(&xs)
 }
 
-fn execute(cell: &SimCell, derived_seed: u64) -> SeedOutcome {
+fn execute(cell: &SimCell, derived_seed: u64, ctx: &JobContext) -> Result<SeedOutcome, JobFailure> {
     let mut scenario = cell.scenario.clone();
     scenario.seed = derived_seed;
     let mut run = scenario.build();
     let mut drops_at = Vec::with_capacity(cell.sample_times.len());
     for &t in &cell.sample_times {
+        ctx.charge_sim_to_secs(t)?;
         run.run_until_secs(t);
         drops_at.push(run.wormhole_dropped() as f64);
     }
-    run.run_until_secs(cell.duration);
+    // Step the tail in chunks, charging sim time before each, so a
+    // `--job-deadline` binds mid-run instead of only at the end. The
+    // chunk boundaries are a pure function of the cell (duration / 8),
+    // and the event queue processes identically under incremental
+    // deadlines, so results stay byte-identical with or without a budget.
+    let mut t = cell.sample_times.last().copied().unwrap_or(0.0);
+    let chunk = (cell.duration / 8.0).max(1.0);
+    while t < cell.duration {
+        t = (t + chunk).min(cell.duration);
+        ctx.charge_sim_to_secs(t)?;
+        run.run_until_secs(t);
+    }
 
     let (routes_total, routes_malicious) = run.route_counts();
     let first_detection_latency = run
@@ -266,7 +349,7 @@ fn execute(cell: &SimCell, derived_seed: u64) -> SeedOutcome {
         .map(|i| i.suspect.0)
         .collect();
 
-    SeedOutcome {
+    Ok(SeedOutcome {
         drops_at,
         drops: run.wormhole_dropped() as f64,
         data_sent: run.data_sent() as f64,
@@ -276,7 +359,7 @@ fn execute(cell: &SimCell, derived_seed: u64) -> SeedOutcome {
         first_detection_latency,
         isolation_latency: run.isolation_latency_secs(),
         false_isolations: falsely_isolated.len() as f64,
-    }
+    })
 }
 
 #[cfg(test)]

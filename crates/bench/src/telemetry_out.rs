@@ -106,6 +106,15 @@ pub fn metrics_json(run: &ScenarioRun, manifest: Option<&Manifest>) -> Json {
         }
         h
     });
+    // Per-job retry counts of the batch (all zeros in a healthy sweep;
+    // the manifest's `failures` block has the per-class breakdown).
+    let job_retries = manifest.map(|man| {
+        let mut h = Histogram::default();
+        for j in &man.per_job {
+            h.record(j.retries as u64);
+        }
+        h
+    });
 
     let mut custom: Vec<(&'static str, Json)> = Vec::new();
     for (k, v) in m.iter_custom() {
@@ -160,6 +169,10 @@ pub fn metrics_json(run: &ScenarioRun, manifest: Option<&Manifest>) -> Json {
                     "job_wall_ms",
                     job_wall_ms.map_or(Json::Null, |h| h.to_json()),
                 ),
+                (
+                    "job_retries",
+                    job_retries.map_or(Json::Null, |h| h.to_json()),
+                ),
             ]),
         ),
         ("manifest", manifest.map_or(Json::Null, |man| man.to_json())),
@@ -173,7 +186,9 @@ fn write_or_warn(path: &Path, contents: &str) {
             return;
         }
     }
-    if let Err(e) = std::fs::write(path, contents) {
+    // Atomic (temp + rename): a crash mid-export never leaves a torn
+    // trace or metrics file behind.
+    if let Err(e) = liteworp_runner::cache::atomic_write(path, contents.as_bytes()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }

@@ -1,0 +1,114 @@
+//! End-to-end survivability contracts of the supervised execution
+//! engine, driven through a real (small) experiment batch:
+//!
+//! * a sweep killed mid-journal resumes exactly where it died and
+//!   produces results byte-identical to an uninterrupted run, and
+//! * injected transient engine faults recovered by retries leave the
+//!   results digest untouched.
+
+use liteworp_bench::exec::{run_cells, ExecOptions, SimCell};
+use liteworp_bench::Scenario;
+
+fn small_cell() -> SimCell {
+    SimCell::snapshot(
+        "resume-it",
+        Scenario {
+            nodes: 20,
+            malicious: 0,
+            protected: true,
+            ..Scenario::default()
+        },
+        4,
+        0,
+        60.0,
+    )
+}
+
+fn uncached(journal: Option<std::path::PathBuf>, resume: bool) -> ExecOptions {
+    ExecOptions {
+        jobs: Some(2),
+        cache: false,
+        journal,
+        resume,
+        ..ExecOptions::default()
+    }
+}
+
+fn outcome_bytes(run: &liteworp_bench::exec::CellRun) -> String {
+    use liteworp_runner::CacheValue;
+    run.outcomes
+        .iter()
+        .flatten()
+        .map(|o| o.to_json().dump())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("liteworp-resume-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cell = [small_cell()];
+
+    // Ground truth: one uninterrupted run (journaled, but never resumed).
+    let full_journal = dir.join("full.journal");
+    let full = run_cells(&cell, &uncached(Some(full_journal.clone()), false));
+    assert_eq!(full.manifest.failed, 0);
+    assert_eq!(full.manifest.journal_hits, 0);
+
+    // Simulate a crash: keep the header plus the first two completed
+    // entries, then a torn partial line — exactly what a kill -9 during
+    // an append leaves behind.
+    let crash_journal = dir.join("crash.journal");
+    let written = std::fs::read_to_string(&full_journal).unwrap();
+    let mut lines = written.split_inclusive('\n');
+    let mut kept = String::new();
+    for _ in 0..3 {
+        kept.push_str(lines.next().expect("header + 2 entries"));
+    }
+    kept.push_str("{\"key\":\"torn");
+    std::fs::write(&crash_journal, &kept).unwrap();
+
+    // Resume: the two journaled jobs replay without re-simulating, the
+    // rest re-run, and the merged batch is byte-identical.
+    let resumed = run_cells(&cell, &uncached(Some(crash_journal), true));
+    assert_eq!(resumed.manifest.journal_hits, 2, "{:?}", resumed.manifest);
+    assert_eq!(resumed.manifest.failed, 0);
+    assert_eq!(
+        resumed.manifest.results_digest,
+        full.manifest.results_digest
+    );
+    assert_eq!(outcome_bytes(&resumed), outcome_bytes(&full));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_engine_faults_recovered_by_retries_keep_the_digest() {
+    let cell = [small_cell()];
+    let clean = run_cells(&cell, &uncached(None, false));
+    assert_eq!(clean.manifest.failed, 0);
+
+    let faulty = run_cells(
+        &cell,
+        &ExecOptions {
+            engine_faults: 0.6,
+            engine_fault_seed: 9,
+            max_retries: 2,
+            ..uncached(None, false)
+        },
+    );
+    assert_eq!(faulty.manifest.failed, 0, "{:?}", faulty.manifest.failures);
+    // The fault plan is dense enough that at least one job actually
+    // retried — otherwise this test proves nothing.
+    assert!(
+        !faulty.manifest.failures.retry_histogram.is_empty(),
+        "no fault fired; raise engine_faults"
+    );
+    assert_eq!(
+        faulty.manifest.results_digest,
+        clean.manifest.results_digest
+    );
+    assert_eq!(outcome_bytes(&faulty), outcome_bytes(&clean));
+}

@@ -46,7 +46,7 @@ fn fig9_aggregates_do_not_depend_on_thread_count() {
             &ExecOptions {
                 jobs: Some(jobs),
                 cache: false,
-                cache_dir: None,
+                ..ExecOptions::default()
             },
         )
     };
@@ -67,6 +67,7 @@ fn fig9_rerun_is_served_entirely_from_cache() {
         cache: true,
         // Route the cache at a temp dir instead of results/cache.
         cache_dir: Some(dir.clone()),
+        ..ExecOptions::default()
     };
     let (rows_cold, m_cold) = run_with(&cfg, &opts);
     assert_eq!(m_cold.cache_hits, 0);

@@ -1,0 +1,206 @@
+//! Engine-level fault profile: chaos for the *runner*, not the protocol.
+//!
+//! [`EngineFaultPlan`] implements the supervisor's
+//! [`liteworp_runner::supervisor::JobFaultHook`] seam, deterministically
+//! deciding per `(job, attempt)` whether the attempt fails before the
+//! simulation body runs — transient I/O errors, panics, or
+//! invariant-violation verdicts, each with its own probability.
+//!
+//! Determinism layout mirrors [`crate::inject::Injector`]: every decision
+//! is re-derived from scratch as a pure function of
+//! `(plan seed, job derived_seed, attempt)` — no shared mutable stream —
+//! so verdicts are identical at any thread count and on any scheduling.
+//! Faults are *transient* by construction: a job draws how many of its
+//! leading attempts fail (`1..=max_faulty_attempts`), so a supervisor
+//! retry budget of at least `max_faulty_attempts` always recovers every
+//! job, and the sweep's results digest equals the fault-free sweep's.
+//! That equality is the deterministic-retry proof the CI asserts.
+
+use liteworp_runner::rng::{derive_seed, Pcg32, Rng};
+use liteworp_runner::supervisor::{JobFailure, JobFaultHook};
+use liteworp_runner::JobSpec;
+
+/// Salt separating engine-fault decisions from every other consumer of a
+/// job's derived seed.
+const ENGINE_FAULT_SALT: u64 = 0x454e_4746_4c54_2101; // "ENGFLT!"
+
+/// Deterministic, per-attempt engine fault injection policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineFaultPlan {
+    /// Seed decorrelating this plan from the simulation streams.
+    pub seed: u64,
+    /// Probability a job is struck by transient I/O failures.
+    pub io: f64,
+    /// Probability a job is struck by transient panics.
+    pub panic: f64,
+    /// Probability a job is struck by transient invariant-violation
+    /// verdicts.
+    pub invariant: f64,
+    /// Upper bound on how many leading attempts of a struck job fail
+    /// (the actual count is drawn uniformly from `1..=this`). A
+    /// supervisor allowing at least this many retries recovers every
+    /// struck job.
+    pub max_faulty_attempts: u32,
+}
+
+impl EngineFaultPlan {
+    /// A quiet plan: nothing fails.
+    pub fn none() -> EngineFaultPlan {
+        EngineFaultPlan {
+            seed: 0,
+            io: 0.0,
+            panic: 0.0,
+            invariant: 0.0,
+            max_faulty_attempts: 1,
+        }
+    }
+
+    /// The standard transient profile used by the CI smoke and the
+    /// experiment binaries' `--engine-faults <p>`: strikes a fraction `p`
+    /// of jobs with I/O faults on their first 1–2 attempts.
+    pub fn transient(seed: u64, p: f64) -> EngineFaultPlan {
+        EngineFaultPlan {
+            seed,
+            io: p,
+            panic: 0.0,
+            invariant: 0.0,
+            max_faulty_attempts: 2,
+        }
+    }
+
+    /// True when no fault class has a positive probability.
+    pub fn is_quiet(&self) -> bool {
+        self.io <= 0.0 && self.panic <= 0.0 && self.invariant <= 0.0
+    }
+
+    /// The per-job verdict, re-derived from scratch: which failure (if
+    /// any) strikes this job, and how many leading attempts it poisons.
+    fn verdict(&self, job: &JobSpec) -> Option<(JobFailure, u32)> {
+        let mut rng = Pcg32::seed_from_u64(derive_seed(
+            self.seed ^ ENGINE_FAULT_SALT,
+            job.derived_seed(),
+        ));
+        // One draw per class, always, so enabling one class never
+        // perturbs another's decisions (same discipline as the Injector).
+        let io_hit = rng.gen_f64() < self.io;
+        let panic_hit = rng.gen_f64() < self.panic;
+        let invariant_hit = rng.gen_f64() < self.invariant;
+        let faulty = rng.gen_range(1..=self.max_faulty_attempts.max(1));
+        let failure = if io_hit {
+            JobFailure::Io(format!(
+                "injected transient io fault (plan seed {})",
+                self.seed
+            ))
+        } else if panic_hit {
+            JobFailure::Panic(format!(
+                "injected transient panic (plan seed {})",
+                self.seed
+            ))
+        } else if invariant_hit {
+            JobFailure::InvariantViolation(format!(
+                "injected invariant verdict (plan seed {})",
+                self.seed
+            ))
+        } else {
+            return None;
+        };
+        Some((failure, faulty))
+    }
+}
+
+impl JobFaultHook for EngineFaultPlan {
+    fn inject(&self, job: &JobSpec, attempt: u32) -> Option<JobFailure> {
+        if self.is_quiet() {
+            return None;
+        }
+        let (failure, faulty) = self.verdict(job)?;
+        (attempt < faulty).then_some(failure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seed: u64) -> JobSpec {
+        JobSpec {
+            label: format!("cell seed={seed}"),
+            scenario: "engine-fault-test".into(),
+            seed,
+        }
+    }
+
+    #[test]
+    fn quiet_plan_never_injects() {
+        let plan = EngineFaultPlan::none();
+        for seed in 0..50 {
+            for attempt in 0..3 {
+                assert_eq!(plan.inject(&job(seed), attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_and_scheduling_independent() {
+        let plan = EngineFaultPlan::transient(7, 0.5);
+        for seed in 0..50 {
+            let j = job(seed);
+            // Re-querying any (job, attempt) — in any order — gives the
+            // same answer: no hidden stream state.
+            let first: Vec<_> = (0..4).map(|a| plan.inject(&j, a)).collect();
+            let again: Vec<_> = (0..4).rev().map(|a| plan.inject(&j, 3 - a)).collect();
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn faults_are_transient_within_the_attempt_bound() {
+        let plan = EngineFaultPlan::transient(3, 1.0);
+        let mut struck = 0;
+        for seed in 0..40 {
+            let j = job(seed);
+            if plan.inject(&j, 0).is_some() {
+                struck += 1;
+                assert_eq!(
+                    plan.inject(&j, plan.max_faulty_attempts),
+                    None,
+                    "attempt {} must succeed",
+                    plan.max_faulty_attempts
+                );
+            }
+        }
+        assert_eq!(struck, 40, "p=1.0 strikes every job");
+    }
+
+    #[test]
+    fn strike_rate_tracks_probability() {
+        let plan = EngineFaultPlan::transient(11, 0.3);
+        let struck = (0..400)
+            .filter(|&s| plan.inject(&job(s), 0).is_some())
+            .count();
+        assert!((60..180).contains(&struck), "~30% of 400, got {struck}");
+    }
+
+    #[test]
+    fn classes_do_not_perturb_each_other() {
+        // Adding a panic probability must not change which jobs the io
+        // class strikes (one draw per class, fixed order).
+        let io_only = EngineFaultPlan {
+            seed: 5,
+            io: 0.4,
+            panic: 0.0,
+            invariant: 0.0,
+            max_faulty_attempts: 2,
+        };
+        let both = EngineFaultPlan {
+            panic: 0.9,
+            ..io_only.clone()
+        };
+        for seed in 0..100 {
+            let j = job(seed);
+            let io_struck = matches!(io_only.inject(&j, 0), Some(JobFailure::Io(_)));
+            let both_io_struck = matches!(both.inject(&j, 0), Some(JobFailure::Io(_)));
+            assert_eq!(io_struck, both_io_struck, "seed {seed}");
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //! * [`inject::Injector`] — a [`liteworp_netsim::fault::FaultHook`]
 //!   executing a plan from its own PCG32 streams, fully deterministic
 //!   per `(scenario seed, plan)` pair.
+//! * [`engine_faults::EngineFaultPlan`] — chaos for the *runner* itself:
+//!   a [`liteworp_runner::supervisor::JobFaultHook`] injecting transient
+//!   per-attempt job failures (io / panic / invariant) so the
+//!   supervisor's retry, quarantine, and journal paths are exercised
+//!   deterministically.
 //! * [`oracle`] — replays a [`liteworp_telemetry::EventLog`] and asserts
 //!   the protocol invariants (alert quorum, `MalC` provenance, watch
 //!   bound, absorbing isolation, honest immunity). See the module docs
@@ -26,10 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_faults;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
 
+pub use engine_faults::EngineFaultPlan;
 pub use inject::Injector;
 pub use oracle::{check, Immunity, Invariant, OracleConfig, ReplayStats, Violation};
 pub use plan::{parse_crashes, parse_drifts, ClockDrift, CrashWindow, FaultPlan, FuzzProfile};

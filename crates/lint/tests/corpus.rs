@@ -43,6 +43,13 @@ fn d001_wall_clock() {
     assert_clean("D001_clean.rs");
 }
 
+/// The supervisor's profiling pattern: a reasoned allow on a wall-clock
+/// read suppresses D001 without tripping allow hygiene (L001–L003).
+#[test]
+fn d001_profiling_allow_is_clean() {
+    assert_clean("D001_allowed_clean.rs");
+}
+
 #[test]
 fn d002_default_hasher() {
     assert_bad("D002_bad.rs", &[("D002", 3, 36)]);

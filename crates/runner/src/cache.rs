@@ -1,4 +1,4 @@
-//! Content-addressed on-disk result cache.
+//! Content-addressed on-disk result cache with self-healing entries.
 //!
 //! Each job result lives in `results/cache/<fnv64(scenario + seed +
 //! code_version)>.json`. The key covers the full scenario description and
@@ -6,11 +6,19 @@
 //! simulator invalidates exactly the affected cells; re-running a sweep
 //! only executes the missing ones, and an interrupted sweep resumes where
 //! it stopped.
+//!
+//! Every entry carries an FNV-1a checksum footer over its payload bytes.
+//! [`ResultCache::load_checked`] verifies it on read: an entry that is
+//! truncated, bit-flipped, or otherwise corrupt is *quarantined* — moved
+//! into `cache/.quarantine/` for post-mortem — and reported as
+//! [`CacheLoad::Corrupt`] so the supervisor can transparently recompute
+//! it instead of crashing or trusting garbage.
 
 use crate::json::Json;
-use std::fs;
-use std::io;
+use std::fs::{self, File};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv64(bytes: &[u8]) -> u64 {
@@ -20,6 +28,56 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// Prefix of the checksum footer line stored after each entry's payload.
+const FOOTER_PREFIX: &str = "fnv64:";
+
+/// Monotonic counter making concurrent temp-file names unique within the
+/// process (the pool stores distinct keys concurrently, but a shared name
+/// per target would still race between threads).
+static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: write + fsync a unique temp
+/// file in the same directory, then rename it over the target. A crash at
+/// any point leaves either the old file or the new one, never a torn mix.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let tmp = dir.join(format!(
+        ".{name}.{}.{}.tmp",
+        std::process::id(),
+        TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_data()?;
+    drop(file);
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// What a checked cache lookup found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLoad {
+    /// A verified entry: checksum matched, payload parsed.
+    Hit(Json),
+    /// No entry on disk.
+    Miss,
+    /// The entry failed verification (truncation, bit flip, bad footer).
+    /// It has been quarantined; the string says what was wrong.
+    Corrupt(String),
 }
 
 /// The on-disk cache. Dropping in a different directory (e.g. a tempdir
@@ -55,20 +113,85 @@ impl ResultCache {
         self.dir.join(format!("{key:016x}.json"))
     }
 
-    /// Loads a cached result, or `None` when absent or unreadable
-    /// (a corrupt entry behaves like a miss and is overwritten on store).
-    pub fn load(&self, key: u64) -> Option<Json> {
-        let text = fs::read_to_string(self.path(key)).ok()?;
-        Json::parse(&text).ok()
+    /// Where corrupt entries are moved for post-mortem inspection.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(".quarantine")
     }
 
-    /// Stores a result atomically (write to a temp file, then rename),
-    /// so an interrupted run never leaves a truncated entry behind.
+    /// Verifies an entry's bytes: payload line(s), then a
+    /// `fnv64:<16 hex>` footer line over the payload bytes.
+    fn verify(text: &str) -> Result<Json, String> {
+        let stripped = text
+            .strip_suffix('\n')
+            .ok_or("truncated entry (missing trailing newline)")?;
+        let (payload, footer) = stripped
+            .rsplit_once('\n')
+            .ok_or("missing checksum footer")?;
+        let hex = footer
+            .strip_prefix(FOOTER_PREFIX)
+            .ok_or("malformed checksum footer")?;
+        let stored =
+            u64::from_str_radix(hex, 16).map_err(|_| "unparsable checksum footer".to_string())?;
+        let computed = fnv64(payload.as_bytes());
+        if stored != computed {
+            return Err(format!(
+                "checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ));
+        }
+        Json::parse(payload).map_err(|e| format!("payload unparsable despite valid checksum: {e}"))
+    }
+
+    /// Moves a corrupt entry into the quarantine directory (best effort —
+    /// verification already failed, so at worst the bad file stays and is
+    /// overwritten by the recompute's store).
+    fn quarantine(&self, key: u64) {
+        let qdir = self.quarantine_dir();
+        if fs::create_dir_all(&qdir).is_ok() {
+            let _ = fs::rename(self.path(key), qdir.join(format!("{key:016x}.json")));
+        }
+    }
+
+    /// Loads and verifies a cached result. Corrupt entries (including
+    /// pre-checksum legacy entries) are quarantined and reported so the
+    /// caller can recompute — garbage is never returned as a hit.
+    pub fn load_checked(&self, key: u64) -> CacheLoad {
+        let text = match fs::read_to_string(self.path(key)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return CacheLoad::Miss,
+            Err(e) => {
+                self.quarantine(key);
+                return CacheLoad::Corrupt(format!("unreadable entry: {e}"));
+            }
+        };
+        match Self::verify(&text) {
+            Ok(json) => CacheLoad::Hit(json),
+            Err(reason) => {
+                self.quarantine(key);
+                CacheLoad::Corrupt(reason)
+            }
+        }
+    }
+
+    /// Loads a cached result, or `None` when absent or corrupt (a corrupt
+    /// entry behaves like a miss, after being quarantined).
+    pub fn load(&self, key: u64) -> Option<Json> {
+        match self.load_checked(key) {
+            CacheLoad::Hit(json) => Some(json),
+            CacheLoad::Miss | CacheLoad::Corrupt(_) => None,
+        }
+    }
+
+    /// Stores a result atomically (write + fsync to a temp file, then
+    /// rename), with a checksum footer so later truncation or bit rot is
+    /// detected on load instead of being parsed as data.
     pub fn store(&self, key: u64, value: &Json) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
-        let tmp = self.dir.join(format!(".{key:016x}.tmp"));
-        fs::write(&tmp, value.dump())?;
-        fs::rename(&tmp, self.path(key))
+        let payload = value.dump();
+        let entry = format!(
+            "{payload}\n{FOOTER_PREFIX}{:016x}\n",
+            fnv64(payload.as_bytes())
+        );
+        atomic_write(&self.path(key), entry.as_bytes())
     }
 
     /// The cache directory.
@@ -112,9 +235,11 @@ mod tests {
         let cache = ResultCache::new(tempdir("roundtrip"));
         let key = ResultCache::key("s", 3, "v");
         assert_eq!(cache.load(key), None, "cold cache misses");
+        assert_eq!(cache.load_checked(key), CacheLoad::Miss);
         let value = Json::object([("drops", Json::from(17u64))]);
         cache.store(key, &value).unwrap();
-        assert_eq!(cache.load(key), Some(value));
+        assert_eq!(cache.load(key), Some(value.clone()));
+        assert_eq!(cache.load_checked(key), CacheLoad::Hit(value));
         let _ = fs::remove_dir_all(cache.dir());
     }
 
@@ -126,5 +251,90 @@ mod tests {
         fs::write(cache.dir().join(format!("{key:016x}.json")), "{not json").unwrap();
         assert_eq!(cache.load(key), None);
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_quarantined() {
+        let cache = ResultCache::new(tempdir("bitflip"));
+        let key = ResultCache::key("s", 5, "v");
+        cache
+            .store(key, &Json::object([("drops", Json::from(17u64))]))
+            .unwrap();
+        // Flip one payload byte: "17" -> "99" keeps the entry valid JSON,
+        // so only the checksum can catch it.
+        let path = cache.dir().join(format!("{key:016x}.json"));
+        let tampered = fs::read_to_string(&path).unwrap().replace("17", "99");
+        fs::write(&path, tampered).unwrap();
+        match cache.load_checked(key) {
+            CacheLoad::Corrupt(reason) => assert!(reason.contains("checksum"), "{reason}"),
+            other => panic!("tampered entry returned {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt entry removed from the hot cache");
+        assert!(
+            cache
+                .quarantine_dir()
+                .join(format!("{key:016x}.json"))
+                .exists(),
+            "corrupt entry preserved in quarantine"
+        );
+        // The slot is now a plain miss; a recompute stores cleanly.
+        assert_eq!(cache.load_checked(key), CacheLoad::Miss);
+        let healed = Json::object([("drops", Json::from(17u64))]);
+        cache.store(key, &healed).unwrap();
+        assert_eq!(cache.load_checked(key), CacheLoad::Hit(healed));
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_entry_is_detected_not_parsed() {
+        // The satellite audit case: a partial write that died mid-file.
+        let cache = ResultCache::new(tempdir("truncated"));
+        let key = ResultCache::key("s", 6, "v");
+        cache
+            .store(key, &Json::object([("drops", Json::from(17u64))]))
+            .unwrap();
+        let path = cache.dir().join(format!("{key:016x}.json"));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        match cache.load_checked(key) {
+            CacheLoad::Corrupt(_) => {}
+            other => panic!("truncated entry returned {other:?}"),
+        }
+        assert_eq!(cache.load_checked(key), CacheLoad::Miss, "slot recovered");
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn legacy_footerless_entry_self_heals() {
+        let cache = ResultCache::new(tempdir("legacy"));
+        let key = ResultCache::key("s", 7, "v");
+        fs::create_dir_all(cache.dir()).unwrap();
+        // A pre-checksum entry: bare JSON, no footer line.
+        fs::write(
+            cache.dir().join(format!("{key:016x}.json")),
+            Json::object([("drops", Json::from(17u64))]).dump(),
+        )
+        .unwrap();
+        assert!(matches!(cache.load_checked(key), CacheLoad::Corrupt(_)));
+        assert_eq!(cache.load_checked(key), CacheLoad::Miss);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = tempdir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -2,20 +2,27 @@
 //! [`pool`](crate::pool) with the [`cache`](crate::cache) in front, and
 //! reports a [`Manifest`] of what happened.
 //!
+//! Execution itself lives in [`crate::supervisor`]: [`run_jobs`] is the
+//! unsupervised convenience entry point (no retries, no deadline, no
+//! journal), equivalent to [`crate::supervisor::run_supervised`] with the
+//! default [`crate::supervisor::Supervision`] policy.
+//!
 //! # Determinism contract
 //!
 //! A job is identified by `(scenario, seed)`. Its RNG seed is
 //! [`JobSpec::derived_seed`] — a pure function of the scenario hash and
 //! the seed index — and results are returned in job order, so any
 //! aggregate computed over them is byte-identical at every thread count,
-//! with or without cache hits.
+//! with or without cache hits, journal replays, or retries. The
+//! [`Manifest::results_digest`] field condenses that contract into one
+//! comparable number.
 
 use crate::cache::{fnv64, ResultCache};
 use crate::json::Json;
 use crate::pool;
 use crate::rng::derive_seed;
 use crate::stats::Percentiles;
-use std::time::Instant;
+use crate::supervisor::{run_supervised, FailureReport, JobFailure, Supervision};
 
 /// One unit of work: a scenario cell at one seed index.
 #[derive(Debug, Clone)]
@@ -76,23 +83,34 @@ impl Default for RunConfig {
     }
 }
 
-/// A job that did not produce a result.
+/// A job that was quarantined: it produced no result even after its
+/// retry budget.
 #[derive(Debug, Clone)]
 pub struct JobError {
     /// The job's label.
     pub label: String,
     /// Seed index of the failing job.
     pub seed: u64,
-    /// The panic message.
-    pub message: String,
+    /// The derived RNG seed the failing attempt ran with — together with
+    /// the label this is the reproducer for engine-level failures.
+    pub derived_seed: u64,
+    /// Why the job failed.
+    pub failure: JobFailure,
+}
+
+impl JobError {
+    /// The failure rendered as text (class plus detail).
+    pub fn message(&self) -> String {
+        self.failure.to_string()
+    }
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "job '{}' (seed {}): {}",
-            self.label, self.seed, self.message
+            "job '{}' (seed {}) quarantined: {} [reproduce: derived_seed={:#018x}]",
+            self.label, self.seed, self.failure, self.derived_seed
         )
     }
 }
@@ -108,6 +126,12 @@ pub struct JobRecord {
     pub key: u64,
     /// Whether the result came from the cache.
     pub cached: bool,
+    /// Whether the result was replayed from the resume journal.
+    pub journaled: bool,
+    /// Retries the job needed (0 = first attempt sufficed).
+    pub retries: u32,
+    /// Failure class when the job was quarantined, `None` on success.
+    pub failure: Option<&'static str>,
     /// Whether the job failed.
     pub failed: bool,
     /// Wall-clock of this job in milliseconds.
@@ -118,8 +142,8 @@ pub struct JobRecord {
     pub worker: usize,
 }
 
-/// What a run did: per-job wall-clock, cache hit/miss counts, and thread
-/// utilization.
+/// What a run did: per-job wall-clock, cache hit/miss counts, thread
+/// utilization, and the failure/retry accounting of the supervisor.
 #[derive(Debug, Clone)]
 pub struct Manifest {
     /// Worker threads used.
@@ -128,9 +152,11 @@ pub struct Manifest {
     pub jobs: usize,
     /// Jobs answered from the cache.
     pub cache_hits: usize,
+    /// Jobs replayed from the resume journal.
+    pub journal_hits: usize,
     /// Jobs that executed a simulation.
     pub cache_misses: usize,
-    /// Jobs that panicked.
+    /// Jobs quarantined after exhausting their retries.
     pub failed: usize,
     /// Wall-clock of the whole batch in milliseconds.
     pub wall_ms: f64,
@@ -144,6 +170,12 @@ pub struct Manifest {
     pub cache_hit_ms: Option<Percentiles>,
     /// Wall-clock percentiles (ms) of jobs that executed a simulation.
     pub cache_miss_ms: Option<Percentiles>,
+    /// Order-sensitive FNV digest of the batch results; equal digests
+    /// mean byte-identical results (see
+    /// [`crate::supervisor::digest_results`]).
+    pub results_digest: u64,
+    /// Failure classes, retry histogram, and quarantined job ids.
+    pub failures: FailureReport,
     /// One record per job, in job order.
     pub per_job: Vec<JobRecord>,
 }
@@ -156,16 +188,31 @@ impl Manifest {
         } else {
             self.utilization.iter().sum::<f64>() / self.utilization.len() as f64
         };
-        format!(
-            "runner: {} jobs on {} threads in {:.2} s ({} cache hits, {} executed, {} failed, {:.0}% utilization)",
+        let mut line = format!(
+            "runner: {} jobs on {} threads in {:.2} s ({} cache hits, {} executed, {} failed, {:.0}% utilization) digest={:016x}",
             self.jobs,
             self.threads,
             self.wall_ms / 1000.0,
             self.cache_hits,
             self.cache_misses,
             self.failed,
-            util * 100.0
-        )
+            util * 100.0,
+            self.results_digest
+        );
+        if self.journal_hits > 0 {
+            line.push_str(&format!(", {} journal hits", self.journal_hits));
+        }
+        let retried: u64 = self.failures.retry_histogram.values().sum();
+        if retried > 0 {
+            line.push_str(&format!(", {retried} retried"));
+        }
+        if !self.failures.quarantined.is_empty() {
+            line.push_str(&format!(
+                ", {} quarantined",
+                self.failures.quarantined.len()
+            ));
+        }
+        line
     }
 
     /// Full manifest as JSON (for `results/` provenance files).
@@ -174,13 +221,19 @@ impl Manifest {
             ("threads", Json::from(self.threads)),
             ("jobs", Json::from(self.jobs)),
             ("cache_hits", Json::from(self.cache_hits)),
+            ("journal_hits", Json::from(self.journal_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
             ("failed", Json::from(self.failed)),
             ("wall_ms", Json::from(self.wall_ms)),
             (
+                "results_digest",
+                Json::from(format!("{:016x}", self.results_digest)),
+            ),
+            (
                 "utilization",
                 Json::Arr(self.utilization.iter().map(|&u| Json::from(u)).collect()),
             ),
+            ("failures", self.failures.to_json()),
             (
                 "profile",
                 Json::object([
@@ -221,6 +274,9 @@ impl Manifest {
                                 ("seed", Json::from(j.seed)),
                                 ("key", Json::from(format!("{:016x}", j.key))),
                                 ("cached", Json::from(j.cached)),
+                                ("journaled", Json::from(j.journaled)),
+                                ("retries", Json::from(j.retries as u64)),
+                                ("failure", j.failure.map_or(Json::Null, Json::from)),
                                 ("failed", Json::from(j.failed)),
                                 ("wall_ms", Json::from(j.wall_ms)),
                                 ("queue_wait_ms", Json::from(j.queue_wait_ms)),
@@ -253,111 +309,22 @@ impl<T> RunReport<T> {
 /// Executes a batch of jobs: cache lookup first, then the simulation via
 /// `exec(job, derived_seed)` on the thread pool, storing fresh results
 /// back into the cache.
+///
+/// This is the unsupervised entry point — no retries, deadline, or
+/// journal; a panic fails its job immediately. Sweeps that want those use
+/// [`run_supervised`] directly.
 pub fn run_jobs<T, F>(cfg: &RunConfig, jobs: &[JobSpec], exec: F) -> RunReport<T>
 where
     T: CacheValue + Send,
     F: Fn(&JobSpec, u64) -> T + Sync,
 {
-    // lint: allow(D001) job wall-clock for the manifest profile block;
-    // cache keys and results never depend on it
-    let started = Instant::now();
-    let keys: Vec<u64> = jobs
-        .iter()
-        .map(|j| ResultCache::key(&j.scenario, j.seed, &cfg.code_version))
-        .collect();
-
-    enum Outcome<T> {
-        Hit(T),
-        Miss(T),
-    }
-
-    let (runs, pool_stats) = pool::run(cfg.threads, jobs.len(), |i| {
-        let job = &jobs[i];
-        if let Some(cache) = &cfg.cache {
-            if let Some(value) = cache.load(keys[i]).as_ref().and_then(T::from_json) {
-                return Outcome::Hit(value);
-            }
-        }
-        let value = exec(job, job.derived_seed());
-        if let Some(cache) = &cfg.cache {
-            if let Err(e) = cache.store(keys[i], &value.to_json()) {
-                eprintln!("warning: cache store failed for {}: {e}", job.label);
-            }
-        }
-        Outcome::Miss(value)
-    });
-
-    let mut results = Vec::with_capacity(jobs.len());
-    let mut per_job = Vec::with_capacity(jobs.len());
-    let (mut hits, mut misses, mut failed) = (0, 0, 0);
-    for ((job, run), key) in jobs.iter().zip(runs).zip(&keys) {
-        // A panic inside `exec` unwinds through the closure above, so the
-        // pool reports it as Err even though the closure returns Outcome.
-        let outcome = match run.result {
-            Ok(Outcome::Hit(v)) => {
-                hits += 1;
-                Ok((v, true))
-            }
-            Ok(Outcome::Miss(v)) => {
-                misses += 1;
-                Ok((v, false))
-            }
-            Err(msg) => {
-                failed += 1;
-                Err(msg)
-            }
-        };
-        let (cached, job_failed) = match &outcome {
-            Ok((_, cached)) => (*cached, false),
-            Err(_) => (false, true),
-        };
-        per_job.push(JobRecord {
-            label: job.label.clone(),
-            seed: job.seed,
-            key: *key,
-            cached,
-            failed: job_failed,
-            wall_ms: run.elapsed.as_secs_f64() * 1000.0,
-            queue_wait_ms: run.queue_wait.as_secs_f64() * 1000.0,
-            worker: run.worker,
-        });
-        results.push(outcome.map(|(v, _)| v).map_err(|message| JobError {
-            label: job.label.clone(),
-            seed: job.seed,
-            message,
-        }));
-    }
-
-    let walls = |pred: &dyn Fn(&JobRecord) -> bool| -> Vec<f64> {
-        per_job
-            .iter()
-            .filter(|j| pred(j))
-            .map(|j| j.wall_ms)
-            .collect()
-    };
-    let job_duration_ms = Percentiles::of(&walls(&|_| true));
-    let queue_wait_ms =
-        Percentiles::of(&per_job.iter().map(|j| j.queue_wait_ms).collect::<Vec<_>>());
-    let cache_hit_ms = Percentiles::of(&walls(&|j| j.cached));
-    let cache_miss_ms = Percentiles::of(&walls(&|j| !j.cached && !j.failed));
-
-    RunReport {
-        results,
-        manifest: Manifest {
-            threads: pool_stats.threads,
-            jobs: jobs.len(),
-            cache_hits: hits,
-            cache_misses: misses,
-            failed,
-            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
-            utilization: pool_stats.utilization(),
-            job_duration_ms,
-            queue_wait_ms,
-            cache_hit_ms,
-            cache_miss_ms,
-            per_job,
-        },
-    }
+    run_supervised(
+        cfg,
+        &Supervision::default(),
+        jobs,
+        None,
+        |job, derived, _| Ok(exec(job, derived)),
+    )
 }
 
 #[cfg(test)]
@@ -420,6 +387,10 @@ mod tests {
         let b: Vec<f64> = four.successes().map(|v| v.0).collect();
         assert_eq!(a, b);
         assert_eq!(one.manifest.cache_misses, 16, "no cache configured");
+        assert_eq!(
+            one.manifest.results_digest, four.manifest.results_digest,
+            "digest is thread-count independent"
+        );
     }
 
     #[test]
@@ -445,6 +416,10 @@ mod tests {
         let a: Vec<f64> = first.successes().map(|v| v.0).collect();
         let b: Vec<f64> = second.successes().map(|v| v.0).collect();
         assert_eq!(a, b, "cached results identical to fresh ones");
+        assert_eq!(
+            first.manifest.results_digest,
+            second.manifest.results_digest
+        );
         // A different code version invalidates every entry.
         let bumped = RunConfig {
             code_version: "test-v2".into(),
@@ -474,8 +449,14 @@ mod tests {
         assert_eq!(report.manifest.failed, 1);
         assert_eq!(report.successes().count(), 5);
         let err = report.results[2].as_ref().unwrap_err();
-        assert!(err.message.contains("scenario build failed"), "{err}");
+        assert!(err.message().contains("scenario build failed"), "{err}");
+        assert_eq!(err.failure.class(), "panic");
+        assert_eq!(err.derived_seed, js[2].derived_seed());
+        let rendered = err.to_string();
+        assert!(rendered.contains("derived_seed="), "{rendered}");
         assert!(report.manifest.per_job[2].failed);
+        assert_eq!(report.manifest.per_job[2].failure, Some("panic"));
+        assert_eq!(report.manifest.failures.panics, 1);
     }
 
     #[test]
@@ -488,6 +469,13 @@ mod tests {
             Some(3)
         );
         assert!(report.manifest.summary_line().contains("3 jobs"));
+        assert_eq!(
+            json.get("results_digest").and_then(Json::as_str),
+            Some(format!("{:016x}", report.manifest.results_digest).as_str())
+        );
+        let failures = json.get("failures").expect("failures block");
+        assert_eq!(failures.get("panics").and_then(Json::as_u64), Some(0));
+        assert!(report.manifest.failures.is_empty());
 
         // Profiling: duration and queue-wait percentiles are present and
         // consistent with the per-job records.
@@ -509,6 +497,7 @@ mod tests {
         assert_eq!(report.manifest.cache_miss_ms.expect("miss profile").n, 3);
         for j in json.get("per_job").and_then(Json::as_arr).unwrap() {
             assert!(j.get("queue_wait_ms").and_then(Json::as_f64).is_some());
+            assert_eq!(j.get("retries").and_then(Json::as_u64), Some(0));
         }
     }
 }

@@ -16,6 +16,12 @@
 //! 3. **Observability** — every run produces a [`engine::Manifest`]
 //!    recording per-job wall-clock, cache hit/miss counts, and thread
 //!    utilization.
+//! 4. **Survivability** — every job runs under a supervision envelope
+//!    (typed [`supervisor::JobFailure`] taxonomy, deterministic bounded
+//!    retries, sim-time deadlines), sweeps journal completions to an
+//!    fsync'd write-ahead log for crash resume ([`journal`]), and cache
+//!    entries carry checksums so corruption is quarantined and
+//!    recomputed, never parsed ([`cache`]).
 //!
 //! The crate is dependency-free (std only) and also hosts the workspace's
 //! shared deterministic RNG ([`rng`]) and a minimal JSON reader/writer
@@ -26,13 +32,18 @@
 
 pub mod cache;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod supervisor;
 
-pub use cache::ResultCache;
+pub use cache::{CacheLoad, ResultCache};
 pub use engine::{run_jobs, CacheValue, JobError, JobSpec, Manifest, RunConfig, RunReport};
 pub use json::Json;
 pub use rng::{Pcg32, Rng};
 pub use stats::{Percentiles, Summary};
+pub use supervisor::{
+    run_supervised, FailureReport, JobContext, JobFailure, JobFaultHook, Supervision,
+};

@@ -108,7 +108,8 @@ where
                 // lint: allow(D001) per-job host wall time for PoolStats only
                 let t0 = Instant::now();
                 let queue_wait = t0.duration_since(started);
-                let result = catch_unwind(AssertUnwindSafe(|| f(job))).map_err(panic_message);
+                let result = catch_unwind(AssertUnwindSafe(|| f(job)))
+                    .map_err(|payload| format!("job {job}: {}", panic_message(payload)));
                 let elapsed = t0.elapsed();
                 busy_nanos[w].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                 *slots[job].lock().unwrap_or_else(PoisonError::into_inner) = Some(JobRun {
@@ -187,7 +188,8 @@ fn next_job(
     None
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Extracts the human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -244,6 +246,7 @@ mod tests {
             if i == 4 {
                 let msg = r.result.as_ref().unwrap_err();
                 assert!(msg.contains("boom"), "{msg}");
+                assert!(msg.contains("job 4"), "panicking job id preserved: {msg}");
             } else {
                 assert_eq!(*r.result.as_ref().unwrap(), i);
             }

@@ -3,29 +3,39 @@
 use crate::json::Json;
 
 /// Mean, spread, and a 95% confidence interval over independent samples.
+///
+/// Every field is always finite: empty, singleton, and zero-variance
+/// inputs produce the well-defined degenerate interval `mean ± 0` rather
+/// than NaN, and non-finite samples are excluded (see [`Summary::of`]) —
+/// which matters once degraded sweeps aggregate partial result sets.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
-    /// Number of samples.
+    /// Number of finite samples summarized.
     pub n: usize,
-    /// Sample mean (0 when empty).
+    /// Sample mean (0 when no finite samples).
     pub mean: f64,
-    /// Sample standard deviation (0 with fewer than two samples).
+    /// Sample standard deviation (0 with fewer than two finite samples).
     pub std_dev: f64,
     /// Half-width of the 95% confidence interval of the mean
-    /// (`1.96 · s / √n`; 0 with fewer than two samples).
+    /// (`1.96 · s / √n`; 0 with fewer than two finite samples).
     pub ci95: f64,
 }
 
 impl Summary {
     /// Summarizes a slice of samples.
     ///
+    /// Non-finite samples (NaN, ±∞ — e.g. a ratio metric over an empty
+    /// subset in a degraded sweep) are excluded instead of poisoning the
+    /// whole aggregate; `n` reports how many finite samples remained.
+    ///
     /// The mean is accumulated in slice order, so for a fixed sample
     /// order the result is bit-identical regardless of how the samples
     /// were produced (the runner's determinism contract leans on this).
     pub fn of(xs: &[f64]) -> Summary {
-        let n = xs.len();
-        let mean = mean(xs);
-        let std_dev = std_dev(xs, mean);
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        let n = finite.len();
+        let mean = mean(&finite);
+        let std_dev = std_dev(&finite, mean);
         let ci95 = if n < 2 {
             0.0
         } else {
@@ -37,6 +47,13 @@ impl Summary {
             std_dev,
             ci95,
         }
+    }
+
+    /// The interval as explicit `(low, high)` bounds, `mean ± ci95`.
+    /// Degenerate cases (n ≤ 1, zero variance) collapse to
+    /// `(mean, mean)`.
+    pub fn ci_bounds(&self) -> (f64, f64) {
+        (self.mean - self.ci95, self.mean + self.ci95)
     }
 
     /// Renders as `mean ± ci95`.
@@ -106,7 +123,9 @@ fn std_dev(xs: &[f64], mean: f64) -> f64 {
         return 0.0;
     }
     let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
-    var.sqrt()
+    // Rounding can nudge a zero-variance sum epsilon-negative; clamp so
+    // sqrt never manufactures a NaN interval.
+    var.max(0.0).sqrt()
 }
 
 #[cfg(test)]
@@ -127,6 +146,26 @@ mod tests {
         assert!((s.mean - 5.0).abs() < 1e-12);
         assert!((s.std_dev - 2.138_089_935).abs() < 1e-6);
         assert!((s.ci95 - 1.96 * s.std_dev / 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_intervals_are_never_nan() {
+        // Zero variance: every sample identical.
+        let s = Summary::of(&[3.0; 5]);
+        assert_eq!((s.n, s.mean, s.std_dev, s.ci95), (5, 3.0, 0.0, 0.0));
+        assert_eq!(s.ci_bounds(), (3.0, 3.0));
+        // Non-finite samples are excluded, not propagated.
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(s.std_dev.is_finite() && s.ci95.is_finite());
+        // Nothing finite at all collapses to the empty summary.
+        let s = Summary::of(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!((s.n, s.mean, s.std_dev, s.ci95), (0, 0.0, 0.0, 0.0));
+        // n=1 after filtering: degenerate interval around the sample.
+        let s = Summary::of(&[f64::NAN, 7.0]);
+        assert_eq!((s.n, s.mean, s.ci95), (1, 7.0, 0.0));
+        assert_eq!(s.ci_bounds(), (7.0, 7.0));
     }
 
     #[test]

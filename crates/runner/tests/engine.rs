@@ -104,7 +104,7 @@ fn panicking_jobs_are_isolated_and_reported() {
     for (i, res) in report.results.iter().enumerate() {
         if i as u64 % 3 == 1 {
             let err = res.as_ref().expect_err("job should have failed");
-            assert!(err.message.contains("refuses to run"), "{err}");
+            assert!(err.message().contains("refuses to run"), "{err}");
         } else {
             assert!(res.is_ok());
         }

@@ -32,4 +32,7 @@ cargo build --benches --offline
 echo "==> chaos_fuzz smoke (fixed-seed fault-injection gate)"
 ./target/release/chaos_fuzz --smoke --no-cache
 
+echo "==> resilience smoke (resume / deterministic retries / cache self-heal)"
+./scripts/resilience_smoke.sh
+
 echo "CI OK"

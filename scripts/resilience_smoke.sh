@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Failure-domain smoke for the supervised experiment engine, run against
+# the release fig8 binary with a deliberately small configuration:
+#
+#   1. resume: journal a sweep, simulate a crash by truncating the
+#      journal mid-entry, resume, and require the byte-identical digest;
+#   2. deterministic retries: inject transient engine faults recovered by
+#      --max-retries and require the digest of the clean sweep;
+#   3. self-healing cache: flip one byte of a cache entry and require the
+#      rerun to quarantine it, recompute, and reproduce the digest.
+#
+# Digests are compared via the `digest=<fnv64>` token of the manifest
+# summary line (stderr); whole-output comparison would trip on wall-clock
+# timings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIG8=./target/release/fig8
+SMALL=(--seeds 2 --nodes 30 --duration 200 --sample 100)
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+digest_of() {
+    # Last summary line wins (the binary prints exactly one).
+    grep -o 'digest=[0-9a-f]*' "$1" | tail -n 1
+}
+
+run_fig8() {
+    local log=$1
+    shift
+    "$FIG8" "${SMALL[@]}" "$@" >/dev/null 2>"$log" || {
+        echo "fig8 $* failed:" >&2
+        cat "$log" >&2
+        exit 1
+    }
+}
+
+echo "==> baseline journaled sweep"
+run_fig8 "$TMP/full.log" --no-cache --journal "$TMP/full.journal"
+BASE=$(digest_of "$TMP/full.log")
+[ -n "$BASE" ] || { echo "no digest in summary line" >&2; exit 1; }
+
+echo "==> resume smoke: kill (truncated journal) + --resume"
+# Keep the header plus three completed entries, then a torn partial line —
+# what a kill -9 during an append leaves behind.
+head -n 4 "$TMP/full.journal" > "$TMP/crash.journal"
+printf '{"key":"torn' >> "$TMP/crash.journal"
+run_fig8 "$TMP/resume.log" --no-cache --journal "$TMP/crash.journal" --resume
+grep -q 'journal hits' "$TMP/resume.log" || {
+    echo "resumed sweep replayed nothing from the journal" >&2
+    cat "$TMP/resume.log" >&2
+    exit 1
+}
+RESUMED=$(digest_of "$TMP/resume.log")
+[ "$RESUMED" = "$BASE" ] || {
+    echo "resume digest mismatch: $RESUMED != $BASE" >&2
+    exit 1
+}
+
+echo "==> deterministic-retry smoke: transient faults + --max-retries"
+run_fig8 "$TMP/faults.log" --no-cache --engine-faults 0.5 --engine-fault-seed 7 --max-retries 2
+grep -q 'retried' "$TMP/faults.log" || {
+    echo "no injected fault fired; the proof is vacuous" >&2
+    cat "$TMP/faults.log" >&2
+    exit 1
+}
+FAULTY=$(digest_of "$TMP/faults.log")
+[ "$FAULTY" = "$BASE" ] || {
+    echo "retry digest mismatch: $FAULTY != $BASE" >&2
+    exit 1
+}
+
+echo "==> corrupt-cache smoke: bit flip -> quarantine + recompute"
+run_fig8 "$TMP/cold.log" --cache-dir "$TMP/cache"
+COLD=$(digest_of "$TMP/cold.log")
+[ "$COLD" = "$BASE" ] || {
+    echo "cached digest mismatch: $COLD != $BASE" >&2
+    exit 1
+}
+ENTRY=$(find "$TMP/cache" -maxdepth 1 -name '*.json' | sort | head -n 1)
+[ -n "$ENTRY" ] || { echo "no cache entries written" >&2; exit 1; }
+# A NUL byte never appears in a JSON entry, so this is always corruption.
+dd if=/dev/zero of="$ENTRY" bs=1 count=1 seek=5 conv=notrunc status=none
+run_fig8 "$TMP/healed.log" --cache-dir "$TMP/cache"
+grep -qi 'quarantin' "$TMP/healed.log" || {
+    echo "corrupt entry was not quarantined" >&2
+    cat "$TMP/healed.log" >&2
+    exit 1
+}
+[ -n "$(ls -A "$TMP/cache/.quarantine" 2>/dev/null)" ] || {
+    echo "quarantine directory is empty" >&2
+    exit 1
+}
+HEALED=$(digest_of "$TMP/healed.log")
+[ "$HEALED" = "$BASE" ] || {
+    echo "healed digest mismatch: $HEALED != $BASE" >&2
+    exit 1
+}
+
+echo "resilience smoke OK (digest $BASE)"
