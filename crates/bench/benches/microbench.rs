@@ -6,12 +6,15 @@
 
 use liteworp::config::Config;
 use liteworp::keys::KeyStore;
+use liteworp::malc::MalcTable;
 use liteworp::monitor::{LocalMonitor, PacketObs};
 use liteworp::neighbor::NeighborTable;
 use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp::watch::WatchBuffer;
 use liteworp_analysis::special::{binomial_tail, regularized_incomplete_beta};
 use liteworp_bench::timing::{bench, black_box};
+use liteworp_runner::cache::{CacheLoad, ResultCache};
+use liteworp_runner::Json;
 
 fn sig(seq: u64) -> PacketSig {
     PacketSig {
@@ -108,6 +111,44 @@ fn bench_monitor_pipeline() {
     });
 }
 
+fn bench_malc() {
+    // MalC accusation bookkeeping: the windowed variant pays expiry on
+    // every update, the unbounded one is a pure counter bump.
+    for (label, window) in [("unbounded", 0u64), ("windowed", 1_000_000)] {
+        bench(&format!("malc/update/{label}"), || {
+            let mut t = MalcTable::new(window);
+            let mut out = 0u32;
+            for i in 0..64u64 {
+                out = t.record(NodeId((i % 8) as u32), 2, Micros(i * 40_000));
+            }
+            out
+        });
+    }
+}
+
+fn bench_cache_lookup() {
+    // A verified hit on the content-addressed result cache: open, read,
+    // checksum, parse. This is the daemon's fast path for repeated
+    // requests.
+    let dir = std::env::temp_dir().join(format!("liteworp-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::new(&dir);
+    let key = ResultCache::key("bench-scenario", 7, "bench-v1");
+    let value = Json::object([
+        ("drops", Json::from(12.5)),
+        ("data_sent", Json::from(4096.0)),
+        ("all_detected", Json::from(true)),
+    ]);
+    cache.store(key, &value).expect("store bench entry");
+    bench("cache/lookup_hit", || {
+        match cache.load_checked(black_box(key)) {
+            CacheLoad::Hit(json) => json,
+            other => panic!("bench cache entry vanished: {other:?}"),
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_special_functions() {
     bench("special/binomial_tail_200", || {
         binomial_tail(black_box(200), black_box(120), black_box(0.55))
@@ -122,5 +163,7 @@ fn main() {
     bench_watch_buffer();
     bench_keys();
     bench_monitor_pipeline();
+    bench_malc();
+    bench_cache_lookup();
     bench_special_functions();
 }

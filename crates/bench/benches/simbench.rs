@@ -44,7 +44,26 @@ fn bench_scenario_build() {
     });
 }
 
+fn bench_route_flood() {
+    // The first seconds of a large deployment are dominated by flooded
+    // route requests and reverse-path replies — the protocol's broadcast
+    // hot path, before steady-state data traffic takes over.
+    bench_heavy("route_flood_100_10s", 10, || {
+        let mut run = Scenario {
+            nodes: 100,
+            malicious: 0,
+            protected: true,
+            seed: 79,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(10.0);
+        black_box(run.route_counts())
+    });
+}
+
 fn main() {
     bench_simulation_throughput();
     bench_scenario_build();
+    bench_route_flood();
 }

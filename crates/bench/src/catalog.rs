@@ -1,0 +1,184 @@
+//! The experiment catalog: every sweep a service can serve, addressed by
+//! a stable kind name plus a JSON parameter object.
+//!
+//! [`cells_for`] maps `(kind, params)` to the same [`SimCell`] lists the
+//! experiment binaries build, so a daemon request for `"fig9"` executes
+//! — and caches under — exactly the jobs `cargo run --bin fig9` would.
+//! Unknown kinds and malformed parameters come back as `Err(reason)` so
+//! protocol layers can answer with a typed error instead of panicking.
+
+use crate::exec::SimCell;
+use crate::experiments::{ablation, fig10, fig8, fig9, sweep};
+use crate::scenario::Scenario;
+use liteworp_runner::Json;
+
+/// The kind names [`cells_for`] accepts, in catalog order.
+pub const KINDS: [&str; 6] = ["fig8", "fig9", "fig10", "sweep", "ablation", "scenario"];
+
+/// Builds the cells for one catalog entry.
+///
+/// Every parameter is optional; omitted fields keep the experiment's
+/// defaults (which reproduce the paper figures). Recognized fields per
+/// kind:
+///
+/// * `fig8` — `nodes`, `seeds`, `duration`, `sample_every`
+/// * `fig9` — `nodes`, `seeds`, `duration`
+/// * `fig10` — `nodes`, `avg_neighbors`, `seeds`, `duration`
+/// * `sweep` — `seeds`, `duration`
+/// * `ablation` — `nodes`, `seeds`, `duration`
+/// * `scenario` — one custom cell: `nodes`, `malicious`, `protected`,
+///   `avg_neighbors`, `seeds`, `duration`
+pub fn cells_for(kind: &str, params: &Json) -> Result<Vec<SimCell>, String> {
+    if !matches!(params, Json::Obj(_) | Json::Null) {
+        return Err("params must be a JSON object".to_string());
+    }
+    let u = |k: &str| params.get(k).and_then(Json::as_u64);
+    let f = |k: &str| params.get(k).and_then(Json::as_f64);
+    let b = |k: &str| params.get(k).and_then(Json::as_bool);
+    match kind {
+        "fig8" => {
+            let mut cfg = fig8::Fig8Config::default();
+            if let Some(n) = u("nodes") {
+                cfg.nodes = n as usize;
+            }
+            if let Some(s) = u("seeds") {
+                cfg.seeds = s;
+            }
+            if let Some(d) = f("duration") {
+                cfg.duration = d;
+            }
+            if let Some(e) = f("sample_every") {
+                cfg.sample_every = e;
+            }
+            Ok(fig8::cells(&cfg))
+        }
+        "fig9" => {
+            let mut cfg = fig9::Fig9Config::default();
+            if let Some(n) = u("nodes") {
+                cfg.nodes = n as usize;
+            }
+            if let Some(s) = u("seeds") {
+                cfg.seeds = s;
+            }
+            if let Some(d) = f("duration") {
+                cfg.duration = d;
+            }
+            Ok(fig9::cells(&cfg))
+        }
+        "fig10" => {
+            let mut cfg = fig10::Fig10Config::default();
+            if let Some(n) = u("nodes") {
+                cfg.nodes = n as usize;
+            }
+            if let Some(nb) = f("avg_neighbors") {
+                cfg.avg_neighbors = nb;
+            }
+            if let Some(s) = u("seeds") {
+                cfg.seeds = s;
+            }
+            if let Some(d) = f("duration") {
+                cfg.duration = d;
+            }
+            Ok(fig10::cells(&cfg))
+        }
+        "sweep" => {
+            let mut cfg = sweep::SweepConfig::default();
+            if let Some(s) = u("seeds") {
+                cfg.seeds = s;
+            }
+            if let Some(d) = f("duration") {
+                cfg.duration = d;
+            }
+            Ok(sweep::cells(&cfg))
+        }
+        "ablation" => {
+            let mut cfg = ablation::AblationConfig::default();
+            if let Some(n) = u("nodes") {
+                cfg.nodes = n as usize;
+            }
+            if let Some(s) = u("seeds") {
+                cfg.seeds = s;
+            }
+            if let Some(d) = f("duration") {
+                cfg.duration = d;
+            }
+            Ok(ablation::cells(&cfg))
+        }
+        "scenario" => {
+            let nodes = u("nodes").unwrap_or(30) as usize;
+            if nodes < 4 {
+                return Err(format!("scenario needs at least 4 nodes, got {nodes}"));
+            }
+            let scenario = Scenario {
+                nodes,
+                malicious: u("malicious").unwrap_or(2) as usize,
+                protected: b("protected").unwrap_or(true),
+                avg_neighbors: f("avg_neighbors").unwrap_or(8.0),
+                ..Scenario::default()
+            };
+            let label = format!(
+                "scenario n={nodes} m={} {}",
+                scenario.malicious,
+                if scenario.protected {
+                    "liteworp"
+                } else {
+                    "baseline"
+                }
+            );
+            Ok(vec![SimCell::snapshot(
+                label,
+                scenario,
+                u("seeds").unwrap_or(1),
+                0,
+                f("duration").unwrap_or(200.0),
+            )])
+        }
+        other => Err(format!(
+            "unknown experiment kind '{other}' (known: {})",
+            KINDS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_yields_cells_with_defaults() {
+        for kind in KINDS {
+            let cells = cells_for(kind, &Json::Null).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(!cells.is_empty(), "{kind} produced no cells");
+        }
+    }
+
+    #[test]
+    fn catalog_cells_match_the_experiment_modules() {
+        let catalog = cells_for("fig9", &Json::Null).unwrap();
+        let module = fig9::cells(&fig9::Fig9Config::default());
+        assert_eq!(catalog.len(), module.len());
+        for (a, b) in catalog.iter().zip(&module) {
+            assert_eq!(a.descriptor(), b.descriptor());
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.seed_base, b.seed_base);
+        }
+    }
+
+    #[test]
+    fn params_override_defaults() {
+        let params = Json::parse(r#"{"nodes":24,"seeds":2,"duration":100.0}"#).unwrap();
+        let cells = cells_for("fig9", &params).unwrap();
+        assert!(cells.iter().all(|c| c.scenario.nodes == 24 && c.seeds == 2));
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_params_are_typed_errors() {
+        assert!(cells_for("fig99", &Json::Null)
+            .unwrap_err()
+            .contains("known:"));
+        let not_obj = Json::parse("[1,2]").unwrap();
+        assert!(cells_for("fig9", &not_obj).is_err());
+        let too_small = Json::parse(r#"{"nodes":2}"#).unwrap();
+        assert!(cells_for("scenario", &too_small).is_err());
+    }
+}

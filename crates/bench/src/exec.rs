@@ -10,9 +10,13 @@
 use crate::scenario::Scenario;
 use liteworp_chaos::EngineFaultPlan;
 use liteworp_runner::supervisor::{JobContext, JobFailure, JobFaultHook, Supervision};
-use liteworp_runner::{pool, CacheValue, JobSpec, Json, Manifest, ResultCache, RunConfig, Summary};
+use liteworp_runner::{
+    pool, CacheValue, JobSpec, Json, Manifest, ProgressObserver, ResultCache, RunConfig, RunReport,
+    Summary, SweepEngine, SweepExec,
+};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Version string folded into every cache key. Bump the suffix whenever
 /// simulator or measurement behavior changes, so stale cached results are
@@ -286,6 +290,50 @@ pub fn run_cells(cells: &[SimCell], opts: &ExecOptions) -> CellRun {
         execute(cell, derived, ctx)
     });
 
+    group_outcomes(cells, report)
+}
+
+/// Runs every seed of every cell on a warm [`SweepEngine`] — the service
+/// path. The jobs, derived seeds, and cache keys are identical to
+/// [`run_cells`], so a request served by a daemon reproduces the exact
+/// `results_digest` of the batch bins. The observer, if any, sees each
+/// job as it settles.
+pub fn run_cells_on(
+    engine: &SweepEngine,
+    cells: &[SimCell],
+    sup: &Supervision,
+    observer: Option<Arc<ProgressObserver>>,
+) -> CellRun {
+    let owned: Arc<Vec<SimCell>> = Arc::new(cells.to_vec());
+    let mut specs = Vec::new();
+    let mut lookup: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for (c, cell) in owned.iter().enumerate() {
+        let descriptor = cell.descriptor();
+        for s in 0..cell.seeds {
+            let spec = JobSpec {
+                label: format!("{} seed={}", cell.label, cell.seed_base + s),
+                scenario: descriptor.clone(),
+                seed: cell.seed_base + s,
+            };
+            lookup.insert((spec.scenario_hash(), spec.seed), c);
+            specs.push(spec);
+        }
+    }
+    let lookup = Arc::new(lookup);
+    let exec: Arc<SweepExec<SeedOutcome>> = {
+        let owned = Arc::clone(&owned);
+        Arc::new(move |job: &JobSpec, derived: u64, ctx: &JobContext| {
+            let cell = &owned[lookup[&(job.scenario_hash(), job.seed)]];
+            execute(cell, derived, ctx)
+        })
+    };
+    let report = engine.run_sweep(sup, specs, None, exec, observer);
+    group_outcomes(cells, report)
+}
+
+/// Groups a report's job-ordered results back into per-cell outcome
+/// vectors, warning about (and dropping) quarantined seeds.
+fn group_outcomes(cells: &[SimCell], report: RunReport<SeedOutcome>) -> CellRun {
     let mut results = report.results.into_iter();
     let mut outcomes = Vec::with_capacity(cells.len());
     for cell in cells {

@@ -153,10 +153,10 @@ fn variants(base_nodes: usize) -> Vec<(&'static str, Scenario)> {
     ]
 }
 
-/// Runs the ablation study on the parallel runner.
-pub fn run_with(cfg: &AblationConfig, opts: &ExecOptions) -> (Vec<AblationRow>, Manifest) {
-    let variant_list = variants(cfg.nodes);
-    let cells: Vec<SimCell> = variant_list
+/// The study's cells, one per variant — the exact work [`run_with`]
+/// executes, exposed so services can submit the same sweep.
+pub fn cells(cfg: &AblationConfig) -> Vec<SimCell> {
+    variants(cfg.nodes)
         .iter()
         .map(|(name, scenario)| {
             SimCell::snapshot(
@@ -167,8 +167,13 @@ pub fn run_with(cfg: &AblationConfig, opts: &ExecOptions) -> (Vec<AblationRow>, 
                 cfg.duration,
             )
         })
-        .collect();
-    let batch = run_cells(&cells, opts);
+        .collect()
+}
+
+/// Runs the ablation study on the parallel runner.
+pub fn run_with(cfg: &AblationConfig, opts: &ExecOptions) -> (Vec<AblationRow>, Manifest) {
+    let variant_list = variants(cfg.nodes);
+    let batch = run_cells(&cells(cfg), opts);
     let rows = variant_list
         .iter()
         .zip(&batch.outcomes)

@@ -81,10 +81,10 @@ impl Fig10Row {
     }
 }
 
-/// Runs the γ sweep on the parallel runner.
-pub fn run_with(cfg: &Fig10Config, opts: &ExecOptions) -> (Vec<Fig10Row>, Manifest) {
-    let cells: Vec<SimCell> = cfg
-        .gammas
+/// The experiment's cells, one per γ — the exact work [`run_with`]
+/// executes, exposed so services can submit the same sweep.
+pub fn cells(cfg: &Fig10Config) -> Vec<SimCell> {
+    cfg.gammas
         .iter()
         .map(|&gamma| {
             SimCell::snapshot(
@@ -105,8 +105,12 @@ pub fn run_with(cfg: &Fig10Config, opts: &ExecOptions) -> (Vec<Fig10Row>, Manife
                 cfg.duration,
             )
         })
-        .collect();
-    let batch = run_cells(&cells, opts);
+        .collect()
+}
+
+/// Runs the γ sweep on the parallel runner.
+pub fn run_with(cfg: &Fig10Config, opts: &ExecOptions) -> (Vec<Fig10Row>, Manifest) {
+    let batch = run_cells(&cells(cfg), opts);
     let rows = cfg
         .gammas
         .iter()

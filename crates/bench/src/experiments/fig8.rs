@@ -69,9 +69,9 @@ impl DropSeries {
     }
 }
 
-/// Runs the experiment on the parallel runner and returns one series per
-/// (M, protected) pair plus the run manifest.
-pub fn run_with(cfg: &Fig8Config, opts: &ExecOptions) -> (Vec<DropSeries>, Manifest) {
+/// The experiment's cells, one per (M, protected) pair — the exact work
+/// [`run_with`] executes, exposed so services can submit the same sweep.
+pub fn cells(cfg: &Fig8Config) -> Vec<SimCell> {
     let times = sample_times(cfg);
     let mut cells = Vec::new();
     for &m in &cfg.colluder_counts {
@@ -94,7 +94,14 @@ pub fn run_with(cfg: &Fig8Config, opts: &ExecOptions) -> (Vec<DropSeries>, Manif
             });
         }
     }
-    let batch = run_cells(&cells, opts);
+    cells
+}
+
+/// Runs the experiment on the parallel runner and returns one series per
+/// (M, protected) pair plus the run manifest.
+pub fn run_with(cfg: &Fig8Config, opts: &ExecOptions) -> (Vec<DropSeries>, Manifest) {
+    let times = sample_times(cfg);
+    let batch = run_cells(&cells(cfg), opts);
     let mut out = Vec::new();
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &m in &cfg.colluder_counts {

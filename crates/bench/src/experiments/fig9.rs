@@ -70,8 +70,9 @@ impl Fig9Row {
     }
 }
 
-/// Runs the snapshot experiment on the parallel runner.
-pub fn run_with(cfg: &Fig9Config, opts: &ExecOptions) -> (Vec<Fig9Row>, Manifest) {
+/// The experiment's cells, one per (M, protected) pair — the exact work
+/// [`run_with`] executes, exposed so services can submit the same sweep.
+pub fn cells(cfg: &Fig9Config) -> Vec<SimCell> {
     let mut cells = Vec::new();
     for &m in &cfg.colluder_counts {
         for protected in [false, true] {
@@ -92,7 +93,12 @@ pub fn run_with(cfg: &Fig9Config, opts: &ExecOptions) -> (Vec<Fig9Row>, Manifest
             ));
         }
     }
-    let batch = run_cells(&cells, opts);
+    cells
+}
+
+/// Runs the snapshot experiment on the parallel runner.
+pub fn run_with(cfg: &Fig9Config, opts: &ExecOptions) -> (Vec<Fig9Row>, Manifest) {
+    let batch = run_cells(&cells(cfg), opts);
     let mut out = Vec::new();
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &m in &cfg.colluder_counts {

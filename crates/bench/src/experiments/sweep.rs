@@ -70,8 +70,9 @@ impl SweepRow {
     }
 }
 
-/// Runs the sweep (M = 2 colluders) on the parallel runner.
-pub fn run_with(cfg: &SweepConfig, opts: &ExecOptions) -> (Vec<SweepRow>, Manifest) {
+/// The sweep's cells, one per (size, density) pair — the exact work
+/// [`run_with`] executes, exposed so services can submit the same sweep.
+pub fn cells(cfg: &SweepConfig) -> Vec<SimCell> {
     let mut cells = Vec::new();
     for &nodes in &cfg.node_counts {
         for &n_b in &cfg.densities {
@@ -90,7 +91,12 @@ pub fn run_with(cfg: &SweepConfig, opts: &ExecOptions) -> (Vec<SweepRow>, Manife
             ));
         }
     }
-    let batch = run_cells(&cells, opts);
+    cells
+}
+
+/// Runs the sweep (M = 2 colluders) on the parallel runner.
+pub fn run_with(cfg: &SweepConfig, opts: &ExecOptions) -> (Vec<SweepRow>, Manifest) {
+    let batch = run_cells(&cells(cfg), opts);
     let mut out = Vec::new();
     let mut cell_outcomes = batch.outcomes.into_iter();
     for &nodes in &cfg.node_counts {

@@ -2,12 +2,29 @@
 //!
 //! An allow suppresses matching diagnostics on its own line (trailing
 //! form) or on the next line (standalone form). The reason is mandatory
-//! (L001), the rule id must exist (L002), and an allow that suppresses
-//! nothing is itself an error (L003) so stale exceptions get removed.
+//! (L001), the rule id must exist (L002), an allow that suppresses
+//! nothing is itself an error (L003) so stale exceptions get removed,
+//! and a `D001` allow is only legitimate inside the registered
+//! wall-clock boundary (L004) — see [`WALL_CLOCK_BOUNDARY`].
 
-use crate::diag::{Diagnostic, SourceFile};
+use crate::diag::{Diagnostic, FileClass, SourceFile};
 use crate::lexer::Lexed;
 use crate::rules::is_known_rule;
+
+/// The registered wall-clock boundary: the only library/binary sources
+/// where a `D001` allow is legitimate. Everything here is a host-side
+/// seam — profiling that feeds run manifests, the bench timing harness,
+/// or the daemon's socket-lifetime timeouts — and none of it feeds
+/// simulation state. A `D001` allow anywhere else is L004: either route
+/// the timing need through one of these seams, or (for a genuinely new
+/// boundary) extend this registry in the same change that adds the read.
+pub const WALL_CLOCK_BOUNDARY: &[&str] = &[
+    "crates/bench/src/timing.rs",
+    "crates/runner/src/pool.rs",
+    "crates/runner/src/service.rs",
+    "crates/runner/src/supervisor.rs",
+    "crates/served/src/net.rs",
+];
 
 /// One parsed allow comment.
 #[derive(Debug, Clone)]
@@ -84,7 +101,8 @@ fn is_line_start(src: &str, offset: usize) -> bool {
         .all(|b| b == b' ' || b == b'\t')
 }
 
-/// L001/L002: malformed allows are diagnostics in their own right.
+/// L001/L002/L004: malformed or mis-sited allows are diagnostics in
+/// their own right.
 pub fn syntax_diagnostics(file: &SourceFile, allows: &[Allow]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for a in allows {
@@ -111,6 +129,23 @@ pub fn syntax_diagnostics(file: &SourceFile, allows: &[Allow]) -> Vec<Diagnostic
                     "`lint: allow({})` has no justification; write the reason after the \
                      closing parenthesis",
                     a.rule
+                ),
+            });
+        }
+        if a.rule == "D001"
+            && matches!(file.class, FileClass::Lib | FileClass::Bin)
+            && !WALL_CLOCK_BOUNDARY.contains(&file.path.as_str())
+        {
+            out.push(Diagnostic {
+                rule: "L004",
+                path: file.path.clone(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "`lint: allow(D001)` outside the registered wall-clock boundary \
+                     ({}); route timing through an existing seam or register this \
+                     file in WALL_CLOCK_BOUNDARY alongside the read it justifies",
+                    WALL_CLOCK_BOUNDARY.join(", ")
                 ),
             });
         }

@@ -80,6 +80,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "lint: allow that suppresses nothing",
         invariant: "stale exceptions are removed when the violation is fixed",
     },
+    RuleInfo {
+        id: "L004",
+        summary: "lint: allow(D001) outside the registered wall-clock boundary",
+        invariant: "wall-clock reads stay confined to the registered profiling and timeout seams",
+    },
 ];
 
 /// Whether `id` names a rule this engine implements.
@@ -125,7 +130,8 @@ pub fn token_rules(file: &SourceFile, lexed: &Lexed) -> Vec<Diagnostic> {
                     t,
                     format!(
                         "wall-clock read `{word}::now()`; simulation paths must use SimTime — \
-                         profiling sites need `// lint: allow(D001) <reason>`"
+                         registered wall-clock-boundary sites need \
+                         `// lint: allow(D001) <reason>` (L004 rejects the allow elsewhere)"
                     ),
                 );
             }

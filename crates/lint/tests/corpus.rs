@@ -23,6 +23,15 @@ fn fixture(name: &str, is_crate_root: bool) -> SourceFile {
     }
 }
 
+/// Loads a fixture but presents it to the checker under `path` — for
+/// rules like L004 whose verdict depends on where the file sits in the
+/// workspace.
+fn fixture_at(name: &str, path: &str) -> SourceFile {
+    let mut f = fixture(name, false);
+    f.path = path.to_string();
+    f
+}
+
 fn spans(diags: &[Diagnostic]) -> Vec<(&str, u32, u32)> {
     diags.iter().map(|d| (d.rule, d.line, d.col)).collect()
 }
@@ -44,10 +53,16 @@ fn d001_wall_clock() {
 }
 
 /// The supervisor's profiling pattern: a reasoned allow on a wall-clock
-/// read suppresses D001 without tripping allow hygiene (L001–L003).
+/// read suppresses D001 without tripping allow hygiene (L001–L004). The
+/// fixture is presented under a registered wall-clock-boundary path,
+/// since a D001 allow anywhere else is L004 by design.
 #[test]
 fn d001_profiling_allow_is_clean() {
-    assert_clean("D001_allowed_clean.rs");
+    let diags = check_file(&fixture_at(
+        "D001_allowed_clean.rs",
+        "crates/runner/src/supervisor.rs",
+    ));
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]
@@ -120,6 +135,17 @@ fn l002_unknown_rule() {
 fn l003_stale_allow() {
     assert_bad("L003_bad.rs", &[("L003", 3, 1)]);
     assert_clean("L003_clean.rs");
+}
+
+/// L004 binds the D001 escape hatch to the registered wall-clock
+/// boundary: a fully reasoned, genuinely suppressing allow is still
+/// rejected when the file is not a registered seam — and the identical
+/// source is clean when it is.
+#[test]
+fn l004_d001_allow_outside_wall_clock_boundary() {
+    assert_bad("L004_bad.rs", &[("L004", 6, 5)]);
+    let diags = check_file(&fixture_at("L004_clean.rs", "crates/served/src/net.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 /// Every rule in the registry has both a bad and a clean fixture, so a

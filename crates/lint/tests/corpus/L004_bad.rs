@@ -1,0 +1,9 @@
+//! Corpus: a reasoned D001 allow in a file that is *not* part of the
+//! registered wall-clock boundary — the reason is written, the allow
+//! suppresses a real read, and it is still rejected (L004).
+
+pub fn ad_hoc_profile() -> f64 {
+    // lint: allow(D001) ad-hoc profiling that never got registered
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

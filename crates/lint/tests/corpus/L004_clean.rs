@@ -1,0 +1,9 @@
+//! Corpus: the same shape is clean when the file *is* a registered
+//! wall-clock seam — the test presents this fixture to the checker under
+//! a registered path such as `crates/served/src/net.rs`.
+
+pub fn boundary_profile() -> f64 {
+    // lint: allow(D001) socket-lifetime boundary: registered seam
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

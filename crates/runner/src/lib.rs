@@ -36,14 +36,18 @@ pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod service;
 pub mod stats;
 pub mod supervisor;
+pub mod task_pool;
 
 pub use cache::{CacheLoad, ResultCache};
 pub use engine::{run_jobs, CacheValue, JobError, JobSpec, Manifest, RunConfig, RunReport};
 pub use json::Json;
 pub use rng::{Pcg32, Rng};
+pub use service::{JobProgress, ProgressObserver, SweepEngine, SweepExec};
 pub use stats::{Percentiles, Summary};
 pub use supervisor::{
     run_supervised, FailureReport, JobContext, JobFailure, JobFaultHook, Supervision,
 };
+pub use task_pool::TaskPool;

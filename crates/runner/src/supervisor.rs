@@ -358,55 +358,57 @@ impl FailureReport {
 }
 
 /// Where a job's result came from.
-enum Source<T> {
+pub(crate) enum Source<T> {
+    /// Replayed from the resume journal.
     Journal(T),
+    /// Answered by the verified result cache.
     Cache(T),
+    /// Executed in this batch.
     Fresh(T),
 }
 
 /// Per-job outcome of the supervision loop, before collection.
-struct Supervised<T> {
-    outcome: Result<Source<T>, JobFailure>,
-    retries: u32,
-    corrupt_cache: bool,
+pub(crate) struct Supervised<T> {
+    pub(crate) outcome: Result<Source<T>, JobFailure>,
+    pub(crate) retries: u32,
+    pub(crate) corrupt_cache: bool,
 }
 
-/// Executes a batch under a supervision policy.
-///
-/// Per job, in order: resume-journal replay, verified cache lookup
-/// (corrupt entries quarantined and recomputed), then up to
-/// `1 + max_retries` attempts of `exec(job, derived_seed, ctx)` with
-/// deterministic backoff between attempts. Panics are caught per attempt
-/// and typed as [`JobFailure::Panic`]. Jobs that exhaust their retries
-/// are quarantined as [`JobError`]s; the batch always completes and the
-/// manifest's [`FailureReport`] accounts for every failure.
-pub fn run_supervised<T, F>(
-    cfg: &RunConfig,
-    sup: &Supervision,
-    jobs: &[JobSpec],
-    hook: Option<&dyn JobFaultHook>,
-    exec: F,
-) -> RunReport<T>
-where
-    T: CacheValue + Send,
-    F: Fn(&JobSpec, u64, &JobContext) -> Result<T, JobFailure> + Sync,
-{
-    // lint: allow(D001) batch wall-clock for the manifest profile block;
-    // results, retries and deadlines never depend on it
-    let started = Instant::now();
-    let keys: Vec<u64> = jobs
-        .iter()
-        .map(|j| crate::cache::ResultCache::key(&j.scenario, j.seed, &cfg.code_version))
-        .collect();
+/// One job after execution, with host-side timing attached. The
+/// `result` is `Err` only when the supervision envelope itself
+/// panicked (a supervisor bug), never for job-body failures — those
+/// are typed inside [`Supervised`].
+pub(crate) struct FinishedJob<T> {
+    pub(crate) result: Result<Supervised<T>, String>,
+    pub(crate) wall_ms: f64,
+    pub(crate) queue_wait_ms: f64,
+    pub(crate) worker: usize,
+}
 
-    let sweep = sweep_id(&keys, &cfg.code_version);
+/// Cache keys for a batch, in job order: the identity the cache, the
+/// journal, and the sweep id all agree on.
+pub(crate) fn job_keys(cfg: &RunConfig, jobs: &[JobSpec]) -> Vec<u64> {
+    jobs.iter()
+        .map(|j| crate::cache::ResultCache::key(&j.scenario, j.seed, &cfg.code_version))
+        .collect()
+}
+
+/// Opens (or resumes) the sweep journal named by the policy, returning
+/// the journal handle plus any entries replayable from a previous run.
+/// Journal problems degrade to warnings — a sweep never fails because
+/// its WAL is unavailable.
+pub(crate) fn open_journal(
+    sup: &Supervision,
+    sweep: u64,
+    jobs: usize,
+) -> (Option<Mutex<SweepJournal>>, BTreeMap<u64, JournalEntry>) {
     let mut resumed: BTreeMap<u64, JournalEntry> = BTreeMap::new();
-    let journal: Option<Mutex<SweepJournal>> = match &sup.journal {
+    let journal = match &sup.journal {
         None => None,
         Some(path) => {
             let mut opened = None;
             if sup.resume && path.exists() {
-                match SweepJournal::resume(path, sweep, jobs.len()) {
+                match SweepJournal::resume(path, sweep, jobs) {
                     Ok((j, rec)) => {
                         if rec.torn_bytes > 0 {
                             eprintln!(
@@ -429,7 +431,7 @@ where
             }
             let opened = match opened {
                 Some(j) => Some(j),
-                None => match SweepJournal::create(path, sweep, jobs.len()) {
+                None => match SweepJournal::create(path, sweep, jobs) {
                     Ok(j) => Some(j),
                     Err(e) => {
                         eprintln!(
@@ -443,137 +445,171 @@ where
             opened.map(Mutex::new)
         }
     };
+    (journal, resumed)
+}
 
-    let record = |entry: JournalEntry| {
-        if let Some(j) = &journal {
-            let mut guard = j.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Err(e) = guard.append(&entry) {
-                eprintln!("warning: journal append failed: {e}");
-            }
+/// Appends one entry to the sweep journal, if there is one.
+pub(crate) fn record_entry(journal: &Option<Mutex<SweepJournal>>, entry: JournalEntry) {
+    if let Some(j) = journal {
+        let mut guard = j.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = guard.append(&entry) {
+            eprintln!("warning: journal append failed: {e}");
         }
-    };
+    }
+}
 
-    let (runs, pool_stats) = pool::run(cfg.threads, jobs.len(), |i| {
-        let job = &jobs[i];
-        let key = keys[i];
-        let derived = job.derived_seed();
+/// The per-job supervision body shared by the scoped batch path
+/// ([`run_supervised`]) and the persistent engine path
+/// ([`crate::service::SweepEngine`]): resume-journal replay, verified
+/// cache lookup, then up to `1 + max_retries` attempts with
+/// deterministic backoff. Identical inputs produce identical outcomes
+/// on either path.
+// Each argument is one supervision facility; bundling them into a
+// context struct would just move the same list one hop away from the
+// two call sites that destructure it anyway.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn supervise_one<T: CacheValue>(
+    job: &JobSpec,
+    key: u64,
+    resumed: &BTreeMap<u64, JournalEntry>,
+    cache: Option<&crate::cache::ResultCache>,
+    sup: &Supervision,
+    hook: Option<&dyn JobFaultHook>,
+    journal: &Option<Mutex<SweepJournal>>,
+    exec: &(dyn Fn(&JobSpec, u64, &JobContext) -> Result<T, JobFailure> + Sync),
+) -> Supervised<T> {
+    let derived = job.derived_seed();
 
-        // 1. Resume journal: a completed job replays its recorded value.
-        if let Some(entry) = resumed.get(&key) {
-            if entry.status == JournalStatus::Done {
-                if let Some(value) = entry.value.as_ref().and_then(T::from_json) {
+    // 1. Resume journal: a completed job replays its recorded value.
+    if let Some(entry) = resumed.get(&key) {
+        if entry.status == JournalStatus::Done {
+            if let Some(value) = entry.value.as_ref().and_then(T::from_json) {
+                return Supervised {
+                    outcome: Ok(Source::Journal(value)),
+                    retries: entry.retries,
+                    corrupt_cache: false,
+                };
+            }
+            eprintln!(
+                "warning: journal entry for '{}' (seed {}) no longer decodes; re-executing",
+                job.label, job.seed
+            );
+        }
+        // Failed entries get a fresh chance on resume.
+    }
+
+    // 2. Verified cache lookup.
+    let mut corrupt_cache = false;
+    if let Some(cache) = cache {
+        match cache.load_checked(key) {
+            CacheLoad::Hit(json) => {
+                if let Some(value) = T::from_json(&json) {
+                    record_entry(
+                        journal,
+                        JournalEntry::done(key, &job.label, job.seed, 0, json),
+                    );
                     return Supervised {
-                        outcome: Ok(Source::Journal(value)),
-                        retries: entry.retries,
+                        outcome: Ok(Source::Cache(value)),
+                        retries: 0,
                         corrupt_cache: false,
                     };
                 }
+                // Stale schema: valid bytes, old shape — plain miss.
+            }
+            CacheLoad::Miss => {}
+            CacheLoad::Corrupt(reason) => {
+                corrupt_cache = true;
                 eprintln!(
-                    "warning: journal entry for '{}' (seed {}) no longer decodes; re-executing",
+                    "warning: quarantined corrupt cache entry for '{}' (seed {}, key \
+                     {key:016x}): {reason}; recomputing",
                     job.label, job.seed
                 );
             }
-            // Failed entries get a fresh chance on resume.
         }
+    }
 
-        // 2. Verified cache lookup.
-        let mut corrupt_cache = false;
-        if let Some(cache) = &cfg.cache {
-            match cache.load_checked(key) {
-                CacheLoad::Hit(json) => {
-                    if let Some(value) = T::from_json(&json) {
-                        record(JournalEntry::done(key, &job.label, job.seed, 0, json));
-                        return Supervised {
-                            outcome: Ok(Source::Cache(value)),
-                            retries: 0,
-                            corrupt_cache: false,
-                        };
-                    }
-                    // Stale schema: valid bytes, old shape — plain miss.
-                }
-                CacheLoad::Miss => {}
-                CacheLoad::Corrupt(reason) => {
-                    corrupt_cache = true;
-                    eprintln!(
-                        "warning: quarantined corrupt cache entry for '{}' (seed {}, key \
-                         {key:016x}): {reason}; recomputing",
-                        job.label, job.seed
-                    );
-                }
+    // 3. Supervised attempts.
+    let mut retries = 0;
+    let mut last_failure: Option<JobFailure> = None;
+    for attempt in 0..=sup.max_retries {
+        if attempt > 0 {
+            retries = attempt;
+            let pause = backoff_us(
+                derived,
+                attempt - 1,
+                sup.backoff_base_us,
+                sup.backoff_cap_us,
+            );
+            if pause > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(pause));
             }
         }
-
-        // 3. Supervised attempts.
-        let mut retries = 0;
-        let mut last_failure: Option<JobFailure> = None;
-        for attempt in 0..=sup.max_retries {
-            if attempt > 0 {
-                retries = attempt;
-                let pause = backoff_us(
-                    derived,
-                    attempt - 1,
-                    sup.backoff_base_us,
-                    sup.backoff_cap_us,
+        let ctx = JobContext::new(sup.job_deadline_us, attempt);
+        let attempt_result = match hook.and_then(|h| h.inject(job, attempt)) {
+            Some(injected) => Err(injected),
+            None => match catch_unwind(AssertUnwindSafe(|| exec(job, derived, &ctx))) {
+                Ok(r) => r,
+                Err(payload) => Err(JobFailure::Panic(pool::panic_message(payload))),
+            },
+        };
+        match attempt_result {
+            Ok(value) => {
+                let json = value.to_json();
+                if let Some(cache) = cache {
+                    if let Err(e) = cache.store(key, &json) {
+                        eprintln!("warning: cache store failed for {}: {e}", job.label);
+                    }
+                }
+                record_entry(
+                    journal,
+                    JournalEntry::done(key, &job.label, job.seed, retries, json),
                 );
-                if pause > 0 {
-                    std::thread::sleep(std::time::Duration::from_micros(pause));
-                }
+                return Supervised {
+                    outcome: Ok(Source::Fresh(value)),
+                    retries,
+                    corrupt_cache,
+                };
             }
-            let ctx = JobContext::new(sup.job_deadline_us, attempt);
-            let attempt_result = match hook.and_then(|h| h.inject(job, attempt)) {
-                Some(injected) => Err(injected),
-                None => match catch_unwind(AssertUnwindSafe(|| exec(job, derived, &ctx))) {
-                    Ok(r) => r,
-                    Err(payload) => Err(JobFailure::Panic(pool::panic_message(payload))),
-                },
-            };
-            match attempt_result {
-                Ok(value) => {
-                    let json = value.to_json();
-                    if let Some(cache) = &cfg.cache {
-                        if let Err(e) = cache.store(key, &json) {
-                            eprintln!("warning: cache store failed for {}: {e}", job.label);
-                        }
-                    }
-                    record(JournalEntry::done(key, &job.label, job.seed, retries, json));
-                    return Supervised {
-                        outcome: Ok(Source::Fresh(value)),
-                        retries,
-                        corrupt_cache,
-                    };
-                }
-                Err(failure) => {
-                    let retryable = failure.is_retryable();
-                    last_failure = Some(failure);
-                    if !retryable {
-                        break;
-                    }
+            Err(failure) => {
+                let retryable = failure.is_retryable();
+                last_failure = Some(failure);
+                if !retryable {
+                    break;
                 }
             }
         }
-        let failure = last_failure
-            .unwrap_or_else(|| JobFailure::Io("supervisor ran no attempt (impossible)".into()));
-        record(JournalEntry::failed(
-            key,
-            &job.label,
-            job.seed,
-            retries,
-            failure.to_json(),
-        ));
-        Supervised {
-            outcome: Err(failure),
-            retries,
-            corrupt_cache,
-        }
-    });
+    }
+    let failure = last_failure
+        .unwrap_or_else(|| JobFailure::Io("supervisor ran no attempt (impossible)".into()));
+    record_entry(
+        journal,
+        JournalEntry::failed(key, &job.label, job.seed, retries, failure.to_json()),
+    );
+    Supervised {
+        outcome: Err(failure),
+        retries,
+        corrupt_cache,
+    }
+}
 
+/// Folds per-job outcomes into the ordered result vector, the failure
+/// accounting, and the manifest — the collection half shared by both
+/// execution paths. `finished` must be in job order.
+pub(crate) fn build_report<T: CacheValue>(
+    jobs: &[JobSpec],
+    keys: &[u64],
+    finished: Vec<FinishedJob<T>>,
+    threads: usize,
+    wall_ms: f64,
+    utilization: Vec<f64>,
+) -> RunReport<T> {
     let mut results: Vec<Result<T, JobError>> = Vec::with_capacity(jobs.len());
     let mut per_job = Vec::with_capacity(jobs.len());
     let mut failures = FailureReport::default();
     let (mut cache_hits, mut journal_hits, mut misses, mut failed) = (0, 0, 0, 0);
-    for ((job, run), key) in jobs.iter().zip(runs).zip(&keys) {
-        // The supervision closure catches job panics itself, so the
-        // pool-level Err path only fires if the supervisor has a bug.
+    for ((job, run), key) in jobs.iter().zip(finished).zip(keys) {
+        // The supervision body catches job panics itself, so the Err
+        // path only fires if the supervisor has a bug.
         let supervised = match run.result {
             Ok(s) => s,
             Err(msg) => Supervised {
@@ -636,8 +672,8 @@ where
             retries: supervised.retries,
             failure: outcome.as_ref().err().map(|e| e.failure.class()),
             failed: outcome.is_err(),
-            wall_ms: run.elapsed.as_secs_f64() * 1000.0,
-            queue_wait_ms: run.queue_wait.as_secs_f64() * 1000.0,
+            wall_ms: run.wall_ms,
+            queue_wait_ms: run.queue_wait_ms,
             worker: run.worker,
         });
         results.push(outcome);
@@ -662,14 +698,14 @@ where
     RunReport {
         results,
         manifest: Manifest {
-            threads: pool_stats.threads,
+            threads,
             jobs: jobs.len(),
             cache_hits,
             journal_hits,
             cache_misses: misses,
             failed,
-            wall_ms: started.elapsed().as_secs_f64() * 1000.0,
-            utilization: pool_stats.utilization(),
+            wall_ms,
+            utilization,
             job_duration_ms,
             queue_wait_ms,
             cache_hit_ms,
@@ -679,6 +715,66 @@ where
             per_job,
         },
     }
+}
+
+/// Executes a batch under a supervision policy.
+///
+/// Per job, in order: resume-journal replay, verified cache lookup
+/// (corrupt entries quarantined and recomputed), then up to
+/// `1 + max_retries` attempts of `exec(job, derived_seed, ctx)` with
+/// deterministic backoff between attempts. Panics are caught per attempt
+/// and typed as [`JobFailure::Panic`]. Jobs that exhaust their retries
+/// are quarantined as [`JobError`]s; the batch always completes and the
+/// manifest's [`FailureReport`] accounts for every failure.
+pub fn run_supervised<T, F>(
+    cfg: &RunConfig,
+    sup: &Supervision,
+    jobs: &[JobSpec],
+    hook: Option<&dyn JobFaultHook>,
+    exec: F,
+) -> RunReport<T>
+where
+    T: CacheValue + Send,
+    F: Fn(&JobSpec, u64, &JobContext) -> Result<T, JobFailure> + Sync,
+{
+    // lint: allow(D001) batch wall-clock for the manifest profile block;
+    // results, retries and deadlines never depend on it
+    let started = Instant::now();
+    let keys = job_keys(cfg, jobs);
+    let sweep = sweep_id(&keys, &cfg.code_version);
+    let (journal, resumed) = open_journal(sup, sweep, jobs.len());
+
+    let (runs, pool_stats) = pool::run(cfg.threads, jobs.len(), |i| {
+        supervise_one(
+            &jobs[i],
+            keys[i],
+            &resumed,
+            cfg.cache.as_ref(),
+            sup,
+            hook,
+            &journal,
+            &exec,
+        )
+    });
+
+    let finished = runs
+        .into_iter()
+        .map(|run| FinishedJob {
+            result: run.result,
+            wall_ms: run.elapsed.as_secs_f64() * 1000.0,
+            queue_wait_ms: run.queue_wait.as_secs_f64() * 1000.0,
+            worker: run.worker,
+        })
+        .collect();
+
+    build_report(
+        jobs,
+        &keys,
+        finished,
+        pool_stats.threads,
+        started.elapsed().as_secs_f64() * 1000.0,
+        pool_stats.utilization(),
+    )
 }
 
 /// The order-sensitive FNV digest of a batch's results: successful

@@ -1,0 +1,350 @@
+//! Deterministic load generator for the `liteworp-served` daemon.
+//!
+//! Opens K connections and fires a seeded, precomputed schedule of mixed
+//! requests at the daemon — submissions across all six experiment kinds
+//! (with deliberate duplicates to exercise request dedup and the shared
+//! result cache), status probes, and a configurable fraction of cancels.
+//! After the workers join, a drain pass revives anything cancelled,
+//! waits for every distinct experiment to finish, and writes the
+//! **sorted, deduplicated set of result digests** — the determinism
+//! witness: two same-seed runs against same-seed daemons must produce
+//! byte-identical digest files, whatever the interleaving was.
+//!
+//! Flags: --addr HOST:PORT (required), --requests N (2000),
+//!        --connections K (8), --seed S (42), --cancel-fraction P (0.0),
+//!        --digests PATH (stdout), --shutdown
+//!
+//! Exits 0 only if every request got an `ok` response, every experiment
+//! reached `done`, and every duplicated submission was deduplicated at
+//! least once.
+
+use liteworp_bench::cli::Flags;
+use liteworp_runner::{Json, Pcg32, Rng};
+use liteworp_served::frame::{read_frame, write_frame};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// One framed request/response exchange over a persistent connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn request(&mut self, payload: &str) -> Result<Json, String> {
+        write_frame(&mut self.writer, payload).map_err(|e| format!("send failed: {e}"))?;
+        match read_frame(&mut self.reader) {
+            Ok(Some(response)) => {
+                Json::parse(&response).map_err(|e| format!("unparsable response: {e}"))
+            }
+            Ok(None) => Err("server hung up mid-exchange".to_string()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// A request that must come back `"ok": true`.
+    fn expect_ok(&mut self, payload: &str) -> Result<Json, String> {
+        let response = self.request(payload)?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("request {payload} rejected: {}", response.dump()));
+        }
+        Ok(response)
+    }
+}
+
+/// The pool of distinct experiments the generator draws from: 24 small
+/// specs covering all six catalog kinds. Parameters are chosen tiny so a
+/// full drain is seconds, not hours — but networks stay ≥ 28 nodes for
+/// the figure kinds, whose default colluder counts (up to M = 4) need
+/// enough diameter to place colluders more than two hops apart.
+fn spec_pool() -> Vec<(&'static str, Json)> {
+    let mut pool: Vec<(&'static str, Json)> = Vec::new();
+    for (n, d) in [(28u64, 40.0), (28, 60.0), (32, 40.0), (32, 60.0)] {
+        pool.push((
+            "fig8",
+            Json::object([
+                ("nodes", Json::from(n)),
+                ("seeds", Json::from(1u64)),
+                ("duration", Json::from(d)),
+                ("sample_every", Json::from(d / 2.0)),
+            ]),
+        ));
+    }
+    for (n, s) in [(28u64, 1u64), (28, 2), (32, 1), (36, 1)] {
+        pool.push((
+            "fig9",
+            Json::object([
+                ("nodes", Json::from(n)),
+                ("seeds", Json::from(s)),
+                ("duration", Json::from(40.0)),
+            ]),
+        ));
+    }
+    for (n, nb) in [(28u64, 8.0), (28, 10.0), (32, 8.0), (32, 10.0)] {
+        pool.push((
+            "fig10",
+            Json::object([
+                ("nodes", Json::from(n)),
+                ("avg_neighbors", Json::from(nb)),
+                ("seeds", Json::from(1u64)),
+                ("duration", Json::from(40.0)),
+            ]),
+        ));
+    }
+    for d in [40.0, 50.0, 60.0, 70.0] {
+        pool.push((
+            "sweep",
+            Json::object([("seeds", Json::from(1u64)), ("duration", Json::from(d))]),
+        ));
+    }
+    for (n, d) in [(28u64, 40.0), (28, 60.0), (32, 40.0), (32, 60.0)] {
+        pool.push((
+            "ablation",
+            Json::object([
+                ("nodes", Json::from(n)),
+                ("seeds", Json::from(1u64)),
+                ("duration", Json::from(d)),
+            ]),
+        ));
+    }
+    for (n, m, p) in [
+        (20u64, 2u64, true),
+        (20, 2, false),
+        (24, 2, true),
+        (28, 3, true),
+    ] {
+        pool.push((
+            "scenario",
+            Json::object([
+                ("nodes", Json::from(n)),
+                ("malicious", Json::from(m)),
+                ("protected", Json::from(p)),
+                ("seeds", Json::from(1u64)),
+                ("duration", Json::from(60.0)),
+            ]),
+        ));
+    }
+    pool
+}
+
+fn submit_payload(kind: &str, params: &Json) -> String {
+    Json::object([
+        ("op", Json::from("submit")),
+        ("kind", Json::from(kind)),
+        ("params", params.clone()),
+    ])
+    .dump()
+}
+
+/// What one worker tallied: per-spec submit and dedup counts.
+#[derive(Clone)]
+struct Tally {
+    submits: Vec<u64>,
+    dedups: Vec<u64>,
+}
+
+impl Tally {
+    fn new(specs: usize) -> Tally {
+        Tally {
+            submits: vec![0; specs],
+            dedups: vec![0; specs],
+        }
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        for (a, b) in self.submits.iter_mut().zip(&other.submits) {
+            *a += b;
+        }
+        for (a, b) in self.dedups.iter_mut().zip(&other.dedups) {
+            *a += b;
+        }
+    }
+}
+
+/// One worker connection executing its slice of the schedule.
+fn worker(
+    addr: &str,
+    pool: &[(&'static str, Json)],
+    schedule: &[(usize, bool)],
+    worker_index: usize,
+    connections: usize,
+) -> Result<Tally, String> {
+    let mut client = Client::connect(addr)?;
+    let mut tally = Tally::new(pool.len());
+    for (i, &(spec, cancel)) in schedule.iter().enumerate() {
+        if i % connections != worker_index {
+            continue;
+        }
+        let (kind, params) = &pool[spec];
+        let response = client.expect_ok(&submit_payload(kind, params))?;
+        tally.submits[spec] += 1;
+        if response.get("dedup").and_then(Json::as_bool) == Some(true) {
+            tally.dedups[spec] += 1;
+        }
+        let req = response
+            .get("req")
+            .and_then(Json::as_str)
+            .ok_or("submit response missing 'req'")?
+            .to_string();
+        if cancel {
+            client.expect_ok(&format!(r#"{{"op":"cancel","req":"{req}"}}"#))?;
+        }
+        // Sprinkle status probes through the mix.
+        if i % 17 == 0 {
+            client.expect_ok(&format!(r#"{{"op":"status","req":"{req}"}}"#))?;
+        }
+    }
+    Ok(tally)
+}
+
+/// Polls one experiment to completion and returns its digest. Revives it
+/// if a racing cancel parked it. Wall-clock-free pacing: fixed-length
+/// sleeps with a bounded attempt budget.
+fn drain_spec(client: &mut Client, kind: &str, params: &Json) -> Result<String, String> {
+    const ATTEMPTS: usize = 6000; // x 50 ms = five minutes per spec
+    for _ in 0..ATTEMPTS {
+        let submitted = client.expect_ok(&submit_payload(kind, params))?;
+        let req = submitted
+            .get("req")
+            .and_then(Json::as_str)
+            .ok_or("submit response missing 'req'")?
+            .to_string();
+        loop {
+            let status = client.expect_ok(&format!(r#"{{"op":"status","req":"{req}"}}"#))?;
+            match status.get("phase").and_then(Json::as_str) {
+                Some("done") => {
+                    return status
+                        .get("digest")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or("done status missing 'digest'".to_string());
+                }
+                Some("failed") => {
+                    return Err(format!("{kind} failed: {}", status.dump()));
+                }
+                Some("cancelled") => break, // resubmit revives it
+                _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+    }
+    Err(format!("{kind} did not finish within the attempt budget"))
+}
+
+fn run() -> Result<(), String> {
+    let flags = Flags::from_env();
+    let addr = flags
+        .get_str("addr")
+        .ok_or("--addr HOST:PORT is required")?
+        .to_string();
+    let requests = flags.get_u64("requests", 2000) as usize;
+    let connections = flags.get_usize("connections", 8).max(1);
+    let seed = flags.get_u64("seed", 42);
+    let cancel_fraction = flags.get_f64("cancel-fraction", 0.0);
+    let digests_path = flags.get_str("digests").map(std::path::PathBuf::from);
+
+    let pool = spec_pool();
+    // The whole schedule is a pure function of --seed: which spec each
+    // request submits, and whether it then cancels.
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let schedule: Vec<(usize, bool)> = (0..requests)
+        .map(|_| (rng.gen_range(0..pool.len()), rng.gen_bool(cancel_fraction)))
+        .collect();
+    eprintln!(
+        "liteworp-load: {requests} requests over {connections} connection(s), seed {seed}, \
+         {} distinct specs, cancel fraction {cancel_fraction}",
+        pool.len()
+    );
+
+    let mut tally = Tally::new(pool.len());
+    let results: Vec<Result<Tally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|k| {
+                let addr = addr.clone();
+                let pool = &pool;
+                let schedule = &schedule;
+                scope.spawn(move || worker(&addr, pool, schedule, k, connections))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("worker panicked".to_string()))
+            })
+            .collect()
+    });
+    for result in results {
+        tally.merge(&result?);
+    }
+
+    // Drain: every distinct spec must reach `done`, cancelled or not.
+    let mut client = Client::connect(&addr)?;
+    let mut digests: Vec<String> = Vec::new();
+    for (kind, params) in &pool {
+        digests.push(drain_spec(&mut client, kind, params)?);
+    }
+    digests.sort();
+    digests.dedup();
+
+    // Every duplicated submission must have been deduplicated to the
+    // first one at least once (only the very first submit of a key can
+    // answer dedup=false).
+    for (spec, (&submits, &dedups)) in tally.submits.iter().zip(&tally.dedups).enumerate() {
+        if submits >= 2 && dedups == 0 {
+            return Err(format!(
+                "spec {spec} submitted {submits} times but never deduplicated"
+            ));
+        }
+    }
+
+    let listing = digests.iter().map(|d| format!("{d}\n")).collect::<String>();
+    match &digests_path {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+            std::fs::write(path, &listing)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "liteworp-load: wrote {} digest(s) to {}",
+                digests.len(),
+                path.display()
+            );
+        }
+        None => print!("{listing}"),
+    }
+    eprintln!(
+        "liteworp-load: ok — {} submits, {} dedups, {} distinct digests, zero failures",
+        tally.submits.iter().sum::<u64>(),
+        tally.dedups.iter().sum::<u64>(),
+        digests.len()
+    );
+
+    if flags.get_bool("shutdown") {
+        client.expect_ok(r#"{"op":"shutdown"}"#)?;
+        eprintln!("liteworp-load: daemon asked to shut down");
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("liteworp-load: FAILED: {e}");
+        std::process::exit(1);
+    }
+}

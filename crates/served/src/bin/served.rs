@@ -1,0 +1,54 @@
+//! The LITEWORP sweep-service daemon.
+//!
+//! Listens on a TCP socket, speaks the length-delimited JSONL protocol
+//! (`submit`, `status`, `cancel`, `subscribe`, `ping`, `shutdown`), and
+//! serves every request from one warm engine: shared worker pool, shared
+//! result cache, one resume journal per in-flight request.
+//!
+//! Flags: --addr HOST:PORT (127.0.0.1:0), --state-dir DIR
+//!        (results/served), --jobs N (all cores), --drainers N (2),
+//!        --resume, --no-cache
+//!
+//! Prints `listening on HOST:PORT` to stdout once bound (port 0 picks a
+//! free port), then serves until a client sends `shutdown`. Queued work
+//! survives a kill: restart with `--resume` on the same `--state-dir`
+//! and unfinished requests re-enqueue, skipping jobs their per-request
+//! journals already recorded.
+
+use liteworp_bench::cli::Flags;
+use liteworp_served::server::{Server, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let flags = Flags::from_env();
+    let cfg = ServerConfig {
+        addr: flags.get_str("addr").unwrap_or("127.0.0.1:0").to_string(),
+        threads: flags.get_opt_usize("jobs"),
+        state_dir: flags
+            .get_str("state-dir")
+            .unwrap_or("results/served")
+            .into(),
+        drainers: flags.get_usize("drainers", 2),
+        resume: flags.get_bool("resume"),
+        no_cache: flags.get_bool("no-cache"),
+    };
+    eprintln!(
+        "liteworp-served: state dir {}, {} drainer(s), cache {}, resume {}",
+        cfg.state_dir.display(),
+        cfg.drainers,
+        if cfg.no_cache { "off" } else { "on" },
+        cfg.resume,
+    );
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("liteworp-served: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Parsed by scripts and tests: the one line on stdout.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+    eprintln!("liteworp-served: stopped");
+}

@@ -1,0 +1,164 @@
+//! Length-delimited JSONL framing for the service socket.
+//!
+//! A frame on the wire is `<decimal-length>\n<payload>\n` where the
+//! length counts the payload bytes (excluding the trailing newline).
+//! The reader also accepts a *bare* JSON line — any line whose first
+//! byte is `{` — so a human at `nc` can type requests without counting
+//! bytes; responses are always written in the length-delimited form.
+//!
+//! Frames larger than [`MAX_FRAME`] are rejected before their payload is
+//! read, so a hostile or buggy client cannot make the daemon buffer
+//! unbounded input.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted payload size in bytes (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared length exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The length line was not a decimal number (and not a bare JSON
+    /// line). Carries the offending line.
+    BadLength(String),
+    /// The stream ended mid-frame (declared length, fewer bytes).
+    Torn,
+    /// The underlying transport failed.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::BadLength(line) => write!(f, "bad frame length line: {line:?}"),
+            FrameError::Torn => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Writes one length-delimited frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    w.write_all(format!("{}\n", payload.len()).as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
+/// before any byte of a new frame), `Ok(Some(payload))` on success.
+/// Blank lines between frames are skipped so interactive sessions can
+/// hit return freely.
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
+    let header = loop {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        break trimmed.to_string();
+    };
+    // Bare-JSON escape hatch for humans: a line that *is* the payload.
+    if header.starts_with('{') {
+        return Ok(Some(header));
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| FrameError::BadLength(header.clone()))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return Err(match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => FrameError::Torn,
+            _ => FrameError::Io(e.to_string()),
+        });
+    }
+    // Consume the trailing newline (tolerate a missing one at EOF).
+    let mut nl = [0u8; 1];
+    match r.read_exact(&mut nl) {
+        Ok(()) if nl[0] != b'\n' => {
+            return Err(FrameError::BadLength(format!(
+                "expected newline after {len}-byte payload, got byte {:#04x}",
+                nl[0]
+            )))
+        }
+        _ => {}
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| FrameError::BadLength("payload is not valid UTF-8".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(payloads: &[&str]) -> Vec<String> {
+        let mut buf = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = BufReader::new(&buf[..]);
+        let mut out = Vec::new();
+        while let Some(p) = read_frame(&mut r).unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let payloads = [r#"{"op":"ping"}"#, "", "exact\nnewlines\ninside", "x"];
+        assert_eq!(round_trip(&payloads), payloads);
+    }
+
+    #[test]
+    fn bare_json_lines_are_accepted() {
+        let wire = b"{\"op\":\"ping\"}\n\n{\"op\":\"status\"}\n";
+        let mut r = BufReader::new(&wire[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), r#"{"op":"ping"}"#);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), r#"{"op":"status"}"#);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_reading_them() {
+        let wire = format!("{}\nwhatever", MAX_FRAME + 1);
+        let mut r = BufReader::new(wire.as_bytes());
+        assert_eq!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn torn_frames_and_bad_lengths_are_typed() {
+        let mut r = BufReader::new(&b"10\nshort"[..]);
+        assert_eq!(read_frame(&mut r), Err(FrameError::Torn));
+        let mut r = BufReader::new(&b"not-a-length\n"[..]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadLength(_))));
+        // A payload not followed by a newline mid-stream is a framing bug.
+        let mut r = BufReader::new(&b"2\nabX"[..]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadLength(_))));
+    }
+
+    #[test]
+    fn missing_trailing_newline_at_eof_is_tolerated() {
+        let mut r = BufReader::new(&b"5\nhello"[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "hello");
+    }
+}

@@ -1,0 +1,26 @@
+//! `liteworp-served`: a long-lived sweep-service daemon for the LITEWORP
+//! reproduction.
+//!
+//! Instead of one process per experiment, the daemon keeps a warm
+//! [`liteworp_runner::SweepEngine`] — persistent worker pool, shared
+//! content-addressed result cache, per-request resume journals — and
+//! serves experiment sweeps to many concurrent clients over a
+//! length-delimited JSONL socket protocol (`submit`, `status`, `cancel`,
+//! `subscribe`, `ping`, `shutdown`; see `EXPERIMENTS.md` §"Served
+//! mode").
+//!
+//! Determinism contract: a sweep served by the daemon produces the
+//! byte-identical `results_digest` the batch binaries produce for the
+//! same experiment, regardless of concurrency, cache state, duplicate
+//! submissions, cancellations, or a crash + `--resume` restart in
+//! between. The `liteworp-load` companion binary drives a daemon with
+//! thousands of mixed requests and checks exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod state;

@@ -1,0 +1,61 @@
+//! The daemon's socket-timeout boundary — the **only** place in this
+//! crate that touches the host wall clock.
+//!
+//! Sweep results never depend on wall time (determinism is seed- and
+//! sim-time-based throughout the workspace); the clock here only bounds
+//! how long a silent or trickling client can hold a connection handler
+//! thread. The lint gate (`liteworp-lint` rule L004) pins the
+//! `allow(D001)` sites to this file.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// How long a connection may sit idle between frames before the daemon
+/// hangs up on it. Read timeouts surface as transport errors in the
+/// framing layer, and the handler closes the connection.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Absolute lifetime cap per connection: even a client that keeps
+/// issuing requests is asked to reconnect after this long, so handler
+/// threads cannot accumulate forever.
+pub const CONN_LIFETIME: Duration = Duration::from_secs(3600);
+
+/// Applies the daemon's socket policy to an accepted connection.
+pub fn configure(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
+    stream.set_nodelay(true)
+}
+
+/// Tracks one connection's absolute lifetime against [`CONN_LIFETIME`].
+pub struct ConnDeadline {
+    opened: Instant,
+    limit: Duration,
+}
+
+impl ConnDeadline {
+    /// Starts the clock for a freshly accepted connection.
+    pub fn new(limit: Duration) -> ConnDeadline {
+        ConnDeadline {
+            // lint: allow(D001) socket-lifetime boundary: bounds how long
+            // a client holds a handler thread; never feeds into results
+            opened: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Whether the connection has outlived its welcome.
+    pub fn expired(&self) -> bool {
+        self.opened.elapsed() >= self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_fresh_deadline_is_not_expired_and_a_zero_one_is() {
+        assert!(!ConnDeadline::new(CONN_LIFETIME).expired());
+        assert!(ConnDeadline::new(Duration::ZERO).expired());
+    }
+}

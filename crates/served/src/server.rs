@@ -1,0 +1,549 @@
+//! The sweep-service daemon: accepts JSONL-framed requests over TCP,
+//! multiplexes them over one shared [`SweepEngine`], and streams progress
+//! to subscribers.
+//!
+//! # Request lifecycle
+//!
+//! A `submit` is validated against the experiment catalog, keyed by its
+//! content ([`crate::proto::request_key`]), WAL-logged, and enqueued;
+//! duplicates of a live or finished request are deduplicated to the
+//! existing one (`"dedup": true`). Drainer threads pop keys and execute
+//! each request's sweep on the shared engine — same jobs, same derived
+//! seeds, same cache keys as the batch bins, so a daemon-served sweep
+//! reproduces the batch `results_digest` byte for byte. Each request
+//! journals to its own WAL under `state_dir/journals/`, so a daemon
+//! killed mid-sweep resumes the request from its last completed job on
+//! restart with `--resume`.
+//!
+//! # Shared state
+//!
+//! One [`SweepEngine`] (pool + result cache) serves every request; the
+//! request registry, queue, and request WAL are daemon-global. Per-client
+//! state is only the connection handler's socket.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::net;
+use crate::proto::{err_response, format_key, ok_response, request_key, Request};
+use crate::state::{DoneInfo, ReqPhase, RequestState, RequestWal, WalRecord};
+use liteworp_bench::catalog;
+use liteworp_bench::exec::{run_cells_on, SimCell, SIM_CODE_VERSION};
+use liteworp_runner::supervisor::Supervision;
+use liteworp_runner::{Json, ProgressObserver, ResultCache, SweepEngine};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How a daemon instance is configured.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port (printed on startup).
+    pub addr: String,
+    /// Engine worker threads (`None` = `LITEWORP_JOBS` / core count).
+    pub threads: Option<usize>,
+    /// Where the daemon keeps its cache, journals, and request WAL.
+    pub state_dir: PathBuf,
+    /// Concurrent sweep drainers (how many requests run at once).
+    pub drainers: usize,
+    /// Replay the request WAL: unfinished submissions are re-enqueued
+    /// and resume from their per-request journals.
+    pub resume: bool,
+    /// Disable the shared result cache.
+    pub no_cache: bool,
+}
+
+impl ServerConfig {
+    /// Defaults: loopback with an ephemeral port, two drainers, cache
+    /// on, fresh (non-resuming) start.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: None,
+            state_dir: state_dir.into(),
+            drainers: 2,
+            resume: false,
+            no_cache: false,
+        }
+    }
+}
+
+/// Cap on telemetry lines retained per traced request, so a subscriber
+/// replay cannot hold an unbounded event log in memory.
+pub const TRACE_LINE_CAP: usize = 2000;
+
+struct DaemonState {
+    engine: SweepEngine,
+    registry: Mutex<BTreeMap<u64, Arc<RequestState>>>,
+    queue: Mutex<VecDeque<u64>>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    wal: RequestWal,
+    state_dir: PathBuf,
+    local_addr: SocketAddr,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DaemonState {
+    fn enqueue(&self, key: u64) {
+        lock(&self.queue).push_back(key);
+        self.work.notify_one();
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    fn journal_path(&self, key: u64) -> PathBuf {
+        self.state_dir
+            .join("journals")
+            .join(format!("{}.jsonl", format_key(key)))
+    }
+}
+
+/// A running daemon instance (in-process handle, used by the binary and
+/// by integration tests).
+pub struct Server {
+    state: Arc<DaemonState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    drainers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, replays the WAL when resuming, and starts the accept and
+    /// drainer threads.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        let wal_path = cfg.state_dir.join("requests.jsonl");
+        if !cfg.resume {
+            let _ = std::fs::remove_file(&wal_path);
+            let _ = std::fs::remove_dir_all(cfg.state_dir.join("journals"));
+        }
+        let records = RequestWal::load(&wal_path);
+        let wal = RequestWal::open(&wal_path)?;
+
+        let cache = (!cfg.no_cache).then(|| ResultCache::new(cfg.state_dir.join("cache")));
+        let engine = SweepEngine::new(cfg.threads, cache, SIM_CODE_VERSION);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        let state = Arc::new(DaemonState {
+            engine,
+            registry: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            wal,
+            state_dir: cfg.state_dir.clone(),
+            local_addr,
+        });
+        replay(&state, records);
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || accept_loop(listener, state))
+        };
+        let drainers = (0..cfg.drainers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || drain_loop(state))
+            })
+            .collect();
+
+        Ok(Server {
+            state,
+            accept: Some(accept),
+            drainers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Initiates shutdown: stop accepting, let drainers finish their
+    /// current sweep, leave still-queued submissions in the WAL for a
+    /// `--resume` restart.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Waits for the accept loop and drainers to exit. Connection
+    /// handler threads are detached; they notice the shutdown flag at
+    /// their next frame and hang up.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for d in self.drainers.drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+/// Rebuilds the registry and queue from WAL records, in order. A request
+/// whose sweep never logged `done` (the daemon died while it was queued
+/// or running) comes back `Queued`; its per-request journal then skips
+/// the jobs that already completed. Telemetry trace lines are not
+/// persisted, so a restarted daemon replays `done` requests without
+/// them.
+fn replay(state: &DaemonState, records: Vec<WalRecord>) {
+    let mut registry = lock(&state.registry);
+    let mut order: Vec<u64> = Vec::new();
+    for record in records {
+        match record {
+            WalRecord::Submitted {
+                key,
+                kind,
+                params,
+                trace,
+            } => {
+                registry
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(RequestState::new(key, kind, params, trace)))
+                    .restore_phase(ReqPhase::Queued);
+                if !order.contains(&key) {
+                    order.push(key);
+                }
+            }
+            WalRecord::Done { key, info } => {
+                if let Some(req) = registry.get(&key) {
+                    req.restore_phase(ReqPhase::Done(info));
+                }
+                order.retain(|k| *k != key);
+            }
+            WalRecord::Cancelled { key } => {
+                if let Some(req) = registry.get(&key) {
+                    req.restore_phase(ReqPhase::Cancelled);
+                }
+                order.retain(|k| *k != key);
+            }
+        }
+    }
+    drop(registry);
+    let mut queue = lock(&state.queue);
+    queue.extend(order);
+    if !queue.is_empty() {
+        state.work.notify_all();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<DaemonState>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, state);
+                });
+            }
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn drain_loop(state: Arc<DaemonState>) {
+    loop {
+        let key = {
+            let mut queue = lock(&state.queue);
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(key) = queue.pop_front() {
+                    break key;
+                }
+                queue = state
+                    .work
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        drain_one(&state, key);
+    }
+}
+
+/// Executes one request's sweep on the shared engine.
+fn drain_one(state: &DaemonState, key: u64) {
+    let Some(req) = lock(&state.registry).get(&key).cloned() else {
+        return;
+    };
+    if !req.set_running() {
+        return; // a cancel won the race, or a stale queue entry
+    }
+    let cells = match catalog::cells_for(&req.kind, &req.params) {
+        Ok(cells) => cells,
+        Err(e) => {
+            // Submit validated this, so only a version-skewed WAL replay
+            // can land here.
+            req.complete(Err(format!("catalog rejected request: {e}")), Vec::new());
+            return;
+        }
+    };
+
+    let journal = state.journal_path(key);
+    let sup = Supervision {
+        journal: Some(journal.clone()),
+        resume: true,
+        ..Supervision::default()
+    };
+    let observer: Arc<ProgressObserver> = {
+        let req = Arc::clone(&req);
+        Arc::new(move |p| {
+            let frame = Json::object([
+                ("stream", Json::from("progress")),
+                ("req", Json::from(format_key(req.key))),
+                ("index", Json::from(p.index)),
+                ("total", Json::from(p.total)),
+                ("label", Json::from(p.label)),
+                ("ok", Json::from(p.ok)),
+                ("cached", Json::from(p.cached)),
+                ("journaled", Json::from(p.journaled)),
+            ])
+            .dump();
+            req.broadcast(&frame);
+        })
+    };
+
+    let run = run_cells_on(&state.engine, &cells, &sup, Some(observer));
+    let m = &run.manifest;
+    if m.failed > 0 {
+        // Keep the journal: completed jobs replay if the request is
+        // retried after a restart.
+        req.complete(
+            Err(format!("{} of {} jobs quarantined", m.failed, m.jobs)),
+            Vec::new(),
+        );
+        return;
+    }
+    let trace_lines = if req.trace {
+        trace_request(&cells, key)
+    } else {
+        Vec::new()
+    };
+    let info = DoneInfo {
+        digest: m.results_digest,
+        jobs: m.jobs,
+        cache_hits: m.cache_hits,
+        journal_hits: m.journal_hits,
+        cache_misses: m.cache_misses,
+        failed: m.failed,
+    };
+    let _ = state.wal.append(&WalRecord::Done {
+        key,
+        info: info.clone(),
+    });
+    let _ = std::fs::remove_file(&journal);
+    req.complete(Ok(info), trace_lines);
+}
+
+/// Runs one instrumented seed of the request's first cell and wraps its
+/// event log as subscriber frames (capped at [`TRACE_LINE_CAP`]).
+fn trace_request(cells: &[SimCell], key: u64) -> Vec<String> {
+    let Some(cell) = cells.first() else {
+        return Vec::new();
+    };
+    let mut scenario = cell.scenario.clone();
+    scenario.seed = cell.seed_base;
+    let mut run = scenario.build();
+    run.run_until_secs(cell.duration);
+    let jsonl = run.sim().trace().log().to_jsonl();
+    let mut lines: Vec<String> = jsonl
+        .lines()
+        .take(TRACE_LINE_CAP)
+        .map(|line| {
+            Json::object([
+                ("stream", Json::from("telemetry")),
+                ("req", Json::from(format_key(key))),
+                (
+                    "data",
+                    Json::parse(line).unwrap_or_else(|_| Json::from(line)),
+                ),
+            ])
+            .dump()
+        })
+        .collect();
+    let total = jsonl.lines().count();
+    if total > TRACE_LINE_CAP {
+        lines.push(
+            Json::object([
+                ("stream", Json::from("telemetry")),
+                ("req", Json::from(format_key(key))),
+                ("truncated", Json::from(total - TRACE_LINE_CAP)),
+            ])
+            .dump(),
+        );
+    }
+    lines
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<DaemonState>) -> std::io::Result<()> {
+    net::configure(&stream)?;
+    let deadline = net::ConnDeadline::new(net::CONN_LIFETIME);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) || deadline.expired() {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),               // client hung up
+            Err(FrameError::Io(_)) => return Ok(()), // idle timeout / transport death
+            Err(e) => {
+                // Framing errors are answered, then the connection is
+                // dropped: the stream position is no longer trustworthy.
+                let _ = write_frame(&mut writer, &err_response(&e.to_string()));
+                return Ok(());
+            }
+        };
+        let request = match Request::parse(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                write_frame(&mut writer, &err_response(&e))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Submit {
+                kind,
+                params,
+                trace,
+            } => {
+                let response = submit(&state, kind, params, trace);
+                write_frame(&mut writer, &response)?;
+            }
+            Request::Status { req } => {
+                let response = match lock(&state.registry).get(&req) {
+                    Some(r) => ok_response(r.status_json()),
+                    None => err_response(&format!("unknown request {}", format_key(req))),
+                };
+                write_frame(&mut writer, &response)?;
+            }
+            Request::Cancel { req } => {
+                let response = match lock(&state.registry).get(&req).cloned() {
+                    Some(r) => {
+                        let cancelled = r.cancel();
+                        if cancelled {
+                            let _ = state.wal.append(&WalRecord::Cancelled { key: req });
+                        }
+                        ok_response([
+                            ("req", Json::from(format_key(req))),
+                            ("cancelled", Json::from(cancelled)),
+                            ("phase", Json::from(r.phase().name())),
+                        ])
+                    }
+                    None => err_response(&format!("unknown request {}", format_key(req))),
+                };
+                write_frame(&mut writer, &response)?;
+            }
+            Request::Subscribe { req } => {
+                let Some(r) = lock(&state.registry).get(&req).cloned() else {
+                    write_frame(
+                        &mut writer,
+                        &err_response(&format!("unknown request {}", format_key(req))),
+                    )?;
+                    continue;
+                };
+                let rx = r.subscribe();
+                write_frame(
+                    &mut writer,
+                    &ok_response([
+                        ("req", Json::from(format_key(req))),
+                        ("stream", Json::from(true)),
+                    ]),
+                )?;
+                // Stream until the request completes (sender dropped) or
+                // the client goes away (write fails).
+                for frame in rx {
+                    write_frame(&mut writer, &frame)?;
+                }
+            }
+            Request::Ping => {
+                write_frame(&mut writer, &ok_response([("pong", Json::from(true))]))?;
+            }
+            Request::Shutdown => {
+                write_frame(
+                    &mut writer,
+                    &ok_response([("shutting_down", Json::from(true))]),
+                )?;
+                writer.flush()?;
+                state.begin_shutdown();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Handles one `submit`: validate, dedup by content key, WAL, enqueue.
+fn submit(state: &DaemonState, kind: String, params: Json, trace: bool) -> String {
+    if let Err(e) = catalog::cells_for(&kind, &params) {
+        return err_response(&e);
+    }
+    let key = request_key(&kind, &params);
+    let mut registry = lock(&state.registry);
+    match registry.get(&key).cloned() {
+        None => {
+            let req = Arc::new(RequestState::new(key, kind.clone(), params.clone(), trace));
+            registry.insert(key, req);
+            drop(registry);
+            let _ = state.wal.append(&WalRecord::Submitted {
+                key,
+                kind,
+                params,
+                trace,
+            });
+            state.enqueue(key);
+            ok_response([
+                ("req", Json::from(format_key(key))),
+                ("dedup", Json::from(false)),
+                ("phase", Json::from("queued")),
+            ])
+        }
+        Some(req) => {
+            drop(registry);
+            if req.requeue() {
+                // A cancelled request revived: log a fresh submission so
+                // WAL replay re-enqueues it, and queue it again.
+                let _ = state.wal.append(&WalRecord::Submitted {
+                    key,
+                    kind: req.kind.clone(),
+                    params: req.params.clone(),
+                    trace: req.trace,
+                });
+                state.enqueue(key);
+                return ok_response([
+                    ("req", Json::from(format_key(key))),
+                    ("dedup", Json::from(true)),
+                    ("phase", Json::from("queued")),
+                ]);
+            }
+            let phase = req.phase();
+            let mut pairs = vec![
+                ("req".to_string(), Json::from(format_key(key))),
+                ("dedup".to_string(), Json::from(true)),
+                ("phase".to_string(), Json::from(phase.name())),
+            ];
+            if let ReqPhase::Done(info) = &phase {
+                pairs.push(("digest".to_string(), Json::from(format_key(info.digest))));
+            }
+            ok_response(pairs)
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Daemon-side request registry: per-request lifecycle state, subscriber
+//! fan-out, and the write-ahead request log that makes submissions
+//! survive a daemon crash.
+//!
+//! A request is identified by its content-addressed key (see
+//! [`crate::proto::request_key`]) and moves through
+//! `Queued → Running → Done/Failed`, with `Queued → Cancelled` (and back
+//! to `Queued` on re-submit) as the only other edges. Subscribers attach
+//! an [`std::sync::mpsc`] sender to the request; the attach-vs-complete
+//! race is serialized by the request's mutex — completion takes the
+//! subscriber list under the lock, flushes the stored telemetry lines
+//! and the final frame, and drops the senders so each subscriber's
+//! receiver disconnects and its stream ends.
+
+use crate::proto::{format_key, parse_key};
+use liteworp_runner::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::{Mutex, PoisonError};
+
+/// Result summary of a finished sweep, as recorded in the WAL and
+/// reported by `status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoneInfo {
+    /// The sweep's order-sensitive `results_digest`.
+    pub digest: u64,
+    /// Total jobs in the sweep.
+    pub jobs: usize,
+    /// Jobs answered from the shared result cache.
+    pub cache_hits: usize,
+    /// Jobs replayed from the request's resume journal.
+    pub journal_hits: usize,
+    /// Jobs that executed a simulation.
+    pub cache_misses: usize,
+    /// Jobs quarantined after exhausting retries.
+    pub failed: usize,
+}
+
+/// Where a request is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReqPhase {
+    /// Accepted, waiting for a drainer.
+    Queued,
+    /// A drainer is executing the sweep.
+    Running,
+    /// The sweep drained; all jobs succeeded.
+    Done(DoneInfo),
+    /// Cancelled while still queued. Re-submitting requeues it.
+    Cancelled,
+    /// The sweep drained but quarantined jobs or hit a daemon-side
+    /// error; carries the reason.
+    Failed(String),
+}
+
+impl ReqPhase {
+    /// Phase name as reported on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReqPhase::Queued => "queued",
+            ReqPhase::Running => "running",
+            ReqPhase::Done(_) => "done",
+            ReqPhase::Cancelled => "cancelled",
+            ReqPhase::Failed(_) => "failed",
+        }
+    }
+
+    /// Whether the phase is terminal for the current submission
+    /// (`Cancelled` counts: only a fresh submit revives the request).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            ReqPhase::Done(_) | ReqPhase::Cancelled | ReqPhase::Failed(_)
+        )
+    }
+}
+
+struct ReqInner {
+    phase: ReqPhase,
+    subs: Vec<mpsc::Sender<String>>,
+    trace_lines: Vec<String>,
+}
+
+/// One registered request: immutable identity plus mutex-guarded
+/// lifecycle state.
+pub struct RequestState {
+    /// Content-addressed request key.
+    pub key: u64,
+    /// Catalog kind.
+    pub kind: String,
+    /// Parameter object of the first submission.
+    pub params: Json,
+    /// Whether the first submission asked for a telemetry trace.
+    pub trace: bool,
+    inner: Mutex<ReqInner>,
+}
+
+impl RequestState {
+    /// A freshly submitted (queued) request.
+    pub fn new(key: u64, kind: String, params: Json, trace: bool) -> Self {
+        RequestState {
+            key,
+            kind,
+            params,
+            trace,
+            inner: Mutex::new(ReqInner {
+                phase: ReqPhase::Queued,
+                subs: Vec::new(),
+                trace_lines: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ReqInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A snapshot of the current phase.
+    pub fn phase(&self) -> ReqPhase {
+        self.lock().phase.clone()
+    }
+
+    /// Restores a phase loaded from the WAL (startup only).
+    pub fn restore_phase(&self, phase: ReqPhase) {
+        self.lock().phase = phase;
+    }
+
+    /// `Queued → Running`. Returns false (and does nothing) from any
+    /// other phase — in particular a cancel that won the race.
+    pub fn set_running(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.phase == ReqPhase::Queued {
+            inner.phase = ReqPhase::Running;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `Queued → Cancelled`. Running or finished sweeps are unaffected;
+    /// returns whether the cancel took. Subscribers of a cancelled
+    /// request get its final frame and their streams end.
+    pub fn cancel(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.phase != ReqPhase::Queued {
+            return false;
+        }
+        inner.phase = ReqPhase::Cancelled;
+        let frame = final_frame(self.key, &inner.phase);
+        for sub in inner.subs.drain(..) {
+            let _ = sub.send(frame.clone());
+        }
+        true
+    }
+
+    /// `Cancelled → Queued` (a duplicate submit reviving the request).
+    /// Returns whether the transition happened.
+    pub fn requeue(&self) -> bool {
+        let mut inner = self.lock();
+        if inner.phase == ReqPhase::Cancelled {
+            inner.phase = ReqPhase::Queued;
+            inner.trace_lines.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Attaches a subscriber. On a live request the receiver sees
+    /// progress frames as they happen; on a terminal one it is served
+    /// the stored telemetry lines and the final frame immediately.
+    /// Either way the stream ends when the sender side is dropped.
+    pub fn subscribe(&self) -> mpsc::Receiver<String> {
+        let (tx, rx) = mpsc::channel();
+        let mut inner = self.lock();
+        if inner.phase.is_terminal() {
+            for line in &inner.trace_lines {
+                let _ = tx.send(line.clone());
+            }
+            let _ = tx.send(final_frame(self.key, &inner.phase));
+            // tx drops here: the replayed stream ends immediately.
+        } else {
+            inner.subs.push(tx);
+        }
+        rx
+    }
+
+    /// Sends one frame to every live subscriber, pruning the hung-up.
+    pub fn broadcast(&self, frame: &str) {
+        self.lock()
+            .subs
+            .retain(|sub| sub.send(frame.to_string()).is_ok());
+    }
+
+    /// Finishes the request: records the terminal phase and telemetry
+    /// lines, then flushes both to every subscriber and hangs them up.
+    pub fn complete(&self, outcome: Result<DoneInfo, String>, trace_lines: Vec<String>) {
+        let mut inner = self.lock();
+        inner.phase = match outcome {
+            Ok(info) => ReqPhase::Done(info),
+            Err(reason) => ReqPhase::Failed(reason),
+        };
+        inner.trace_lines = trace_lines;
+        let frame = final_frame(self.key, &inner.phase);
+        let lines = inner.trace_lines.clone();
+        for sub in inner.subs.drain(..) {
+            for line in &lines {
+                let _ = sub.send(line.clone());
+            }
+            let _ = sub.send(frame.clone());
+        }
+    }
+
+    /// The `status` response body for this request (without the `ok`
+    /// field).
+    pub fn status_json(&self) -> Vec<(String, Json)> {
+        let inner = self.lock();
+        let mut pairs = vec![
+            ("req".to_string(), Json::from(format_key(self.key))),
+            ("kind".to_string(), Json::from(self.kind.clone())),
+            ("phase".to_string(), Json::from(inner.phase.name())),
+        ];
+        match &inner.phase {
+            ReqPhase::Done(info) => pairs.extend(done_pairs(info)),
+            ReqPhase::Failed(reason) => {
+                pairs.push(("reason".to_string(), Json::from(reason.clone())));
+            }
+            _ => {}
+        }
+        pairs
+    }
+}
+
+fn done_pairs(info: &DoneInfo) -> Vec<(String, Json)> {
+    vec![
+        ("digest".to_string(), Json::from(format_key(info.digest))),
+        ("jobs".to_string(), Json::from(info.jobs)),
+        ("cache_hits".to_string(), Json::from(info.cache_hits)),
+        ("journal_hits".to_string(), Json::from(info.journal_hits)),
+        ("cache_misses".to_string(), Json::from(info.cache_misses)),
+        ("failed".to_string(), Json::from(info.failed)),
+    ]
+}
+
+/// The last frame of a subscription stream.
+pub fn final_frame(key: u64, phase: &ReqPhase) -> String {
+    let mut pairs = vec![
+        ("stream".to_string(), Json::from("done")),
+        ("req".to_string(), Json::from(format_key(key))),
+        ("phase".to_string(), Json::from(phase.name())),
+    ];
+    match phase {
+        ReqPhase::Done(info) => pairs.extend(done_pairs(info)),
+        ReqPhase::Failed(reason) => {
+            pairs.push(("reason".to_string(), Json::from(reason.clone())));
+        }
+        _ => {}
+    }
+    Json::Obj(pairs).dump()
+}
+
+/// One record of the request WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A request was accepted (written again when a cancelled request is
+    /// requeued, so replay order reconstructs the final queue).
+    Submitted {
+        /// Request key.
+        key: u64,
+        /// Catalog kind.
+        kind: String,
+        /// Parameter object.
+        params: Json,
+        /// Trace flag.
+        trace: bool,
+    },
+    /// A request's sweep drained successfully.
+    Done {
+        /// Request key.
+        key: u64,
+        /// Result summary.
+        info: DoneInfo,
+    },
+    /// A queued request was cancelled.
+    Cancelled {
+        /// Request key.
+        key: u64,
+    },
+}
+
+impl WalRecord {
+    fn to_json(&self) -> Json {
+        match self {
+            WalRecord::Submitted {
+                key,
+                kind,
+                params,
+                trace,
+            } => Json::object([
+                ("rec", Json::from("submitted")),
+                ("key", Json::from(format_key(*key))),
+                ("kind", Json::from(kind.clone())),
+                ("params", params.clone()),
+                ("trace", Json::from(*trace)),
+            ]),
+            WalRecord::Done { key, info } => {
+                let mut pairs = vec![
+                    ("rec".to_string(), Json::from("done")),
+                    ("key".to_string(), Json::from(format_key(*key))),
+                ];
+                pairs.extend(done_pairs(info));
+                Json::Obj(pairs)
+            }
+            WalRecord::Cancelled { key } => Json::object([
+                ("rec", Json::from("cancelled")),
+                ("key", Json::from(format_key(*key))),
+            ]),
+        }
+    }
+
+    fn from_json(json: &Json) -> Option<WalRecord> {
+        let key = parse_key(json.get("key")?.as_str()?)?;
+        match json.get("rec")?.as_str()? {
+            "submitted" => Some(WalRecord::Submitted {
+                key,
+                kind: json.get("kind")?.as_str()?.to_string(),
+                params: json.get("params").cloned().unwrap_or(Json::Null),
+                trace: json.get("trace").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "done" => {
+                let n = |k: &str| json.get(k)?.as_u64().map(|v| v as usize);
+                Some(WalRecord::Done {
+                    key,
+                    info: DoneInfo {
+                        digest: parse_key(json.get("digest")?.as_str()?)?,
+                        jobs: n("jobs")?,
+                        cache_hits: n("cache_hits")?,
+                        journal_hits: n("journal_hits")?,
+                        cache_misses: n("cache_misses")?,
+                        failed: n("failed")?,
+                    },
+                })
+            }
+            "cancelled" => Some(WalRecord::Cancelled { key }),
+            _ => None,
+        }
+    }
+}
+
+/// Append-only JSONL log of request lifecycle records. Replaying it in
+/// order (last record per key wins for phase; submit order builds the
+/// queue) reconstructs the registry after a crash. A torn final line —
+/// the daemon died mid-write — is ignored on load.
+pub struct RequestWal {
+    file: Mutex<std::fs::File>,
+    /// The log's location.
+    pub path: PathBuf,
+}
+
+impl RequestWal {
+    /// Opens (appending) or creates the WAL at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<RequestWal> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(RequestWal {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// Appends one record durably (fsync per record: a crash loses at
+    /// most the torn line the loader already tolerates).
+    pub fn append(&self, record: &WalRecord) -> std::io::Result<()> {
+        let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        file.write_all(format!("{}\n", record.to_json().dump()).as_bytes())?;
+        file.sync_data()
+    }
+
+    /// Loads every well-formed record, in order. A missing file is an
+    /// empty log; a torn or malformed line ends the replay (everything
+    /// before it is kept).
+    pub fn load(path: &Path) -> Vec<WalRecord> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut records = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(record) = Json::parse(line)
+                .ok()
+                .and_then(|j| WalRecord::from_json(&j))
+            else {
+                break;
+            };
+            records.push(record);
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> DoneInfo {
+        DoneInfo {
+            digest: 0xabcd,
+            jobs: 4,
+            cache_hits: 1,
+            journal_hits: 0,
+            cache_misses: 3,
+            failed: 0,
+        }
+    }
+
+    #[test]
+    fn lifecycle_edges_are_enforced() {
+        let req = RequestState::new(7, "fig9".into(), Json::Null, false);
+        assert_eq!(req.phase(), ReqPhase::Queued);
+        assert!(req.set_running());
+        assert!(!req.set_running(), "running is not queued");
+        assert!(!req.cancel(), "running sweeps cannot be cancelled");
+        req.complete(Ok(info()), Vec::new());
+        assert_eq!(req.phase(), ReqPhase::Done(info()));
+        assert!(!req.requeue(), "done requests stay done");
+
+        let req = RequestState::new(8, "fig9".into(), Json::Null, false);
+        assert!(req.cancel());
+        assert!(!req.set_running(), "cancel wins the race to the drainer");
+        assert!(req.requeue());
+        assert_eq!(req.phase(), ReqPhase::Queued);
+    }
+
+    #[test]
+    fn late_subscribers_get_the_stored_stream() {
+        let req = RequestState::new(9, "fig9".into(), Json::Null, true);
+        req.set_running();
+        req.complete(Ok(info()), vec!["line-a".into(), "line-b".into()]);
+        let rx = req.subscribe();
+        let got: Vec<String> = rx.iter().collect();
+        assert_eq!(got.len(), 3, "two trace lines plus the final frame");
+        assert_eq!(got[0], "line-a");
+        let done = Json::parse(&got[2]).unwrap();
+        assert_eq!(done.get("phase").and_then(Json::as_str), Some("done"));
+        assert_eq!(done.get("stream").and_then(Json::as_str), Some("done"));
+    }
+
+    #[test]
+    fn live_subscribers_see_broadcasts_then_hang_up() {
+        let req = RequestState::new(10, "fig9".into(), Json::Null, false);
+        let rx = req.subscribe();
+        req.broadcast("progress-1");
+        req.set_running();
+        req.broadcast("progress-2");
+        req.complete(Err("boom".into()), Vec::new());
+        let got: Vec<String> = rx.iter().collect(); // iter ends: sender dropped
+        assert_eq!(got[0], "progress-1");
+        assert_eq!(got[1], "progress-2");
+        let last = Json::parse(&got[2]).unwrap();
+        assert_eq!(last.get("phase").and_then(Json::as_str), Some("failed"));
+        assert_eq!(last.get("reason").and_then(Json::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn wal_round_trips_and_tolerates_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("liteworp-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("requests.jsonl");
+        let records = vec![
+            WalRecord::Submitted {
+                key: 1,
+                kind: "fig9".into(),
+                params: Json::parse(r#"{"seeds":2}"#).unwrap(),
+                trace: true,
+            },
+            WalRecord::Done {
+                key: 1,
+                info: info(),
+            },
+            WalRecord::Cancelled { key: 2 },
+        ];
+        {
+            let wal = RequestWal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        assert_eq!(RequestWal::load(&path), records);
+
+        // A torn final line is dropped, everything before it kept.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(r#"{"rec":"done","key":"00000000000"#);
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(RequestWal::load(&path), records);
+
+        assert!(RequestWal::load(Path::new("/nonexistent/wal.jsonl")).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+# Re-runs the release benchmark suite into a temporary LITEWORP_BENCH_DIR
+# and compares every committed baseline record under
+# crates/bench/baseline/BENCH_*.json against the fresh measurement:
+#
+#   fresh_value <= baseline_value * BENCH_GATE_TOLERANCE
+#
+# The tolerance band (default 5x) is deliberately loose: CI machines and
+# developer laptops differ wildly, and this gate exists to catch
+# order-of-magnitude regressions (an accidentally quadratic hot path, a
+# lost cache), not percent-level drift. Tighten locally with e.g.
+# BENCH_GATE_TOLERANCE=1.5 when hunting a specific regression.
+#
+# The gate also fails when a baseline record has no fresh counterpart
+# (a bench was deleted or renamed without refreshing the baseline) and
+# when a fresh record has no baseline (a new bench shipped without
+# committing its baseline: rerun with
+# LITEWORP_BENCH_DIR=$PWD/crates/bench/baseline — an absolute path,
+# because cargo runs bench binaries from the package directory — and
+# commit the result).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_GATE_TOLERANCE:-5.0}"
+BASELINE_DIR="crates/bench/baseline"
+FRESH_DIR="$(mktemp -d)"
+trap 'rm -rf "$FRESH_DIR"' EXIT
+
+if ! ls "$BASELINE_DIR"/BENCH_*.json >/dev/null 2>&1; then
+    echo "bench gate: no baselines in $BASELINE_DIR — generate them with:"
+    echo "  LITEWORP_BENCH_DIR=\$PWD/$BASELINE_DIR cargo bench -p liteworp-bench --offline"
+    exit 1
+fi
+
+echo "bench gate: running release benches (tolerance ${TOLERANCE}x)"
+LITEWORP_BENCH_DIR="$FRESH_DIR" cargo bench -p liteworp-bench --offline
+
+# Records are single-line flat JSON objects written by the std-only
+# timing harness; "value" is the headline number (ns/iter or mean ms).
+extract_value() {
+    sed -n 's/.*"value":\([0-9.eE+-]*\).*/\1/p' "$1"
+}
+
+fail=0
+checked=0
+for baseline in "$BASELINE_DIR"/BENCH_*.json; do
+    name="$(basename "$baseline")"
+    fresh="$FRESH_DIR/$name"
+    if [ ! -f "$fresh" ]; then
+        echo "bench gate: FAIL $name — baseline has no fresh record (bench deleted or renamed?)"
+        fail=1
+        continue
+    fi
+    base_value="$(extract_value "$baseline")"
+    fresh_value="$(extract_value "$fresh")"
+    if [ -z "$base_value" ] || [ -z "$fresh_value" ]; then
+        echo "bench gate: FAIL $name — cannot parse 'value' (baseline='$base_value' fresh='$fresh_value')"
+        fail=1
+        continue
+    fi
+    checked=$((checked + 1))
+    if awk -v fresh="$fresh_value" -v base="$base_value" -v tol="$TOLERANCE" \
+        'BEGIN { exit !(fresh <= base * tol) }'; then
+        ratio="$(awk -v f="$fresh_value" -v b="$base_value" 'BEGIN { printf "%.2f", f / b }')"
+        echo "bench gate: ok   $name  (${ratio}x of baseline)"
+    else
+        echo "bench gate: FAIL $name — fresh $fresh_value vs baseline $base_value exceeds ${TOLERANCE}x"
+        fail=1
+    fi
+done
+
+for fresh in "$FRESH_DIR"/BENCH_*.json; do
+    name="$(basename "$fresh")"
+    if [ ! -f "$BASELINE_DIR/$name" ]; then
+        echo "bench gate: FAIL $name — new bench has no committed baseline; regenerate $BASELINE_DIR"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench gate: FAILED"
+    exit 1
+fi
+echo "bench gate: OK (${checked} benches within ${TOLERANCE}x of baseline)"

@@ -4,8 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release (offline)"
-cargo build --release --offline
+echo "==> cargo build --release (offline, whole workspace)"
+# --workspace matters here too: a bare build covers only the root
+# package, leaving member binaries (lint, chaos_fuzz, the figure CLIs,
+# liteworp-served, liteworp-load) unbuilt for the gates below.
+cargo build --release --workspace --offline
 
 echo "==> cargo test (offline, whole workspace)"
 # --workspace matters: the root manifest is both the workspace and the
@@ -26,13 +29,16 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
-echo "==> benches compile (offline)"
-cargo build --benches --offline
+echo "==> bench regression gate (runs the release benches, compares baselines)"
+./scripts/bench_gate.sh
 
 echo "==> chaos_fuzz smoke (fixed-seed fault-injection gate)"
 ./target/release/chaos_fuzz --smoke --no-cache
 
 echo "==> resilience smoke (resume / deterministic retries / cache self-heal)"
 ./scripts/resilience_smoke.sh
+
+echo "==> served smoke (daemon + load generator drain determinism)"
+./scripts/served_smoke.sh
 
 echo "CI OK"

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Served-mode smoke: the daemon's drain-determinism contract, end to end
+# against the release binaries.
+#
+#   1. Start a fresh `liteworp-served` daemon on an ephemeral port and a
+#      throwaway state dir, and run the deterministic load generator
+#      against it (mixed kinds, duplicate submissions, a cancel
+#      fraction). The generator itself asserts: every request answered
+#      `ok`, every duplicated submission deduplicated at least once,
+#      every experiment drained to `done`.
+#   2. Do the same against a second fresh daemon, same seed.
+#   3. Require the two sorted digest files to be byte-identical: whatever
+#      the socket interleaving was, the served results are a pure
+#      function of the request set and seeds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVED=./target/release/liteworp-served
+LOAD=./target/release/liteworp-load
+TMP=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# Starts a daemon on 127.0.0.1:0, waits for its address line, and sets
+# ADDR/DAEMON_PID. The load generator's --shutdown flag stops it.
+start_daemon() {
+    local state_dir=$1
+    local out=$2
+    "$SERVED" --addr 127.0.0.1:0 --state-dir "$state_dir" >"$out" 2>"$out.err" &
+    DAEMON_PID=$!
+    ADDR=""
+    for _ in $(seq 1 200); do
+        ADDR=$(sed -n 's/^listening on //p' "$out" | head -n 1)
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || {
+            echo "daemon died on startup:" >&2
+            cat "$out" "$out.err" >&2
+            exit 1
+        }
+        sleep 0.05
+    done
+    echo "daemon never announced its address" >&2
+    exit 1
+}
+
+run_load() {
+    local digests=$1
+    "$LOAD" --addr "$ADDR" --requests 60 --connections 4 --seed 42 \
+        --cancel-fraction 0.2 --digests "$digests" --shutdown || {
+        echo "load generator failed" >&2
+        exit 1
+    }
+    wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+
+echo "==> served smoke run A (fresh daemon + seeded load)"
+start_daemon "$TMP/state-a" "$TMP/daemon-a.out"
+run_load "$TMP/digests-a.txt"
+
+echo "==> served smoke run B (second fresh daemon, same seed)"
+start_daemon "$TMP/state-b" "$TMP/daemon-b.out"
+run_load "$TMP/digests-b.txt"
+
+[ -s "$TMP/digests-a.txt" ] || { echo "run A produced no digests" >&2; exit 1; }
+if ! cmp -s "$TMP/digests-a.txt" "$TMP/digests-b.txt"; then
+    echo "drain determinism violated — digest sets differ:" >&2
+    diff "$TMP/digests-a.txt" "$TMP/digests-b.txt" >&2 || true
+    exit 1
+fi
+
+echo "served smoke OK ($(wc -l < "$TMP/digests-a.txt") identical digests)"
