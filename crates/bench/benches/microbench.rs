@@ -13,6 +13,7 @@ use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp::watch::WatchBuffer;
 use liteworp_analysis::special::{binomial_tail, regularized_incomplete_beta};
 use liteworp_bench::timing::{bench, black_box};
+use liteworp_obs as obs;
 use liteworp_runner::cache::{CacheLoad, ResultCache};
 use liteworp_runner::Json;
 
@@ -149,6 +150,37 @@ fn bench_cache_lookup() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_obs() {
+    // The observability plane's cost contract. Disabled (the default for
+    // every experiment bin unless --profile-folded is passed), a span is
+    // one relaxed atomic load and a branch; enabled, it pays two clock
+    // reads plus the thread-local stack push/pop.
+    obs::disable();
+    bench("obs/span_disabled", || obs::span("job"));
+
+    // The malc/update/windowed workload with a disabled span around
+    // every update: obs_smoke.sh holds this within 5% of the unspanned
+    // malc/update/windowed record from the same run.
+    bench("malc/update/windowed_spanned", || {
+        let mut t = MalcTable::new(1_000_000);
+        let mut out = 0u32;
+        for i in 0..64u64 {
+            let _span = obs::span("job");
+            out = t.record(NodeId((i % 8) as u32), 2, Micros(i * 40_000));
+        }
+        out
+    });
+
+    obs::enable();
+    {
+        // Nested under a long-lived root, the common shape in the bins.
+        let _outer = obs::span("request");
+        bench("obs/span_enabled", || obs::span("job"));
+    }
+    obs::disable();
+    obs::profile::reset();
+}
+
 fn bench_special_functions() {
     bench("special/binomial_tail_200", || {
         binomial_tail(black_box(200), black_box(120), black_box(0.55))
@@ -164,6 +196,7 @@ fn main() {
     bench_keys();
     bench_monitor_pipeline();
     bench_malc();
+    bench_obs();
     bench_cache_lookup();
     bench_special_functions();
 }

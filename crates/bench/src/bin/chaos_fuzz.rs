@@ -27,12 +27,14 @@
 use liteworp_bench::chaos_exec::{execute_chaos, run_chaos_cells, ChaosCell, ChaosOutcome};
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::Scenario;
 use liteworp_chaos::{parse_crashes, parse_drifts, FaultPlan, FuzzProfile, Immunity};
 use liteworp_runner::{JobSpec, Pcg32};
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "chaos_fuzz");
     let code = if flags.get_bool("replay") {
         replay(&flags)
     } else if flags.get_bool("smoke") {
@@ -40,6 +42,7 @@ fn main() {
     } else {
         sweep(&flags)
     };
+    prof.finish();
     std::process::exit(code);
 }
 

@@ -6,12 +6,14 @@
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::cost::{cost_table, CostConfig};
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "cost_table");
     let cfg = CostConfig {
         nodes: flags.get_usize("nodes", 100),
         duration: flags.get_f64("duration", 500.0),
@@ -40,4 +42,5 @@ fn main() {
         "{}",
         render_table(&["quantity", "analytical", "measured"], &table)
     );
+    prof.finish();
 }

@@ -12,6 +12,7 @@
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::sweep::{run_with, SweepConfig};
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
@@ -19,6 +20,7 @@ use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "detection_sweep");
     let cfg = SweepConfig {
         seeds: flags.get_u64("seeds", 10),
         duration: flags.get_f64("duration", 800.0),
@@ -77,4 +79,5 @@ fn main() {
         "\n{}",
         Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
     );
+    prof.finish();
 }

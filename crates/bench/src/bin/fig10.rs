@@ -14,6 +14,7 @@ use liteworp::config::Config;
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::fig10::{run_with, Fig10Config};
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
@@ -21,6 +22,7 @@ use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "fig10");
     let cfg = Fig10Config {
         nodes: flags.get_usize("nodes", 100),
         seeds: flags.get_u64("seeds", 10),
@@ -79,4 +81,5 @@ fn main() {
         "\n{}",
         Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
     );
+    prof.finish();
 }

@@ -6,12 +6,14 @@
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::fig6;
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::{fmt_prob, render_table};
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "fig6a");
     TelemetryFlags::from_flags(&flags).export_scenario(
         &Scenario {
             malicious: 2,
@@ -50,4 +52,5 @@ fn main() {
             None => println!("  P(detect) >= {target:.2}  ->  unattainable"),
         }
     }
+    prof.finish();
 }

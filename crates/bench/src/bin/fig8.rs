@@ -12,6 +12,7 @@
 use liteworp_bench::cli::Flags;
 use liteworp_bench::exec::ExecOptions;
 use liteworp_bench::experiments::fig8::{run_with, Fig8Config};
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
@@ -19,6 +20,7 @@ use liteworp_runner::Json;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "fig8");
     let cfg = Fig8Config {
         nodes: flags.get_usize("nodes", 100),
         seeds: flags.get_u64("seeds", 10),
@@ -77,4 +79,5 @@ fn main() {
         "\n{}",
         Json::Arr(series.iter().map(|s| s.to_json()).collect()).dump()
     );
+    prof.finish();
 }

@@ -11,11 +11,13 @@
 
 use liteworp::config::Config;
 use liteworp_bench::cli::Flags;
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::{Scenario, ScenarioAttack};
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "run_scenario");
     let attack_name = std::env::args()
         .skip(1)
         .collect::<Vec<_>>()
@@ -110,4 +112,5 @@ fn main() {
         m.frames_collided,
         m.collision_fraction()
     );
+    prof.finish();
 }

@@ -6,12 +6,14 @@
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::tables::{table1, Table1Config};
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "table1");
     let cfg = Table1Config {
         nodes: flags.get_usize("nodes", 40),
         duration: flags.get_f64("duration", 400.0),
@@ -68,4 +70,5 @@ fn main() {
             &table
         )
     );
+    prof.finish();
 }

@@ -6,12 +6,14 @@
 
 use liteworp_bench::cli::Flags;
 use liteworp_bench::experiments::tables::table2;
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::report::render_table;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "table2");
     TelemetryFlags::from_flags(&flags).export_scenario(
         &Scenario {
             malicious: 2,
@@ -32,4 +34,5 @@ fn main() {
         "{}",
         render_table(&["parameter", "paper", "this repo"], &table)
     );
+    prof.finish();
 }

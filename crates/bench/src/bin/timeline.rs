@@ -5,12 +5,14 @@
 //!        --trace PATH --metrics PATH
 
 use liteworp_bench::cli::Flags;
+use liteworp_bench::obs_out::ProfileFlags;
 use liteworp_bench::telemetry_out::TelemetryFlags;
 use liteworp_bench::timeline::{render, timeline};
 use liteworp_bench::Scenario;
 
 fn main() {
     let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "timeline");
     let mut run = Scenario {
         nodes: flags.get_usize("nodes", 50),
         malicious: flags.get_usize("malicious", 2),
@@ -29,4 +31,5 @@ fn main() {
         run.data_delivered(),
         run.wormhole_dropped()
     );
+    prof.finish();
 }

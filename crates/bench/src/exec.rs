@@ -9,6 +9,7 @@
 
 use crate::scenario::Scenario;
 use liteworp_chaos::EngineFaultPlan;
+use liteworp_obs as obs;
 use liteworp_runner::supervisor::{JobContext, JobFailure, JobFaultHook, Supervision};
 use liteworp_runner::{
     pool, CacheValue, JobSpec, Json, Manifest, ProgressObserver, ResultCache, RunConfig, RunReport,
@@ -360,13 +361,20 @@ pub fn summarize(outcomes: &[SeedOutcome], metric: impl Fn(&SeedOutcome) -> f64)
 }
 
 fn execute(cell: &SimCell, derived_seed: u64, ctx: &JobContext) -> Result<SeedOutcome, JobFailure> {
+    let _job = obs::span("job");
     let mut scenario = cell.scenario.clone();
     scenario.seed = derived_seed;
-    let mut run = scenario.build();
+    let mut run = {
+        let _span = obs::span("neighbor_discovery");
+        scenario.build()
+    };
     let mut drops_at = Vec::with_capacity(cell.sample_times.len());
     for &t in &cell.sample_times {
         ctx.charge_sim_to_secs(t)?;
-        run.run_until_secs(t);
+        {
+            let _span = obs::span("event_loop");
+            run.run_until_secs(t);
+        }
         drops_at.push(run.wormhole_dropped() as f64);
     }
     // Step the tail in chunks, charging sim time before each, so a
@@ -379,6 +387,7 @@ fn execute(cell: &SimCell, derived_seed: u64, ctx: &JobContext) -> Result<SeedOu
     while t < cell.duration {
         t = (t + chunk).min(cell.duration);
         ctx.charge_sim_to_secs(t)?;
+        let _span = obs::span("event_loop");
         run.run_until_secs(t);
     }
 

@@ -10,6 +10,7 @@ pub mod chaos_exec;
 pub mod cli;
 pub mod exec;
 pub mod experiments;
+pub mod obs_out;
 pub mod report;
 pub mod scenario;
 pub mod telemetry_out;

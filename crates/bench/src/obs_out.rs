@@ -1,0 +1,79 @@
+//! The `--profile-folded [path]` flag every experiment binary accepts:
+//! turn on the observability plane for the run and write the folded-stack
+//! self-profile at exit.
+//!
+//! Bare `--profile-folded` writes `PROFILE_<bin>.folded` in the working
+//! directory; `--profile-folded <path>` writes there. The output is the
+//! standard folded format (`frame;frame;frame self_us`, one line per
+//! distinct stack), which flamegraph renderers consume directly:
+//!
+//! ```text
+//! flamegraph.pl PROFILE_fig8.folded > fig8.svg
+//! ```
+
+use crate::cli::Flags;
+use liteworp_obs as obs;
+use std::path::PathBuf;
+
+/// Where (and whether) to write the folded self-profile, parsed from the
+/// CLI. Constructing this with the flag present enables the span plane
+/// for the whole process, so construct it before any work worth
+/// profiling.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileFlags {
+    /// Destination of the folded output, when requested.
+    pub folded: Option<PathBuf>,
+}
+
+impl ProfileFlags {
+    /// Reads `--profile-folded` from parsed flags; `bin` names the
+    /// default output file `PROFILE_<bin>.folded`.
+    pub fn from_flags(flags: &Flags, bin: &str) -> Self {
+        let folded = flags.get_str("profile-folded").map(|v| {
+            if v == "true" {
+                PathBuf::from(format!("PROFILE_{bin}.folded"))
+            } else {
+                PathBuf::from(v)
+            }
+        });
+        if folded.is_some() {
+            obs::enable();
+        }
+        ProfileFlags { folded }
+    }
+
+    /// Writes the accumulated profile. Call once, at the end of the run;
+    /// no-op when the flag was absent.
+    pub fn finish(&self) {
+        let Some(path) = &self.folded else {
+            return;
+        };
+        match obs::profile::write_folded(path) {
+            Ok(()) => eprintln!("obs: wrote folded profile to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_forms_parse() {
+        let bare = ProfileFlags::from_flags(&Flags::parse(["--profile-folded"]), "fig8");
+        assert_eq!(
+            bare.folded.as_deref(),
+            Some(std::path::Path::new("PROFILE_fig8.folded"))
+        );
+        let with_path =
+            ProfileFlags::from_flags(&Flags::parse(["--profile-folded", "out.folded"]), "fig8");
+        assert_eq!(
+            with_path.folded.as_deref(),
+            Some(std::path::Path::new("out.folded"))
+        );
+        assert!(ProfileFlags::from_flags(&Flags::default(), "fig8")
+            .folded
+            .is_none());
+    }
+}

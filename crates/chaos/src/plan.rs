@@ -519,18 +519,24 @@ mod tests {
         assert!(parse_crashes("3@5-2x").is_err());
         assert!(parse_crashes("nope").is_err());
         assert!(parse_drifts("1@fast").is_err());
-        let mut plan = FaultPlan::default();
-        plan.drop = 1.5;
+        let plan = FaultPlan {
+            drop: 1.5,
+            ..Default::default()
+        };
         assert!(plan.validate().is_err());
-        let mut plan = FaultPlan::default();
-        plan.delay = 0.1;
+        let plan = FaultPlan {
+            delay: 0.1,
+            ..Default::default()
+        };
         assert!(plan.validate().is_err(), "delay without jitter bound");
-        let mut plan = FaultPlan::default();
-        plan.crashes = vec![CrashWindow {
-            node: 0,
-            from_us: 5,
-            until_us: 5,
-        }];
+        let plan = FaultPlan {
+            crashes: vec![CrashWindow {
+                node: 0,
+                from_us: 5,
+                until_us: 5,
+            }],
+            ..Default::default()
+        };
         assert!(plan.validate().is_err(), "empty crash window");
     }
 }

@@ -299,18 +299,16 @@ fn skip_number(b: &[u8], mut i: usize) -> usize {
     i += 1;
     while i < b.len() {
         let c = b[i];
-        if c == b'_' || c.is_ascii_alphanumeric() {
-            i += 1;
-        } else if c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
-            i += 1;
-        } else if (c == b'+' || c == b'-')
-            && matches!(b.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
-            && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-        {
-            i += 1; // exponent sign: 1.5e-3
-        } else {
+        let in_literal = c == b'_'
+            || c.is_ascii_alphanumeric()
+            || (c == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == b'+' || c == b'-') // exponent sign: 1.5e-3
+                && matches!(b.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
+                && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()));
+        if !in_literal {
             break;
         }
+        i += 1;
     }
     i
 }

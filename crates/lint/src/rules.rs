@@ -66,6 +66,11 @@ pub const RULES: &[RuleInfo] = &[
         invariant: "KIND_COUNT and KIND_NAMES stay exhaustive against EventKind",
     },
     RuleInfo {
+        id: "S003",
+        summary: "obs metric/span name literal missing from the crates/obs name registry",
+        invariant: "every observable name is declared in names.rs and documented",
+    },
+    RuleInfo {
         id: "L001",
         summary: "lint: allow comment without a justification",
         invariant: "every exception carries a written reason",
@@ -256,6 +261,80 @@ pub fn telemetry_rules(file: &SourceFile, lexed: &Lexed) -> Vec<Diagnostic> {
             message,
         })
         .collect()
+}
+
+/// The obs name registry as parsed from `crates/obs/src/names.rs` (S003).
+#[derive(Debug, Clone, Default)]
+pub struct ObsNames {
+    /// Declared span names (`SPAN_NAMES`).
+    pub spans: Vec<String>,
+    /// Declared metric names (`METRIC_NAMES`).
+    pub metrics: Vec<String>,
+}
+
+/// Extracts `SPAN_NAMES` and `METRIC_NAMES` from the obs names file.
+/// `None` when either list cannot be located (the caller reports S003).
+pub fn parse_obs_names(src: &str, toks: &[Token]) -> Option<ObsNames> {
+    Some(ObsNames {
+        spans: collect_array_strings(src, toks, "SPAN_NAMES")?,
+        metrics: collect_array_strings(src, toks, "METRIC_NAMES")?,
+    })
+}
+
+/// S003: every literal name at an `obs::span(…)` / `obs::counter(…)` /
+/// `obs::gauge(…)` / `obs::histogram(…)` call site must appear in the
+/// obs name registry, so no orphan time series can ship. Matches both
+/// the `obs::` alias and the full `liteworp_obs::` path; names built at
+/// runtime are out of scope (the registry covers their span component).
+pub fn obs_name_rules(file: &SourceFile, lexed: &Lexed, names: &ObsNames) -> Vec<Diagnostic> {
+    if !matches!(file.class, FileClass::Lib | FileClass::Bin) {
+        return Vec::new();
+    }
+    let src = &file.src;
+    let toks = &lexed.tokens;
+    let regions = test_regions(src, toks);
+    let in_test = |off: usize| regions.iter().any(|&(lo, hi)| (lo..hi).contains(&off));
+    let mut out = Vec::new();
+    for i in 3..toks.len() {
+        let t = toks[i];
+        if t.kind != Kind::Ident || in_test(t.lo) {
+            continue;
+        }
+        let func = &src[t.lo..t.hi];
+        if !matches!(func, "span" | "counter" | "gauge" | "histogram") {
+            continue;
+        }
+        let qualified = punct_at(toks, i - 1, ':')
+            && punct_at(toks, i - 2, ':')
+            && (ident_at(src, toks, i - 3, "obs") || ident_at(src, toks, i - 3, "liteworp_obs"));
+        if !qualified || !punct_at(toks, i + 1, '(') {
+            continue;
+        }
+        let Some(lit) = toks.get(i + 2).filter(|t| t.kind == Kind::Str) else {
+            continue;
+        };
+        let name = src[lit.lo..lit.hi].trim_matches('"');
+        let (list, list_name) = if func == "span" {
+            (&names.spans, "SPAN_NAMES")
+        } else {
+            (&names.metrics, "METRIC_NAMES")
+        };
+        if !list.iter().any(|n| n == name) {
+            let (line, col) = lexed.line_col(lit.lo);
+            out.push(Diagnostic {
+                rule: "S003",
+                path: file.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "obs name \"{name}\" at `obs::{func}(…)` is not declared in {list_name} \
+                     (crates/obs/src/names.rs); register it there and document it in \
+                     EXPERIMENTS.md so no orphan time series ships"
+                ),
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -454,6 +533,12 @@ fn const_usize_value(src: &str, toks: &[Token], name: &str) -> Option<usize> {
 
 /// Counts the string literals in `<name>: [&str; _] = [ "…", … ];`.
 fn count_array_strings(src: &str, toks: &[Token], name: &str) -> Option<usize> {
+    collect_array_strings(src, toks, name).map(|v| v.len())
+}
+
+/// The string literals in `<name>: … = [ "…", … ];` (also behind a `&`
+/// as in `&[&str] = &[ … ]`), unquoted, in declaration order.
+fn collect_array_strings(src: &str, toks: &[Token], name: &str) -> Option<Vec<String>> {
     for i in 0..toks.len() {
         if !ident_at(src, toks, i, name) {
             continue;
@@ -479,11 +564,12 @@ fn count_array_strings(src: &str, toks: &[Token], name: &str) -> Option<usize> {
             return None;
         }
         let end = skip_bracket_group(toks, j);
-        let count = toks[j + 1..end.saturating_sub(1)]
+        let values = toks[j + 1..end.saturating_sub(1)]
             .iter()
             .filter(|t| t.kind == Kind::Str)
-            .count();
-        return Some(count);
+            .map(|t| src[t.lo..t.hi].trim_matches('"').to_string())
+            .collect();
+        return Some(values);
     }
     None
 }

@@ -14,6 +14,10 @@ use std::path::{Path, PathBuf};
 /// (S002). Workspace-relative.
 pub const TELEMETRY_EVENT_FILE: &str = "crates/telemetry/src/event.rs";
 
+/// The obs name registry every `obs::span(…)`/`obs::counter(…)` literal
+/// must appear in (S003). Workspace-relative.
+pub const OBS_NAMES_FILE: &str = "crates/obs/src/names.rs";
+
 /// Directories never scanned (fixture corpora contain deliberate
 /// violations; `target` is build output).
 const SKIP_DIRS: &[&str] = &["target", "corpus", ".git"];
@@ -24,7 +28,31 @@ const SKIP_DIRS: &[&str] = &["target", "corpus", ".git"];
 pub fn check_workspace(root: &Path) -> Result<(Vec<Diagnostic>, usize), String> {
     let files = collect_files(root)?;
     let count = files.len();
+    let obs_names = files
+        .iter()
+        .find(|f| f.path == OBS_NAMES_FILE)
+        .and_then(|f| {
+            let lexed = Lexed::lex(&f.src);
+            rules::parse_obs_names(&f.src, &lexed.tokens)
+        });
     let mut diags = Vec::new();
+    match &obs_names {
+        Some(names) => {
+            for file in &files {
+                let lexed = Lexed::lex(&file.src);
+                diags.extend(rules::obs_name_rules(file, &lexed, names));
+            }
+        }
+        None => diags.push(Diagnostic {
+            rule: "S003",
+            path: OBS_NAMES_FILE.to_string(),
+            line: 1,
+            col: 1,
+            message: "could not locate SPAN_NAMES / METRIC_NAMES — the obs name registry \
+                      moved; update the S003 checker"
+                .to_string(),
+        }),
+    }
     for file in &files {
         diags.extend(crate::check_file(file));
         if file.path == TELEMETRY_EVENT_FILE {

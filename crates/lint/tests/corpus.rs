@@ -116,6 +116,34 @@ fn s002_telemetry_exhaustiveness() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+/// S003 cross-checks `obs::` call-site literals against the obs name
+/// registry. The corpus fixtures run against a synthetic registry so the
+/// test does not chase the real names.rs contents.
+#[test]
+fn s003_obs_name_registry() {
+    let names = rules::ObsNames {
+        spans: vec!["event_loop".to_string()],
+        metrics: vec![
+            "served.jobs_total".to_string(),
+            "served.queue_depth".to_string(),
+        ],
+    };
+
+    let bad = fixture("S003_bad.rs", false);
+    let lexed = Lexed::lex(&bad.src);
+    let diags = rules::obs_name_rules(&bad, &lexed, &names);
+    assert_eq!(
+        spans(&diags),
+        vec![("S003", 5, 28), ("S003", 6, 27)],
+        "{diags:?}"
+    );
+
+    let clean = fixture("S003_clean.rs", false);
+    let lexed = Lexed::lex(&clean.src);
+    let diags = rules::obs_name_rules(&clean, &lexed, &names);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 /// The ISSUE's explicit requirement: an allow comment without a written
 /// reason is rejected (L001) *and* fails to suppress the violation it
 /// sits next to.

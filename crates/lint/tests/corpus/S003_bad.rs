@@ -1,0 +1,7 @@
+//! S003: a literal name at an `obs::` call site that is missing from the
+//! obs name registry ships an orphan time series.
+
+pub fn f() {
+    let _guard = obs::span("unregistered_phase");
+    liteworp_obs::counter("served.unregistered_total").inc();
+}

@@ -1,0 +1,11 @@
+//! S003 clean: every literal at an `obs::` call site is declared in the
+//! registry; runtime-built names and local helpers named `span` are out
+//! of scope.
+
+pub fn f(span: fn(&str) -> u32) {
+    let _guard = obs::span("event_loop");
+    liteworp_obs::counter("served.jobs_total").inc();
+    obs::gauge("served.queue_depth").set(0);
+    // A free function that happens to be called `span` is not an obs site.
+    let _ = span("anything_goes");
+}

@@ -1094,7 +1094,7 @@ mod tests {
         sim.push_node(Box::new(Sink::default()));
         sim.run_until(SimTime::from_secs_f64(2.0));
         let heard = sink_of(&sim, NodeId(1)).heard.len();
-        assert!(heard >= 4 && heard <= 6, "heard {heard} of 10");
+        assert!((4..=6).contains(&heard), "heard {heard} of 10");
         assert!(sim.metrics().get("fault_rx_while_down") >= 4);
     }
 

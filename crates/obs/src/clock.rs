@@ -1,0 +1,37 @@
+//! The observability plane's wall-clock boundary — the **only** place in
+//! this crate that reads the host clock.
+//!
+//! Readings are microseconds since a process-wide anchor taken at the
+//! first call, so they are cheap monotonic `u64`s rather than absolute
+//! timestamps. Nothing here ever feeds simulation state: span durations,
+//! request ages, and daemon uptime are output-only. The lint gate
+//! (`liteworp-lint` rule L004) pins the `allow(D001)` sites to this
+//! file.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    // lint: allow(D001) obs wall-clock seam: duration-only readings that
+    // never feed simulation state (results stay bit-identical)
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process-wide anchor (first call).
+/// Monotonic and cheap; saturates only after ~584 thousand years.
+pub fn now_micros() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotonic() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+    }
+}

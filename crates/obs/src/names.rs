@@ -1,0 +1,70 @@
+//! The obs name registry: every metric and span name the workspace uses
+//! with a literal at an `obs::counter(…)` / `obs::gauge(…)` /
+//! `obs::histogram(…)` / `obs::span(…)` call site must appear here.
+//!
+//! The lint gate (rule S003) cross-checks call sites against these
+//! lists, so a typo'd or undocumented name fails CI instead of silently
+//! producing an orphan time series. Names derived at runtime (the
+//! per-span latency histograms `span_us.<span>`) are covered through
+//! [`SPAN_NAMES`].
+//!
+//! See EXPERIMENTS.md §"Runtime observability" for what each name means.
+
+/// Every span name, i.e. every phase of the runtime the profiler can
+/// attribute time to. Taxonomy: `request` → `sweep` (daemon drain
+/// thread) and `job` → sim phases (pool worker threads).
+pub const SPAN_NAMES: &[&str] = &[
+    "detection",
+    "event_loop",
+    "job",
+    "neighbor_discovery",
+    "request",
+    "sweep",
+    "watch_buffer",
+];
+
+/// Every registered metric name (counters and gauges).
+pub const METRIC_NAMES: &[&str] = &[
+    "served.active_drains",
+    "served.cache_hits",
+    "served.cache_misses",
+    "served.jobs_total",
+    "served.journal_hits",
+    "served.queue_depth",
+    "served.requests_cancelled",
+    "served.requests_done",
+    "served.requests_failed",
+    "served.requests_submitted",
+];
+
+/// Whether `name` is a registered span name.
+pub fn is_span_name(name: &str) -> bool {
+    SPAN_NAMES.binary_search(&name).is_ok()
+}
+
+/// Whether `name` is a registered metric name.
+pub fn is_metric_name(name: &str) -> bool {
+    METRIC_NAMES.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_sorted_and_unique() {
+        for list in [SPAN_NAMES, METRIC_NAMES] {
+            for pair in list.windows(2) {
+                assert!(pair[0] < pair[1], "{pair:?} out of order or duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_checks_work() {
+        assert!(is_span_name("event_loop"));
+        assert!(!is_span_name("no_such_span"));
+        assert!(is_metric_name("served.queue_depth"));
+        assert!(!is_metric_name("served.bogus"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration tests for the observability plane: concurrent metric
+//! updates snapshot and merge deterministically, and a span tree is
+//! reconstructable from the profiler's folded output alone.
+
+use liteworp_obs as obs;
+use liteworp_telemetry::Histogram;
+
+/// Eight threads hammer one counter and one histogram; the snapshot must
+/// account for every update, and merging per-shard snapshots must be
+/// order-independent (the merge is associative and commutative).
+#[test]
+fn concurrent_increments_snapshot_and_merge_deterministically() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 1000;
+    let counter = obs::counter("test.it.concurrent_counter");
+    let hist = obs::histogram("test.it.concurrent_hist");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    hist.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counters.get("test.it.concurrent_counter"),
+        Some(&(THREADS * PER_THREAD))
+    );
+    let h = snap
+        .histograms
+        .get("test.it.concurrent_hist")
+        .expect("registered");
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max(), Some(THREADS * PER_THREAD - 1));
+    // Interleaving-independent sum: 0 + 1 + … + (N*P - 1).
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.sum(), n * (n - 1) / 2);
+
+    // Shard merge determinism: distinct per-worker snapshots with
+    // overlapping names fold to the same result in any order.
+    let shard = |offset: u64| {
+        let mut s = obs::Snapshot::default();
+        s.counters.insert("shared.counter".into(), offset);
+        s.counters.insert(format!("only.{offset}"), 1);
+        s.gauges.insert("shared.gauge".into(), offset as i64 - 2);
+        let mut h = Histogram::default();
+        h.record(offset);
+        h.record(offset * 1000 + 7);
+        s.histograms.insert("shared.hist".into(), h);
+        s
+    };
+    let shards: Vec<obs::Snapshot> = (1..=4).map(shard).collect();
+    let mut forward = obs::Snapshot::default();
+    for s in &shards {
+        forward.merge(s);
+    }
+    let mut backward = obs::Snapshot::default();
+    for s in shards.iter().rev() {
+        backward.merge(s);
+    }
+    assert_eq!(forward, backward, "merge order must not matter");
+    assert_eq!(forward.counters.get("shared.counter"), Some(&10));
+    assert_eq!(forward.gauges.get("shared.gauge"), Some(&2));
+    assert_eq!(
+        forward.histograms.get("shared.hist").map(Histogram::count),
+        Some(8)
+    );
+    // And the merged result still round-trips through JSON.
+    let json = forward.to_json();
+    assert_eq!(obs::Snapshot::from_json(&json), Some(forward));
+}
+
+/// Runs a known span tree, then rebuilds its shape and inclusive times
+/// from nothing but the folded profile text.
+#[test]
+fn span_tree_reconstructs_from_folded_output() {
+    obs::enable();
+    obs::profile::reset();
+    let root_id;
+    let sweep_id;
+    {
+        let _request = obs::span("request");
+        root_id = obs::current_span_id().expect("root id");
+        {
+            let _sweep = obs::span("sweep");
+            sweep_id = obs::current_span_id().expect("sweep id");
+            for _ in 0..2 {
+                let _job = obs::span("job");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        {
+            let _detect = obs::span("detection");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+    let folded = obs::profile::folded();
+    let profile = obs::profile::parse_folded(&folded);
+    let stacks: Vec<&Vec<String>> = profile.keys().collect();
+    assert!(
+        stacks.iter().any(|s| s.as_slice() == ["request"]),
+        "missing root stack in {folded:?}"
+    );
+    assert!(stacks
+        .iter()
+        .any(|s| s.as_slice() == ["request", "sweep", "job"]));
+    assert!(stacks
+        .iter()
+        .any(|s| s.as_slice() == ["request", "detection"]));
+
+    // Inclusive times recovered by prefix summation are monotone down
+    // the tree and reflect the sleeps the leaves did.
+    let inclusive = obs::profile::inclusive_times(&profile);
+    let at = |path: &[&str]| -> u64 {
+        let key: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+        *inclusive.get(&key).expect("inclusive path")
+    };
+    let request = at(&["request"]);
+    let sweep = at(&["request", "sweep"]);
+    let job = at(&["request", "sweep", "job"]);
+    let detection = at(&["request", "detection"]);
+    assert!(request >= sweep + detection, "{folded}");
+    assert!(sweep >= job);
+    assert!(job >= 4_000, "two 2 ms sleeps: {job} us");
+    assert!(detection >= 1_000);
+
+    // The IDs observed live are the deterministic ones: a second run of
+    // the same shape sees the same identifiers.
+    {
+        let _request = obs::span("request");
+        assert_eq!(obs::current_span_id(), Some(root_id));
+        let _sweep = obs::span("sweep");
+        assert_eq!(obs::current_span_id(), Some(sweep_id));
+    }
+}

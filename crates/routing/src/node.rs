@@ -28,6 +28,7 @@ use liteworp_netsim::prelude::{
     Context, Dest, Frame, FrameSpec, MalcReason, NodeLogic, SimDuration, SimTime, TraceKind,
 };
 use liteworp_netsim::rng::Rng;
+use liteworp_obs as obs;
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -503,7 +504,10 @@ impl ProtocolNode {
             },
             _ => return,
         };
-        let effects = lw.observe_packet(&obs, micros(ctx.now()));
+        let effects = {
+            let _span = obs::span("watch_buffer");
+            lw.observe_packet(&obs, micros(ctx.now()))
+        };
         self.apply_effects(ctx, effects);
     }
 
@@ -533,6 +537,10 @@ impl ProtocolNode {
     }
 
     fn apply_effects(&mut self, ctx: &mut Context<'_, Packet>, effects: Vec<Effect>) {
+        if effects.is_empty() {
+            return;
+        }
+        let _span = obs::span("detection");
         let (fabrication_weight, drop_weight) = self
             .lw
             .as_ref()

@@ -13,9 +13,7 @@ struct Sample {
 
 impl CacheValue for Sample {
     fn to_json(&self) -> Json {
-        let mut obj = Vec::new();
-        obj.push(("value".to_string(), Json::Num(self.value)));
-        Json::Obj(obj)
+        Json::Obj(vec![("value".to_string(), Json::Num(self.value))])
     }
     fn from_json(json: &Json) -> Option<Self> {
         Some(Sample {

@@ -12,7 +12,9 @@
 //!
 //! Flags: --addr HOST:PORT (required), --requests N (2000),
 //!        --connections K (8), --seed S (42), --cancel-fraction P (0.0),
-//!        --digests PATH (stdout), --shutdown
+//!        --digests PATH (stdout), --stats-json PATH (off; fetch the
+//!        daemon's `stats` response after the drain and write it there),
+//!        --shutdown
 //!
 //! Exits 0 only if every request got an `ok` response, every experiment
 //! reached `done`, and every duplicated submission was deduplicated at
@@ -334,6 +336,17 @@ fn run() -> Result<(), String> {
         tally.dedups.iter().sum::<u64>(),
         digests.len()
     );
+
+    if let Some(path) = flags.get_str("stats-json").map(std::path::PathBuf::from) {
+        let stats = client.expect_ok(r#"{"op":"stats"}"#)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&path, format!("{}\n", stats.dump()))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("liteworp-load: wrote daemon stats to {}", path.display());
+    }
 
     if flags.get_bool("shutdown") {
         client.expect_ok(r#"{"op":"shutdown"}"#)?;

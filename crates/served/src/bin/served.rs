@@ -1,13 +1,15 @@
 //! The LITEWORP sweep-service daemon.
 //!
 //! Listens on a TCP socket, speaks the length-delimited JSONL protocol
-//! (`submit`, `status`, `cancel`, `subscribe`, `ping`, `shutdown`), and
-//! serves every request from one warm engine: shared worker pool, shared
-//! result cache, one resume journal per in-flight request.
+//! (`submit`, `status`, `cancel`, `subscribe`, `stats`, `ping`,
+//! `shutdown`), and serves every request from one warm engine: shared
+//! worker pool, shared result cache, one resume journal per in-flight
+//! request.
 //!
 //! Flags: --addr HOST:PORT (127.0.0.1:0), --state-dir DIR
 //!        (results/served), --jobs N (all cores), --drainers N (2),
-//!        --resume, --no-cache
+//!        --resume, --no-cache, --metrics-interval SECS (off; broadcast
+//!        a `{"stream":"metrics",…}` frame to subscribers this often)
 //!
 //! Prints `listening on HOST:PORT` to stdout once bound (port 0 picks a
 //! free port), then serves until a client sends `shutdown`. Queued work
@@ -31,6 +33,7 @@ fn main() {
         drainers: flags.get_usize("drainers", 2),
         resume: flags.get_bool("resume"),
         no_cache: flags.get_bool("no-cache"),
+        metrics_interval: flags.get_opt_f64("metrics-interval"),
     };
     eprintln!(
         "liteworp-served: state dir {}, {} drainer(s), cache {}, resume {}",

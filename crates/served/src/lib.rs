@@ -6,8 +6,8 @@
 //! content-addressed result cache, per-request resume journals — and
 //! serves experiment sweeps to many concurrent clients over a
 //! length-delimited JSONL socket protocol (`submit`, `status`, `cancel`,
-//! `subscribe`, `ping`, `shutdown`; see `EXPERIMENTS.md` §"Served
-//! mode").
+//! `subscribe`, `stats`, `ping`, `shutdown`; see `EXPERIMENTS.md`
+//! §"Served mode").
 //!
 //! Determinism contract: a sweep served by the daemon produces the
 //! byte-identical `results_digest` the batch binaries produce for the

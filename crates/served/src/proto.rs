@@ -39,6 +39,9 @@ pub enum Request {
         /// The request key.
         req: u64,
     },
+    /// Live daemon introspection: queue depth, drain concurrency, cache
+    /// hit/miss counters, WAL size, per-phase latency quantiles, uptime.
+    Stats,
     /// Liveness probe.
     Ping,
     /// Stop accepting work and shut the daemon down cleanly.
@@ -87,10 +90,12 @@ impl Request {
             "subscribe" => Ok(Request::Subscribe {
                 req: req_field(&json)?,
             }),
+            "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (known: submit, status, cancel, subscribe, ping, shutdown)"
+                "unknown op {other:?} (known: submit, status, cancel, subscribe, stats, ping, \
+                 shutdown)"
             )),
         }
     }
@@ -196,6 +201,13 @@ mod tests {
                 .unwrap_err()
                 .contains("object")
         );
+    }
+
+    #[test]
+    fn stats_parses_and_is_listed_in_the_unknown_op_hint() {
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        let hint = Request::parse(r#"{"op":"nope"}"#).unwrap_err();
+        assert!(hint.contains("stats"), "{hint}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::proto::{err_response, format_key, ok_response, request_key, Request};
 use crate::state::{DoneInfo, ReqPhase, RequestState, RequestWal, WalRecord};
 use liteworp_bench::catalog;
 use liteworp_bench::exec::{run_cells_on, SimCell, SIM_CODE_VERSION};
+use liteworp_obs as obs;
 use liteworp_runner::supervisor::Supervision;
 use liteworp_runner::{Json, ProgressObserver, ResultCache, SweepEngine};
 use std::collections::{BTreeMap, VecDeque};
@@ -52,6 +53,9 @@ pub struct ServerConfig {
     pub resume: bool,
     /// Disable the shared result cache.
     pub no_cache: bool,
+    /// Broadcast a `{"stream":"metrics",…}` frame to every subscriber
+    /// this often (seconds). `None` disables the periodic stream.
+    pub metrics_interval: Option<f64>,
 }
 
 impl ServerConfig {
@@ -65,6 +69,7 @@ impl ServerConfig {
             drainers: 2,
             resume: false,
             no_cache: false,
+            metrics_interval: None,
         }
     }
 }
@@ -72,6 +77,56 @@ impl ServerConfig {
 /// Cap on telemetry lines retained per traced request, so a subscriber
 /// replay cannot hold an unbounded event log in memory.
 pub const TRACE_LINE_CAP: usize = 2000;
+
+/// The daemon's registered metric handles (see `liteworp_obs::names`
+/// for the registry S003 checks these literals against). Handles are
+/// plain atomics, live whether or not the span plane is on.
+struct ServedMetrics {
+    requests_submitted: obs::Counter,
+    requests_done: obs::Counter,
+    requests_failed: obs::Counter,
+    requests_cancelled: obs::Counter,
+    jobs_total: obs::Counter,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    journal_hits: obs::Counter,
+    queue_depth: obs::Gauge,
+    active_drains: obs::Gauge,
+}
+
+impl ServedMetrics {
+    fn new() -> ServedMetrics {
+        ServedMetrics {
+            requests_submitted: obs::counter("served.requests_submitted"),
+            requests_done: obs::counter("served.requests_done"),
+            requests_failed: obs::counter("served.requests_failed"),
+            requests_cancelled: obs::counter("served.requests_cancelled"),
+            jobs_total: obs::counter("served.jobs_total"),
+            cache_hits: obs::counter("served.cache_hits"),
+            cache_misses: obs::counter("served.cache_misses"),
+            journal_hits: obs::counter("served.journal_hits"),
+            queue_depth: obs::gauge("served.queue_depth"),
+            active_drains: obs::gauge("served.active_drains"),
+        }
+    }
+}
+
+/// Holds a gauge one higher for the guard's lifetime (early returns
+/// included).
+struct GaugeHold(obs::Gauge);
+
+impl GaugeHold {
+    fn new(gauge: obs::Gauge) -> GaugeHold {
+        gauge.add(1);
+        GaugeHold(gauge)
+    }
+}
+
+impl Drop for GaugeHold {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
+}
 
 struct DaemonState {
     engine: SweepEngine,
@@ -82,6 +137,10 @@ struct DaemonState {
     wal: RequestWal,
     state_dir: PathBuf,
     local_addr: SocketAddr,
+    metrics: ServedMetrics,
+    drainer_count: usize,
+    /// Obs-clock reading at startup, for `uptime_ms`.
+    started_us: u64,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -90,7 +149,10 @@ fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
 
 impl DaemonState {
     fn enqueue(&self, key: u64) {
-        lock(&self.queue).push_back(key);
+        let mut queue = lock(&self.queue);
+        queue.push_back(key);
+        self.metrics.queue_depth.set(queue.len() as i64);
+        drop(queue);
         self.work.notify_one();
     }
 
@@ -114,12 +176,16 @@ pub struct Server {
     state: Arc<DaemonState>,
     accept: Option<std::thread::JoinHandle<()>>,
     drainers: Vec<std::thread::JoinHandle<()>>,
+    metrics_pump: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds, replays the WAL when resuming, and starts the accept and
     /// drainer threads.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        // The daemon always runs with the span plane on: its per-phase
+        // latency quantiles (the `stats` op) come from span closings.
+        obs::enable();
         std::fs::create_dir_all(&cfg.state_dir)?;
         let wal_path = cfg.state_dir.join("requests.jsonl");
         if !cfg.resume {
@@ -144,6 +210,9 @@ impl Server {
             wal,
             state_dir: cfg.state_dir.clone(),
             local_addr,
+            metrics: ServedMetrics::new(),
+            drainer_count: cfg.drainers.max(1),
+            started_us: obs::clock::now_micros(),
         });
         replay(&state, records);
 
@@ -157,11 +226,16 @@ impl Server {
                 std::thread::spawn(move || drain_loop(state))
             })
             .collect();
+        let metrics_pump = cfg.metrics_interval.filter(|s| *s > 0.0).map(|secs| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || metrics_loop(state, secs))
+        });
 
         Ok(Server {
             state,
             accept: Some(accept),
             drainers,
+            metrics_pump,
         })
     }
 
@@ -186,6 +260,9 @@ impl Server {
         }
         for d in self.drainers.drain(..) {
             let _ = d.join();
+        }
+        if let Some(pump) = self.metrics_pump.take() {
+            let _ = pump.join();
         }
     }
 }
@@ -267,6 +344,7 @@ fn drain_loop(state: Arc<DaemonState>) {
                     return;
                 }
                 if let Some(key) = queue.pop_front() {
+                    state.metrics.queue_depth.set(queue.len() as i64);
                     break key;
                 }
                 queue = state
@@ -287,11 +365,14 @@ fn drain_one(state: &DaemonState, key: u64) {
     if !req.set_running() {
         return; // a cancel won the race, or a stale queue entry
     }
+    let _request_span = obs::span("request");
+    let _active = GaugeHold::new(state.metrics.active_drains.clone());
     let cells = match catalog::cells_for(&req.kind, &req.params) {
         Ok(cells) => cells,
         Err(e) => {
             // Submit validated this, so only a version-skewed WAL replay
             // can land here.
+            state.metrics.requests_failed.inc();
             req.complete(Err(format!("catalog rejected request: {e}")), Vec::new());
             return;
         }
@@ -321,11 +402,19 @@ fn drain_one(state: &DaemonState, key: u64) {
         })
     };
 
-    let run = run_cells_on(&state.engine, &cells, &sup, Some(observer));
+    let run = {
+        let _sweep_span = obs::span("sweep");
+        run_cells_on(&state.engine, &cells, &sup, Some(observer))
+    };
     let m = &run.manifest;
+    state.metrics.jobs_total.add(m.jobs as u64);
+    state.metrics.cache_hits.add(m.cache_hits as u64);
+    state.metrics.cache_misses.add(m.cache_misses as u64);
+    state.metrics.journal_hits.add(m.journal_hits as u64);
     if m.failed > 0 {
         // Keep the journal: completed jobs replay if the request is
         // retried after a restart.
+        state.metrics.requests_failed.inc();
         req.complete(
             Err(format!("{} of {} jobs quarantined", m.failed, m.jobs)),
             Vec::new(),
@@ -350,7 +439,112 @@ fn drain_one(state: &DaemonState, key: u64) {
         info: info.clone(),
     });
     let _ = std::fs::remove_file(&journal);
+    state.metrics.requests_done.inc();
     req.complete(Ok(info), trace_lines);
+}
+
+/// Builds one `{"stream":"metrics",…}` frame: uptime, queue depth, and
+/// the full registry snapshot.
+fn metrics_frame(state: &DaemonState) -> String {
+    Json::object([
+        ("stream", Json::from("metrics")),
+        (
+            "uptime_ms",
+            Json::from(obs::clock::now_micros().saturating_sub(state.started_us) / 1_000),
+        ),
+        ("metrics", obs::snapshot().to_json()),
+    ])
+    .dump()
+}
+
+/// Periodically broadcasts a metrics frame to every subscriber of every
+/// live request (`--metrics-interval`). Sleeps in short steps so
+/// shutdown is honored promptly.
+fn metrics_loop(state: Arc<DaemonState>, interval_secs: f64) {
+    let step = std::time::Duration::from_millis(50);
+    let steps_per_tick = ((interval_secs / 0.05).ceil() as u64).max(1);
+    loop {
+        for _ in 0..steps_per_tick {
+            if state.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(step);
+        }
+        let frame = metrics_frame(&state);
+        let requests: Vec<Arc<RequestState>> = lock(&state.registry).values().cloned().collect();
+        for req in requests {
+            req.broadcast(&frame);
+        }
+    }
+}
+
+/// The `stats` response body: live daemon figures plus the full metrics
+/// snapshot. `phase_latency_us` summarizes the per-span histograms the
+/// drain and simulate paths feed (`span_us.<name>` series).
+fn stats_pairs(state: &DaemonState) -> Vec<(String, Json)> {
+    let queue_depth = lock(&state.queue).len();
+    let phases: Vec<(ReqPhase, u64)> = {
+        let registry = lock(&state.registry);
+        registry.values().map(|r| (r.phase(), r.key)).collect()
+    };
+    let count = |want: &str| phases.iter().filter(|(p, _)| p.name() == want).count();
+    let wal_bytes = std::fs::metadata(&state.wal.path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let snapshot = obs::snapshot();
+    let phase_latency: Vec<(String, Json)> = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let phase = name.strip_prefix("span_us.")?;
+            Some((
+                phase.to_string(),
+                Json::object([
+                    ("count", Json::from(h.count())),
+                    ("p50", Json::from(h.p50())),
+                    ("p95", Json::from(h.p95())),
+                    ("max", Json::from(h.max())),
+                ]),
+            ))
+        })
+        .collect();
+    let m = &state.metrics;
+    vec![
+        (
+            "uptime_ms".to_string(),
+            Json::from(obs::clock::now_micros().saturating_sub(state.started_us) / 1_000),
+        ),
+        ("queue_depth".to_string(), Json::from(queue_depth)),
+        ("drainers".to_string(), Json::from(state.drainer_count)),
+        (
+            "active_drains".to_string(),
+            Json::from(m.active_drains.get().max(0) as u64),
+        ),
+        (
+            "requests".to_string(),
+            Json::object([
+                ("registered", Json::from(phases.len())),
+                ("queued", Json::from(count("queued"))),
+                ("running", Json::from(count("running"))),
+                ("submitted", Json::from(m.requests_submitted.get())),
+                ("done", Json::from(m.requests_done.get())),
+                ("failed", Json::from(m.requests_failed.get())),
+                ("cancelled", Json::from(m.requests_cancelled.get())),
+            ]),
+        ),
+        (
+            "jobs".to_string(),
+            Json::object([
+                ("total", Json::from(m.jobs_total.get())),
+                ("cache_hits", Json::from(m.cache_hits.get())),
+                ("cache_misses", Json::from(m.cache_misses.get())),
+                ("journal_hits", Json::from(m.journal_hits.get())),
+            ]),
+        ),
+        ("wal_bytes".to_string(), Json::from(wal_bytes)),
+        ("phase_latency_us".to_string(), Json::Obj(phase_latency)),
+        ("metrics".to_string(), snapshot.to_json()),
+    ]
 }
 
 /// Runs one instrumented seed of the request's first cell and wraps its
@@ -430,17 +624,28 @@ fn handle_connection(stream: TcpStream, state: Arc<DaemonState>) -> std::io::Res
                 write_frame(&mut writer, &response)?;
             }
             Request::Status { req } => {
-                let response = match lock(&state.registry).get(&req) {
-                    Some(r) => ok_response(r.status_json()),
+                // Registry and queue locks are taken one at a time (the
+                // drain path does the same), so a stale position is
+                // possible but a deadlock is not.
+                let entry = lock(&state.registry).get(&req).cloned();
+                let response = match entry {
+                    Some(r) => {
+                        let queue_position = lock(&state.queue).iter().position(|k| *k == req);
+                        ok_response(r.status_json(queue_position))
+                    }
                     None => err_response(&format!("unknown request {}", format_key(req))),
                 };
                 write_frame(&mut writer, &response)?;
+            }
+            Request::Stats => {
+                write_frame(&mut writer, &ok_response(stats_pairs(&state)))?;
             }
             Request::Cancel { req } => {
                 let response = match lock(&state.registry).get(&req).cloned() {
                     Some(r) => {
                         let cancelled = r.cancel();
                         if cancelled {
+                            state.metrics.requests_cancelled.inc();
                             let _ = state.wal.append(&WalRecord::Cancelled { key: req });
                         }
                         ok_response([
@@ -503,6 +708,7 @@ fn submit(state: &DaemonState, kind: String, params: Json, trace: bool) -> Strin
             let req = Arc::new(RequestState::new(key, kind.clone(), params.clone(), trace));
             registry.insert(key, req);
             drop(registry);
+            state.metrics.requests_submitted.inc();
             let _ = state.wal.append(&WalRecord::Submitted {
                 key,
                 kind,
@@ -521,6 +727,7 @@ fn submit(state: &DaemonState, kind: String, params: Json, trace: bool) -> Strin
             if req.requeue() {
                 // A cancelled request revived: log a fresh submission so
                 // WAL replay re-enqueues it, and queue it again.
+                state.metrics.requests_submitted.inc();
                 let _ = state.wal.append(&WalRecord::Submitted {
                     key,
                     kind: req.kind.clone(),

@@ -79,6 +79,8 @@ struct ReqInner {
     phase: ReqPhase,
     subs: Vec<mpsc::Sender<String>>,
     trace_lines: Vec<String>,
+    /// Obs-clock reading of the (latest) submission, for `age_ms`.
+    submitted_us: u64,
 }
 
 /// One registered request: immutable identity plus mutex-guarded
@@ -107,6 +109,7 @@ impl RequestState {
                 phase: ReqPhase::Queued,
                 subs: Vec::new(),
                 trace_lines: Vec::new(),
+                submitted_us: liteworp_obs::clock::now_micros(),
             }),
         }
     }
@@ -160,6 +163,7 @@ impl RequestState {
         if inner.phase == ReqPhase::Cancelled {
             inner.phase = ReqPhase::Queued;
             inner.trace_lines.clear();
+            inner.submitted_us = liteworp_obs::clock::now_micros();
             true
         } else {
             false
@@ -212,14 +216,22 @@ impl RequestState {
     }
 
     /// The `status` response body for this request (without the `ok`
-    /// field).
-    pub fn status_json(&self) -> Vec<(String, Json)> {
+    /// field). `queue_position` is the request's 0-based place in the
+    /// drain queue, passed in by the server for queued requests only.
+    pub fn status_json(&self, queue_position: Option<usize>) -> Vec<(String, Json)> {
         let inner = self.lock();
+        let age_us = liteworp_obs::clock::now_micros().saturating_sub(inner.submitted_us);
         let mut pairs = vec![
             ("req".to_string(), Json::from(format_key(self.key))),
             ("kind".to_string(), Json::from(self.kind.clone())),
             ("phase".to_string(), Json::from(inner.phase.name())),
+            ("age_ms".to_string(), Json::from(age_us / 1_000)),
         ];
+        if inner.phase == ReqPhase::Queued {
+            if let Some(pos) = queue_position {
+                pairs.push(("queue_position".to_string(), Json::from(pos)));
+            }
+        }
         match &inner.phase {
             ReqPhase::Done(info) => pairs.extend(done_pairs(info)),
             ReqPhase::Failed(reason) => {
@@ -437,6 +449,21 @@ mod tests {
         assert!(!req.set_running(), "cancel wins the race to the drainer");
         assert!(req.requeue());
         assert_eq!(req.phase(), ReqPhase::Queued);
+    }
+
+    #[test]
+    fn status_reports_age_and_queue_position_while_queued() {
+        let req = RequestState::new(11, "fig9".into(), Json::Null, false);
+        let status = Json::Obj(req.status_json(Some(3)));
+        assert!(status.get("age_ms").and_then(Json::as_u64).is_some());
+        assert_eq!(status.get("queue_position").and_then(Json::as_u64), Some(3));
+
+        // Once past Queued the position is gone, even if the caller
+        // passes one; age keeps counting from the submission.
+        req.set_running();
+        let status = Json::Obj(req.status_json(Some(0)));
+        assert_eq!(status.get("queue_position"), None);
+        assert!(status.get("age_ms").and_then(Json::as_u64).is_some());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use liteworp_runner::Json;
 use liteworp_served::frame::{read_frame, write_frame};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};

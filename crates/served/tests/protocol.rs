@@ -357,6 +357,159 @@ fn traced_requests_replay_telemetry_to_late_subscribers() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `stats` op against a live daemon: every documented key is
+/// present with the right shape, the figures reflect the traffic just
+/// served, and the embedded metrics snapshot round-trips through
+/// `liteworp_obs::Snapshot::from_json`. Queued requests additionally
+/// report their `queue_position`.
+#[test]
+fn stats_op_round_trips_its_schema_against_a_live_daemon() {
+    let dir = state_dir("stats");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.drainers = 1; // one drainer: the heavy request keeps the tiny one queued
+    let server = Server::start(cfg).expect("start");
+    let mut client = Client::connect(server.local_addr());
+
+    let heavy = client.ok(
+        r#"{"op":"submit","kind":"scenario","params":{"nodes":40,"seeds":4,"duration":600.0}}"#,
+    );
+    let heavy_req = heavy
+        .get("req")
+        .and_then(Json::as_str)
+        .expect("req")
+        .to_string();
+    let tiny = client.ok(&tiny_spec(16));
+    let tiny_req = tiny
+        .get("req")
+        .and_then(Json::as_str)
+        .expect("req")
+        .to_string();
+
+    // Satellite contract: a queued request reports its place in line
+    // and its age; a running/done one reports age only.
+    let status = client.ok(&format!(r#"{{"op":"status","req":"{tiny_req}"}}"#));
+    if status.get("phase").and_then(Json::as_str) == Some("queued") {
+        assert_eq!(status.get("queue_position").and_then(Json::as_u64), Some(0));
+    }
+    assert!(status.get("age_ms").and_then(Json::as_u64).is_some());
+
+    // Mid-drain stats: the daemon is busy right now.
+    let stats = client.ok(r#"{"op":"stats"}"#);
+    for key in ["uptime_ms", "queue_depth", "wal_bytes"] {
+        assert!(
+            stats.get(key).and_then(Json::as_u64).is_some(),
+            "stats missing numeric {key}: {}",
+            stats.dump()
+        );
+    }
+    assert_eq!(stats.get("drainers").and_then(Json::as_u64), Some(1));
+    assert!(stats.get("wal_bytes").and_then(Json::as_u64).expect("wal") > 0);
+    let requests = stats.get("requests").expect("requests object");
+    assert!(
+        requests
+            .get("registered")
+            .and_then(Json::as_u64)
+            .expect("registered")
+            >= 2
+    );
+    assert!(
+        requests
+            .get("submitted")
+            .and_then(Json::as_u64)
+            .expect("submitted")
+            >= 2
+    );
+
+    drain(&mut client, &heavy_req);
+    drain(&mut client, &tiny_req);
+
+    // Post-drain stats: per-phase latency histograms exist for the
+    // request and sweep spans, and done/jobs counters moved.
+    let stats = client.ok(r#"{"op":"stats"}"#);
+    let requests = stats.get("requests").expect("requests object");
+    assert!(requests.get("done").and_then(Json::as_u64).expect("done") >= 2);
+    let jobs = stats.get("jobs").expect("jobs object");
+    assert!(jobs.get("total").and_then(Json::as_u64).expect("total") >= 2);
+    let phases = stats.get("phase_latency_us").expect("phase latency object");
+    for phase in ["request", "sweep"] {
+        let entry = phases
+            .get(phase)
+            .unwrap_or_else(|| panic!("phase_latency_us missing {phase}: {}", stats.dump()));
+        assert!(entry.get("count").and_then(Json::as_u64).expect("count") >= 1);
+        let p50 = entry.get("p50").and_then(Json::as_u64).expect("p50");
+        let max = entry.get("max").and_then(Json::as_u64).expect("max");
+        assert!(p50 <= max, "{phase}: p50 {p50} > max {max}");
+    }
+
+    // The embedded metrics snapshot is a valid obs snapshot.
+    let snapshot = liteworp_obs::Snapshot::from_json(stats.get("metrics").expect("metrics"))
+        .expect("metrics snapshot parses back");
+    assert!(
+        snapshot
+            .counters
+            .get("served.requests_done")
+            .copied()
+            .unwrap_or(0)
+            >= 2,
+        "snapshot counters: {:?}",
+        snapshot.counters
+    );
+    assert!(snapshot.histograms.contains_key("span_us.sweep"));
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `--metrics-interval` set, subscribers receive periodic
+/// `{"stream":"metrics",…}` frames carrying a parseable registry
+/// snapshot alongside the usual progress stream.
+#[test]
+fn metrics_interval_streams_snapshots_to_subscribers() {
+    let dir = state_dir("metrics-stream");
+    let mut cfg = ServerConfig::new(&dir);
+    cfg.metrics_interval = Some(0.1);
+    let server = Server::start(cfg).expect("start");
+    let mut client = Client::connect(server.local_addr());
+    let submitted = client.ok(
+        r#"{"op":"submit","kind":"scenario","params":{"nodes":36,"seeds":4,"duration":400.0}}"#,
+    );
+    let req = submitted
+        .get("req")
+        .and_then(Json::as_str)
+        .expect("req")
+        .to_string();
+
+    let mut subscriber = Client::connect(server.local_addr());
+    subscriber.ok(&format!(r#"{{"op":"subscribe","req":"{req}"}}"#));
+    let frames = subscriber.stream_until_done();
+    let metrics: Vec<&Json> = frames
+        .iter()
+        .filter(|f| f.get("stream").and_then(Json::as_str) == Some("metrics"))
+        .collect();
+    assert!(
+        !metrics.is_empty(),
+        "a 400 sim-second sweep outlives a 100 ms metrics tick; frames: {}",
+        frames.len()
+    );
+    let frame = metrics[0];
+    assert!(frame.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let snapshot = liteworp_obs::Snapshot::from_json(frame.get("metrics").expect("metrics body"))
+        .expect("streamed snapshot parses");
+    assert!(
+        snapshot
+            .counters
+            .get("served.requests_submitted")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The determinism contract under fire: several clients race seeded
 /// mixes of submits and cancels; afterwards, the drained digest set must
 /// be identical to a second, fresh daemon run with the same seeds.

@@ -99,17 +99,26 @@ impl Histogram {
 
     /// Bucket-resolved quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket containing the `ceil(q·count)`-th smallest sample, clamped
-    /// to the observed max.
+    /// to the exactly tracked `[min, max]`. The extreme ranks are exact:
+    /// rank 1 is the observed minimum and rank `count` the observed
+    /// maximum, so `quantile(0.0)` / `quantile(1.0)` never report a
+    /// bucket bound no sample actually hit.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(bucket_upper(i).min(self.max));
+                return Some(bucket_upper(i).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -224,6 +233,32 @@ mod tests {
         assert_eq!(h.sum(), 5050);
         assert_eq!(h.quantile(0.0), Some(1));
         assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact_not_bucket_bounds() {
+        // One sample: every quantile is that sample, not its bucket's
+        // upper bound (5 sits in bucket [4, 7]).
+        let mut h = Histogram::default();
+        h.record(5);
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.quantile(0.0), Some(5));
+        assert_eq!(h.quantile(1.0), Some(5));
+
+        // Two samples: rank 1 is the exact min, rank 2 the exact max.
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), Some(5), "exact min, not bucket bound 7");
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.quantile(1.0), Some(1000), "exact max, not bound 1023");
+
+        // Mid-ranks stay bucket-resolved but clamp into [min, max]: with
+        // samples {900, 1000} the rank-1 answer is the exact min 900, and
+        // no answer can dip below it even though the bucket starts at 512.
+        let mut g = Histogram::default();
+        g.record(900);
+        g.record(1000);
+        assert_eq!(g.quantile(0.0), Some(900));
+        assert_eq!(g.p95(), Some(1000));
     }
 
     #[test]

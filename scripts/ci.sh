@@ -41,4 +41,7 @@ echo "==> resilience smoke (resume / deterministic retries / cache self-heal)"
 echo "==> served smoke (daemon + load generator drain determinism)"
 ./scripts/served_smoke.sh
 
+echo "==> obs smoke (daemon stats op, folded self-profile, span overhead)"
+./scripts/obs_smoke.sh
+
 echo "CI OK"
