@@ -13,6 +13,10 @@ use liteworp::types::{Micros, NodeId, PacketKind, PacketSig};
 use liteworp::watch::WatchBuffer;
 use liteworp_analysis::special::{binomial_tail, regularized_incomplete_beta};
 use liteworp_bench::timing::{bench, black_box};
+use liteworp_netsim::events::EventQueue;
+use liteworp_netsim::field::{Field, NodeId as SimNodeId};
+use liteworp_netsim::rng::{Pcg32, Rng};
+use liteworp_netsim::time::SimTime;
 use liteworp_obs as obs;
 use liteworp_runner::cache::{CacheLoad, ResultCache};
 use liteworp_runner::Json;
@@ -181,6 +185,49 @@ fn bench_obs() {
     obs::profile::reset();
 }
 
+fn bench_neighbor_discovery() {
+    // Full-network neighbor discovery over the spatial grid: every node's
+    // `in_range_of` query on an `N_B = 8` deployment. This is the sim's
+    // preload path and the query the grid exists for — before the index
+    // it was O(N) per node, so a lost index shows up here as an N²-shaped
+    // cliff between the two sizes.
+    for n in [1_000usize, 10_000] {
+        let mut rng = Pcg32::seed_from_u64(0xd15c);
+        let field = Field::with_average_neighbors(n, 8.0, 30.0, &mut rng);
+        bench(&format!("neighbor_discovery/{n}"), || {
+            let mut degree_total = 0usize;
+            for i in 0..n as u32 {
+                degree_total += field.in_range_of(SimNodeId(i)).len();
+            }
+            degree_total
+        });
+    }
+}
+
+fn bench_event_loop() {
+    // The indexed event queue under a tie-heavy schedule: timestamps drawn
+    // from a handful of distinct values so most orderings fall through to
+    // the (time, seq) tie-break, with steady-state push/pop churn layered
+    // on top — the simulator's inner-loop shape.
+    for pending in [1_024usize, 16_384] {
+        let mut rng = Pcg32::seed_from_u64(0x5eed);
+        let times: Vec<SimTime> = (0..pending)
+            .map(|_| SimTime::from_micros(rng.gen_range(0u64..16)))
+            .collect();
+        bench(&format!("event_loop/churn_{pending}"), || {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some((t, v)) = q.pop() {
+                acc = acc.wrapping_add(t.as_micros()).wrapping_add(v as u64);
+            }
+            acc
+        });
+    }
+}
+
 fn bench_special_functions() {
     bench("special/binomial_tail_200", || {
         binomial_tail(black_box(200), black_box(120), black_box(0.55))
@@ -196,6 +243,8 @@ fn main() {
     bench_keys();
     bench_monitor_pipeline();
     bench_malc();
+    bench_neighbor_discovery();
+    bench_event_loop();
     bench_obs();
     bench_cache_lookup();
     bench_special_functions();

@@ -6,7 +6,15 @@
 //!              [--protected 1] [--attack wormhole|encapsulation|highpower|relay|rushing]
 //!              [--duration 1000] [--seed 1] [--gamma 2] [--ct 6]
 //!              [--monitor-data 0] [--sample 100]
+//!              [--traffic-sources N] [--require-connected 1]
 //!              [--trace PATH] [--metrics PATH]
+//! ```
+//!
+//! `--traffic-sources` caps the number of data-originating nodes and
+//! `--require-connected 0` skips the connected-deployment retry — the
+//! scale knobs large runs need (see the `scale_sweep` binary).
+//!
+//! ```text
 //! ```
 
 use liteworp::config::Config;
@@ -47,6 +55,8 @@ fn main() {
             monitor_data: flags.get_u64("monitor-data", 0) != 0,
             ..Config::default()
         },
+        traffic_sources: flags.get_opt_usize("traffic-sources"),
+        require_connected: flags.get_u64("require-connected", 1) != 0,
         ..Scenario::default()
     };
     let duration = flags.get_f64("duration", 1000.0);

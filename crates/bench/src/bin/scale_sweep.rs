@@ -1,0 +1,110 @@
+//! Scale sweep: detection-probability and guard-coverage closed forms
+//! checked on 10³–10⁵-node deployments with active wormholes (see
+//! `experiments::scale_sweep`). Exits nonzero if any size violates the
+//! CI bounds.
+//!
+//! Flags: --nodes N[,N...] (default 1000,10000,100000), --seeds N (6),
+//!        --duration S (150), --traffic-sources N (64),
+//!        --guard-links N (2000), --smoke (one 10 000-node seed),
+//!        --jobs N, --no-cache, --cache-dir DIR, --trace PATH,
+//!        --metrics PATH
+//!
+//! Supervision (see EXPERIMENTS.md): --max-retries N, --job-deadline
+//! SIM_SECS, --journal PATH, --resume, --engine-faults P,
+//! --engine-fault-seed N
+
+use liteworp_bench::cli::Flags;
+use liteworp_bench::exec::ExecOptions;
+use liteworp_bench::experiments::scale_sweep::{check, run_with, scenario_for, ScaleSweepConfig};
+use liteworp_bench::obs_out::ProfileFlags;
+use liteworp_bench::report::render_table;
+use liteworp_bench::telemetry_out::TelemetryFlags;
+use liteworp_runner::Json;
+
+fn main() {
+    let flags = Flags::from_env();
+    let prof = ProfileFlags::from_flags(&flags, "scale_sweep");
+    let mut cfg = ScaleSweepConfig {
+        seeds: flags.get_u64("seeds", 6),
+        duration: flags.get_f64("duration", 150.0),
+        traffic_sources: flags.get_usize("traffic-sources", 64),
+        guard_links: flags.get_usize("guard-links", 2_000),
+        ..ScaleSweepConfig::default()
+    };
+    if flags.get_bool("smoke") {
+        // The CI smoke: a single 10 000-node wormhole run, still checked
+        // against both closed forms and digest-pinned by the caller.
+        cfg.node_counts = vec![10_000];
+        cfg.seeds = 1;
+    }
+    if let Some(list) = flags.get_str("nodes") {
+        cfg.node_counts = list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--nodes expects integers, got {s:?}"))
+            })
+            .collect();
+    }
+    eprintln!("running scale_sweep: {cfg:?}");
+    let (rows, manifest) = run_with(&cfg, &ExecOptions::from_flags(&flags));
+    eprintln!("{}", manifest.summary_line());
+    if let Some(&n) = cfg.node_counts.first() {
+        TelemetryFlags::from_flags(&flags).export_scenario(
+            &scenario_for(&cfg, n),
+            cfg.duration,
+            Some(&manifest),
+        );
+    }
+
+    println!(
+        "Scale sweep: closed forms vs simulation, N_B = {}, {} traffic sources, attack at 50 s\n",
+        cfg.avg_neighbors, cfg.traffic_sources
+    );
+    let header = [
+        "N",
+        "seeds",
+        "N_B meas",
+        "guards meas",
+        "guards exact",
+        "guards Eq(I)",
+        "P_detect sim",
+        "P_detect model",
+        "P_C",
+        "data",
+        "drops",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.nodes),
+                format!("{}", r.seeds),
+                format!("{:.2}", r.geometry.measured_neighbors),
+                format!("{:.2}", r.geometry.measured_guards),
+                format!("{:.2}", r.geometry.predicted_guards_exact),
+                format!("{:.2}", r.geometry.predicted_guards_paper),
+                format!("{:.3}", r.detection_rate),
+                format!("{:.3}", r.predicted_detection),
+                format!("{:.4}", r.collision_fraction),
+                format!("{:.0}", r.data_sent),
+                format!("{:.1}", r.drops),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &table));
+    println!(
+        "\n{}",
+        Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump()
+    );
+    prof.finish();
+
+    let violations = check(&rows);
+    for v in &violations {
+        eprintln!("BOUND VIOLATED: {v}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -22,7 +22,7 @@ use std::sync::Arc;
 /// Version string folded into every cache key. Bump the suffix whenever
 /// simulator or measurement behavior changes, so stale cached results are
 /// never reused across code versions.
-pub const SIM_CODE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+sim1");
+pub const SIM_CODE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+sim2");
 
 /// One experiment cell: a scenario configuration to run at many seeds.
 #[derive(Debug, Clone)]
@@ -99,6 +99,11 @@ pub struct SeedOutcome {
     pub isolation_latency: Option<f64>,
     /// Honest nodes falsely isolated anywhere in the network.
     pub false_isolations: f64,
+    /// Fraction of frame receptions lost to collisions — the measured
+    /// `P_C` the closed-form detection model takes as its one free
+    /// parameter (see `tests/differential_detection.rs` and the
+    /// `scale_sweep` experiment).
+    pub collision_fraction: f64,
 }
 
 impl CacheValue for SeedOutcome {
@@ -119,6 +124,7 @@ impl CacheValue for SeedOutcome {
             ),
             ("isolation_latency", Json::from(self.isolation_latency)),
             ("false_isolations", Json::from(self.false_isolations)),
+            ("collision_fraction", Json::from(self.collision_fraction)),
         ])
     }
 
@@ -143,6 +149,7 @@ impl CacheValue for SeedOutcome {
             first_detection_latency: opt("first_detection_latency")?,
             isolation_latency: opt("isolation_latency")?,
             false_isolations: f("false_isolations")?,
+            collision_fraction: f("collision_fraction")?,
         })
     }
 }
@@ -416,6 +423,7 @@ fn execute(cell: &SimCell, derived_seed: u64, ctx: &JobContext) -> Result<SeedOu
         first_detection_latency,
         isolation_latency: run.isolation_latency_secs(),
         false_isolations: falsely_isolated.len() as f64,
+        collision_fraction: run.sim().metrics().collision_fraction(),
     })
 }
 
@@ -457,6 +465,7 @@ mod tests {
             first_detection_latency: Some(4.25),
             isolation_latency: None,
             false_isolations: 0.0,
+            collision_fraction: 0.125,
         };
         let json = outcome.to_json();
         let parsed = Json::parse(&json.dump()).unwrap();

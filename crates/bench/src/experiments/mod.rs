@@ -6,5 +6,6 @@ pub mod fig10;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
+pub mod scale_sweep;
 pub mod sweep;
 pub mod tables;

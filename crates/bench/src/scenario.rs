@@ -41,7 +41,15 @@ pub enum ScenarioAttack {
 }
 
 /// Full description of one simulation run (defaults = Table 2).
-#[derive(Debug, Clone)]
+///
+/// `Debug` is implemented by hand: the per-seed RNG seeds of every
+/// experiment derive from the hash of this struct's Debug string (see
+/// `exec::SimCell::descriptor`), so the scale knobs at the tail are
+/// printed only when they deviate from the paper defaults. That keeps
+/// every paper-scale descriptor — and therefore every derived seed,
+/// cache key, and golden baseline — byte-identical to what it was
+/// before the knobs existed.
+#[derive(Clone)]
 pub struct Scenario {
     /// Total nodes `N` (Table 2: 20, 50, 100, 150).
     pub nodes: usize,
@@ -81,6 +89,38 @@ pub struct Scenario {
     /// Whether out-of-range alerts are relayed through a common neighbor
     /// (ablation knob; default on).
     pub relay_alerts: bool,
+    /// Number of nodes that originate data traffic (`None` = all). At
+    /// paper scale every node is a source; at 10⁵ nodes that would mean
+    /// 10⁵ concurrent route floods, so scale experiments cap the sources
+    /// — nodes with ids `>= k` never schedule data (their
+    /// `data_interval_mean` is cleared) but still relay, guard, and
+    /// answer route requests.
+    pub traffic_sources: Option<usize>,
+    /// Whether `build` insists on a fully connected deployment (the
+    /// paper-scale default). A random geometric graph at `N_B = 8` is
+    /// essentially never fully connected once `N` is large (connectivity
+    /// needs `N_B ≳ ln N`), so scale experiments disable the retry loop
+    /// and accept the giant component plus a few stragglers.
+    pub require_connected: bool,
+    /// Maximum hops for route-request floods (`None` = network-wide, the
+    /// paper's behavior). A 10⁵-node network is hundreds of hops across;
+    /// unscoped floods cost O(N) transmissions each, so scale runs scope
+    /// discovery like AODV's expanding-ring search (see
+    /// `NodeParams::rreq_ttl`).
+    pub discovery_ttl: Option<u8>,
+    /// When set, each traffic source only addresses destinations within
+    /// this many hops of itself (its pool is computed from the deployed
+    /// field). Keep it at most `discovery_ttl + 1` so scoped discoveries
+    /// actually reach their targets.
+    pub local_traffic_hops: Option<u32>,
+    /// Honest nodes within two hops of each colluder promoted to traffic
+    /// sources (in addition to `traffic_sources`). The paper's 100-node
+    /// field puts every source a few hops from the wormhole; a sparse
+    /// source cap on a 10⁵-node field would leave the attack starved, so
+    /// scale runs pin part of the traffic to the colluders'
+    /// neighborhoods, where detection — a per-link local property —
+    /// actually happens.
+    pub wormhole_local_sources: usize,
 }
 
 impl Default for Scenario {
@@ -103,7 +143,54 @@ impl Default for Scenario {
             radio: RadioConfig::default(),
             attack: ScenarioAttack::Wormhole,
             relay_alerts: true,
+            traffic_sources: None,
+            require_connected: true,
+            discovery_ttl: None,
+            local_traffic_hops: None,
+            wormhole_local_sources: 0,
         }
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Scenario");
+        s.field("nodes", &self.nodes)
+            .field("avg_neighbors", &self.avg_neighbors)
+            .field("malicious", &self.malicious)
+            .field("protected", &self.protected)
+            .field("liteworp", &self.liteworp)
+            .field("seed", &self.seed)
+            .field("attack_start", &self.attack_start)
+            .field("tunnel_latency", &self.tunnel_latency)
+            .field("forge", &self.forge)
+            .field("smart_reply", &self.smart_reply)
+            .field("data_mean", &self.data_mean)
+            .field("dest_change_mean", &self.dest_change_mean)
+            .field("route_timeout", &self.route_timeout)
+            .field("route_selection", &self.route_selection)
+            .field("radio", &self.radio)
+            .field("attack", &self.attack)
+            .field("relay_alerts", &self.relay_alerts);
+        // Scale knobs are elided at their paper defaults so the Debug
+        // string — which experiment seeds and cache keys hash — is
+        // unchanged for every pre-existing scenario (see the struct doc).
+        if self.traffic_sources.is_some() {
+            s.field("traffic_sources", &self.traffic_sources);
+        }
+        if !self.require_connected {
+            s.field("require_connected", &self.require_connected);
+        }
+        if self.discovery_ttl.is_some() {
+            s.field("discovery_ttl", &self.discovery_ttl);
+        }
+        if self.local_traffic_hops.is_some() {
+            s.field("local_traffic_hops", &self.local_traffic_hops);
+        }
+        if self.wormhole_local_sources != 0 {
+            s.field("wormhole_local_sources", &self.wormhole_local_sources);
+        }
+        s.finish()
     }
 }
 
@@ -125,15 +212,24 @@ impl Scenario {
     pub fn build(&self) -> ScenarioRun {
         assert!(self.malicious <= self.nodes, "more colluders than nodes");
         let mut rng = Pcg32::seed_from_u64(self.seed);
-        let field = Field::connected_with_average_neighbors(
-            self.nodes,
-            self.avg_neighbors,
-            self.radio.range_m,
-            500,
-            &mut rng,
-        )
-        // lint: allow(P002) documented panic: no deployment for this seed
-        .expect("no connected deployment found");
+        let field = if self.require_connected {
+            Field::connected_with_average_neighbors(
+                self.nodes,
+                self.avg_neighbors,
+                self.radio.range_m,
+                500,
+                &mut rng,
+            )
+            // lint: allow(P002) documented panic: no deployment for this seed
+            .expect("no connected deployment found")
+        } else {
+            Field::with_average_neighbors(
+                self.nodes,
+                self.avg_neighbors,
+                self.radio.range_m,
+                &mut rng,
+            )
+        };
         let malicious = choose_colluders(&field, self.malicious, &mut rng)
             // lint: allow(P002) documented panic: no placement for this seed
             .expect("no colluder placement more than 2 hops apart found");
@@ -148,14 +244,54 @@ impl Scenario {
             route_selection: self.route_selection,
             discovery: DiscoveryMode::Preloaded,
             relay_alerts: self.relay_alerts,
+            rreq_ttl: self.discovery_ttl,
             ..NodeParams::default()
         };
+
+        // The data-originating set: every node by default; with a source
+        // cap, the id prefix plus the colluders' honest two-hop
+        // neighborhoods (so a sparse cap cannot starve the attack).
+        let sources: Option<BTreeSet<usize>> = self.traffic_sources.map(|k| {
+            let mut set: BTreeSet<usize> = (0..k.min(self.nodes)).collect();
+            for &m in &malicious {
+                let mut promoted = 0;
+                for n in field.nodes_within_hops(SimId(m.0), 2) {
+                    if promoted == self.wormhole_local_sources {
+                        break;
+                    }
+                    if malicious.contains(&core_id(n)) {
+                        continue;
+                    }
+                    set.insert(n.index());
+                    promoted += 1;
+                }
+            }
+            set
+        });
 
         let attack_start = SimTime::from_secs_f64(self.attack_start);
         let mut sim = Simulator::new(field, self.radio.clone(), self.seed.wrapping_mul(31) + 7);
         for i in 0..self.nodes {
             let id = CoreId(i as u32);
-            let mut inner = ProtocolNode::new(id, params.clone());
+            let mut node_params = params.clone();
+            let is_source = sources.as_ref().is_none_or(|s| s.contains(&i));
+            if !is_source {
+                node_params.data_interval_mean = None;
+            } else if let Some(h) = self.local_traffic_hops {
+                let pool: Vec<CoreId> = sim
+                    .field()
+                    .nodes_within_hops(SimId(i as u32), h)
+                    .into_iter()
+                    .map(core_id)
+                    .collect();
+                if pool.is_empty() {
+                    // An isolated source has nobody to talk to.
+                    node_params.data_interval_mean = None;
+                } else {
+                    node_params.dest_pool = Some(pool);
+                }
+            }
+            let mut inner = ProtocolNode::new(id, node_params);
             if self.protected {
                 // lint: allow(P002) invariant: guarded by self.protected just above
                 let lw = inner.liteworp_mut().expect("protection enabled");
@@ -459,6 +595,83 @@ mod tests {
             prot.wormhole_dropped(),
             base.wormhole_dropped()
         );
+    }
+
+    #[test]
+    fn debug_elides_scale_knobs_at_paper_defaults() {
+        // Experiment seeds derive from the hash of this Debug string, so
+        // a default-knob scenario must render exactly as it did before
+        // the scale knobs existed — no new field names may appear.
+        let base = format!("{:?}", Scenario::default());
+        for knob in [
+            "traffic_sources",
+            "require_connected",
+            "discovery_ttl",
+            "local_traffic_hops",
+            "wormhole_local_sources",
+        ] {
+            assert!(!base.contains(knob), "default Debug leaks {knob}");
+        }
+        let scaled = format!(
+            "{:?}",
+            Scenario {
+                traffic_sources: Some(64),
+                require_connected: false,
+                discovery_ttl: Some(8),
+                local_traffic_hops: Some(8),
+                wormhole_local_sources: 8,
+                ..Scenario::default()
+            }
+        );
+        for knob in [
+            "traffic_sources: Some(64)",
+            "require_connected: false",
+            "discovery_ttl: Some(8)",
+            "local_traffic_hops: Some(8)",
+            "wormhole_local_sources: 8",
+        ] {
+            assert!(scaled.contains(knob), "scaled Debug missing {knob}");
+        }
+    }
+
+    #[test]
+    fn traffic_sources_cap_limits_data_origins() {
+        let mut capped = Scenario {
+            nodes: 30,
+            malicious: 0,
+            traffic_sources: Some(0),
+            ..Scenario::default()
+        }
+        .build();
+        capped.run_until_secs(200.0);
+        assert_eq!(capped.data_sent(), 0, "no sources, no data");
+
+        let mut some = Scenario {
+            nodes: 30,
+            malicious: 0,
+            traffic_sources: Some(5),
+            ..Scenario::default()
+        }
+        .build();
+        some.run_until_secs(200.0);
+        assert!(some.data_sent() > 0, "capped sources still send");
+    }
+
+    #[test]
+    fn unconnected_deployment_builds_and_runs() {
+        // require_connected = false takes whatever deployment the seed
+        // gives — possibly disconnected — without the retry loop.
+        let mut run = Scenario {
+            nodes: 40,
+            malicious: 2,
+            require_connected: false,
+            seed: 5,
+            ..Scenario::default()
+        }
+        .build();
+        run.run_until_secs(120.0);
+        assert_eq!(run.sim().node_count(), 40);
+        assert!(run.data_sent() > 0, "traffic flows in the giant component");
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //! suppression makes "did not rebroadcast" legitimate for a flood.
 
 use crate::types::{Micros, NodeId, PacketSig};
-use std::collections::VecDeque;
 
-/// One watched transmission.
+/// One watched transmission — the row view of the buffer's column
+/// storage, materialized on demand by [`WatchBuffer::entries`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchEntry {
     /// The node that transmitted the packet (the link's sending end).
@@ -32,6 +32,13 @@ pub struct WatchEntry {
     /// When the entry was armed (used for collision-grace decisions).
     pub armed_at: Micros,
     satisfied: bool,
+}
+
+impl WatchEntry {
+    /// Whether the expected forwarder already met its obligation.
+    pub fn satisfied(&self) -> bool {
+        self.satisfied
+    }
 }
 
 /// A bounded buffer of watched transmissions.
@@ -56,10 +63,25 @@ pub struct WatchEntry {
 /// // Nothing left to expire.
 /// assert!(buf.expire(Micros(600_000)).is_empty());
 /// ```
+/// Internally the buffer is a struct-of-arrays arena: one flat column per
+/// entry field, all indexed together, with live rows occupying
+/// `start..len` of every column. Guards scan the buffer on every overheard
+/// frame, so the dup-check and confirm scans touch only the dense columns
+/// they compare against (`prev`/`sig`/`expected`) instead of striding over
+/// whole row structs. Eviction bumps `start` (O(1)); expiry compacts in
+/// place preserving order — exactly the `VecDeque<WatchEntry>` semantics
+/// this layout replaced, which the unit tests below pin.
 #[derive(Debug, Clone)]
 pub struct WatchBuffer {
     capacity: usize,
-    entries: VecDeque<WatchEntry>,
+    /// First live row; rows before it were evicted and await compaction.
+    start: usize,
+    prev: Vec<NodeId>,
+    sig: Vec<PacketSig>,
+    expected: Vec<Option<NodeId>>,
+    deadline: Vec<Micros>,
+    armed_at: Vec<Micros>,
+    satisfied: Vec<bool>,
     evictions: u64,
 }
 
@@ -73,9 +95,65 @@ impl WatchBuffer {
         assert!(capacity > 0, "watch buffer needs capacity");
         WatchBuffer {
             capacity,
-            entries: VecDeque::new(),
+            start: 0,
+            prev: Vec::new(),
+            sig: Vec::new(),
+            expected: Vec::new(),
+            deadline: Vec::new(),
+            armed_at: Vec::new(),
+            satisfied: Vec::new(),
             evictions: 0,
         }
+    }
+
+    /// Copies row `from` into row `to` across every column.
+    fn copy_row(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        self.prev[to] = self.prev[from];
+        self.sig[to] = self.sig[from];
+        self.expected[to] = self.expected[from];
+        self.deadline[to] = self.deadline[from];
+        self.armed_at[to] = self.armed_at[from];
+        self.satisfied[to] = self.satisfied[from];
+    }
+
+    /// Truncates every column to `len` rows and resets the live offset.
+    fn truncate(&mut self, len: usize) {
+        self.prev.truncate(len);
+        self.sig.truncate(len);
+        self.expected.truncate(len);
+        self.deadline.truncate(len);
+        self.armed_at.truncate(len);
+        self.satisfied.truncate(len);
+        self.start = 0;
+    }
+
+    /// Reclaims the evicted prefix once it is at least as large as the
+    /// live region, keeping eviction amortized O(1).
+    fn maybe_compact(&mut self) {
+        if self.start > 0 && self.start * 2 >= self.prev.len() {
+            self.prev.drain(..self.start);
+            self.sig.drain(..self.start);
+            self.expected.drain(..self.start);
+            self.deadline.drain(..self.start);
+            self.armed_at.drain(..self.start);
+            self.satisfied.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// The live rows as materialized [`WatchEntry`] values, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = WatchEntry> + '_ {
+        (self.start..self.prev.len()).map(|i| WatchEntry {
+            prev: self.prev[i],
+            sig: self.sig[i],
+            expected_forwarder: self.expected[i],
+            deadline: self.deadline[i],
+            armed_at: self.armed_at[i],
+            satisfied: self.satisfied[i],
+        })
     }
 
     /// Records an overheard transmission of `sig` by `prev`.
@@ -106,25 +184,24 @@ impl WatchBuffer {
         deadline: Micros,
         armed_at: Micros,
     ) {
-        if self
-            .entries
-            .iter()
-            .any(|e| e.prev == prev && e.sig == sig && e.expected_forwarder == expected_forwarder)
-        {
+        let dup = (self.start..self.prev.len()).any(|i| {
+            self.prev[i] == prev && self.sig[i] == sig && self.expected[i] == expected_forwarder
+        });
+        if dup {
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        if self.len() == self.capacity {
+            // Evict the oldest live row; its storage is reclaimed lazily.
+            self.start += 1;
             self.evictions += 1;
         }
-        self.entries.push_back(WatchEntry {
-            prev,
-            sig,
-            expected_forwarder,
-            deadline,
-            armed_at,
-            satisfied: false,
-        });
+        self.maybe_compact();
+        self.prev.push(prev);
+        self.sig.push(sig);
+        self.expected.push(expected_forwarder);
+        self.deadline.push(deadline);
+        self.armed_at.push(armed_at);
+        self.satisfied.push(false);
     }
 
     /// Checks a forward of `sig` by `forwarder` claiming previous hop
@@ -143,11 +220,11 @@ impl WatchBuffer {
         forwarder: NodeId,
     ) -> bool {
         let mut found = false;
-        for e in &mut self.entries {
-            if e.prev == claimed_prev && e.sig == *sig {
+        for i in self.start..self.prev.len() {
+            if self.prev[i] == claimed_prev && self.sig[i] == *sig {
                 found = true;
-                if e.expected_forwarder == Some(forwarder) {
-                    e.satisfied = true;
+                if self.expected[i] == Some(forwarder) {
+                    self.satisfied[i] = true;
                 }
             }
         }
@@ -159,17 +236,18 @@ impl WatchBuffer {
     /// `(accused, sig, armed_at)` triples.
     pub fn expire(&mut self, now: Micros) -> Vec<(NodeId, PacketSig, Micros)> {
         let mut accusations = Vec::new();
-        self.entries.retain(|e| {
-            if e.deadline > now {
-                return true;
-            }
-            if let Some(a) = e.expected_forwarder {
-                if !e.satisfied {
-                    accusations.push((a, e.sig, e.armed_at));
+        let mut w = 0;
+        for i in self.start..self.prev.len() {
+            if self.deadline[i] > now {
+                self.copy_row(i, w);
+                w += 1;
+            } else if let Some(a) = self.expected[i] {
+                if !self.satisfied[i] {
+                    accusations.push((a, self.sig[i], self.armed_at[i]));
                 }
             }
-            false
-        });
+        }
+        self.truncate(w);
         accusations
     }
 
@@ -177,9 +255,9 @@ impl WatchBuffer {
     /// — used when the forwarder broadcast a route error: failing to
     /// forward for lack of a route is not a drop.
     pub fn absolve(&mut self, forwarder: NodeId, sig: &PacketSig) {
-        for e in &mut self.entries {
-            if e.expected_forwarder == Some(forwarder) && e.sig == *sig {
-                e.satisfied = true;
+        for i in self.start..self.prev.len() {
+            if self.expected[i] == Some(forwarder) && self.sig[i] == *sig {
+                self.satisfied[i] = true;
             }
         }
     }
@@ -189,18 +267,24 @@ impl WatchBuffer {
     /// rightly refusing its packets must not be charged with drops).
     /// Broadcast entries are kept — they still validate honest forwards.
     pub fn cancel_expectations_from(&mut self, prev: NodeId) {
-        self.entries
-            .retain(|e| e.prev != prev || e.expected_forwarder.is_none());
+        let mut w = 0;
+        for i in self.start..self.prev.len() {
+            if self.prev[i] != prev || self.expected[i].is_none() {
+                self.copy_row(i, w);
+                w += 1;
+            }
+        }
+        self.truncate(w);
     }
 
     /// Entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.prev.len() - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Entries evicted due to capacity pressure over the buffer's life.
@@ -211,7 +295,7 @@ impl WatchBuffer {
     /// Storage footprint per the Section 5.2 accounting: 20 bytes per
     /// entry.
     pub fn storage_bytes(&self) -> usize {
-        self.entries.len() * 20
+        self.len() * 20
     }
 }
 
@@ -338,5 +422,34 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_rejected() {
         WatchBuffer::new(0);
+    }
+
+    #[test]
+    fn sustained_eviction_churn_keeps_fifo_order() {
+        // Push far past capacity so the lazy-compaction path runs many
+        // times; the buffer must always hold the newest `capacity` rows in
+        // arrival order, like the VecDeque it replaced.
+        let mut buf = WatchBuffer::new(3);
+        for n in 0..50u64 {
+            buf.note_transmission(NodeId(2), sig(n), Some(NodeId(3)), Micros(1_000 + n));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.evictions(), 47);
+        let seqs: Vec<u64> = buf.entries().map(|e| e.sig.seq).collect();
+        assert_eq!(seqs, vec![47, 48, 49]);
+        assert!(!buf.entries().any(|e| e.satisfied()));
+        // Only the survivors can still be confirmed.
+        assert!(!buf.confirm_forward(NodeId(2), &sig(46), NodeId(3)));
+        assert!(buf.confirm_forward(NodeId(2), &sig(47), NodeId(3)));
+        // Expiry after eviction churn accuses exactly the unsatisfied rest.
+        let accused = buf.expire(Micros(2_000));
+        assert_eq!(
+            accused,
+            vec![
+                (NodeId(3), sig(48), Micros(0)),
+                (NodeId(3), sig(49), Micros(0)),
+            ]
+        );
+        assert!(buf.is_empty());
     }
 }

@@ -1,0 +1,149 @@
+//! The indexed event queue: a binary min-heap keyed by `(sim_time, seq)`.
+//!
+//! Determinism contract: events at the same simulated time pop in the order
+//! they were pushed. The queue stamps every push with a strictly increasing
+//! sequence number and orders entries by `(time, seq)`, so ties never fall
+//! through to heap-internal (unstable) ordering. This is the total order
+//! the pre-index simulator enforced with its inline `Scheduled` struct,
+//! extracted so it can be property-tested on its own.
+
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted so the std max-heap pops the earliest (time, seq) first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Example
+///
+/// ```
+/// use liteworp_netsim::events::EventQueue;
+/// use liteworp_netsim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_micros(5);
+/// q.push(t, "first");
+/// q.push(SimTime::from_micros(1), "early");
+/// q.push(t, "second");
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "early")));
+/// assert_eq!(q.pop(), Some((t, "first")), "ties pop in push order");
+/// assert_eq!(q.pop(), Some((t, "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`. Events pushed at the same time pop in
+    /// push order.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest `(time, event)` pair.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), 'c');
+        q.push(SimTime::from_micros(5), 'a');
+        q.push(SimTime::from_micros(10), 'd');
+        q.push(SimTime::from_micros(5), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn len_and_peek_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime::from_micros(3), ());
+        q.push(SimTime::from_micros(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(1)));
+        q.pop();
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(3)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_tie_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        q.push(t, 0u32);
+        q.push(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+}

@@ -7,7 +7,10 @@
 //! rest of the system needs: who is in range of whom, connectivity, and
 //! distance.
 
+use crate::grid::Buckets;
 use liteworp_runner::rng::Rng;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Identity of a node in the simulated network.
@@ -84,6 +87,48 @@ pub struct Field {
     side: f64,
     range: f64,
     positions: Vec<Position>,
+    /// Spatial bucket index (cell size = `range`): disc queries visit only
+    /// the cells adjacent to the query disc instead of every node. Grid
+    /// answers are candidate supersets; the exact distance predicate below
+    /// keeps every query set-identical to the former brute-force scan.
+    grid: Buckets<u32>,
+    /// Reusable BFS state for [`Field::hop_distance`] / connectivity,
+    /// generation-stamped so re-use needs no clearing.
+    scratch: RefCell<BfsScratch>,
+}
+
+/// Preallocated breadth-first-search state. `stamp[i] == epoch` means node
+/// `i` was visited in the current traversal; bumping `epoch` resets the
+/// whole bitmap in O(1).
+#[derive(Debug, Clone, Default)]
+struct BfsScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: VecDeque<(u32, u32)>,
+}
+
+impl BfsScratch {
+    /// Starts a fresh traversal over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        self.queue.clear();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One O(n) sweep every 2^32 traversals keeps stamps unambiguous.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    fn visited(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+
+    fn visit(&mut self, id: u32) {
+        self.stamp[id as usize] = self.epoch;
+    }
 }
 
 impl Field {
@@ -104,10 +149,16 @@ impl Field {
                 p.y
             );
         }
+        let mut grid = Buckets::new(side, range);
+        for (i, p) in positions.iter().enumerate() {
+            grid.insert(*p, i as u32);
+        }
         Field {
             side,
             range,
             positions,
+            grid,
+            scratch: RefCell::new(BfsScratch::default()),
         }
     }
 
@@ -178,35 +229,126 @@ impl Field {
     /// All nodes within communication range of `id` (excluding itself),
     /// in ascending id order.
     pub fn in_range_of(&self, id: NodeId) -> Vec<NodeId> {
-        (0..self.positions.len() as u32)
-            .map(NodeId)
-            .filter(|&other| self.in_range(id, other))
-            .collect()
+        let origin = self.position(id);
+        let mut out = Vec::new();
+        self.grid.for_each_candidate(origin, self.range, |other| {
+            let other = NodeId(other);
+            if self.in_range(id, other) {
+                out.push(other);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// All nodes whose position lies within `radius` meters of `center`
+    /// (including any node exactly at `center`), in ascending id order.
+    ///
+    /// This is the reception fan-out query: the simulator asks it with a
+    /// transmission's origin and *effective* range (which a high-power
+    /// transmission stretches beyond [`Field::range`]) instead of walking
+    /// every node. The grid supplies a candidate superset; the exact disc
+    /// predicate `distance_to(center) <= radius` keeps the result
+    /// set-identical to a brute-force scan over all nodes.
+    pub fn nodes_within(&self, center: Position, radius: f64) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.nodes_within_into(center, radius, &mut out);
+        out
+    }
+
+    /// Like [`Field::nodes_within`] but writes into a caller-provided
+    /// buffer (cleared first), so per-event queries on the simulator hot
+    /// path allocate nothing in steady state.
+    pub fn nodes_within_into(&self, center: Position, radius: f64, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.grid.for_each_candidate(center, radius, |id| {
+            if self.positions[id as usize].distance_to(&center) <= radius {
+                out.push(NodeId(id));
+            }
+        });
+        out.sort_unstable();
+    }
+
+    /// Visits the in-range neighbors of `u` without allocating, in
+    /// deterministic (grid-cell) order. Traversal-internal helper for the
+    /// BFS routines; public queries return sorted `Vec`s instead.
+    fn for_each_in_range_of(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        let origin = self.position(u);
+        self.grid.for_each_candidate(origin, self.range, |v| {
+            let v = NodeId(v);
+            if self.in_range(u, v) {
+                f(v);
+            }
+        });
     }
 
     /// Number of hops on the shortest path between `a` and `b` over the
     /// disc graph, or `None` if disconnected.
+    ///
+    /// Reuses a preallocated generation-stamped visited bitmap across
+    /// calls — this sits on the [`Field::connected_with_average_neighbors`]
+    /// retry loop and colluder placement, so per-call allocation matters.
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
         if a == b {
             return Some(0);
         }
-        let n = self.positions.len();
-        let mut dist = vec![usize::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
-        dist[a.index()] = 0;
-        queue.push_back(a);
-        while let Some(u) = queue.pop_front() {
-            for v in self.in_range_of(u) {
-                if dist[v.index()] == usize::MAX {
-                    dist[v.index()] = dist[u.index()] + 1;
-                    if v == b {
-                        return Some(dist[v.index()]);
-                    }
-                    queue.push_back(v);
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        s.begin(self.positions.len());
+        s.visit(a.0);
+        s.queue.push_back((a.0, 0));
+        while let Some((u, depth)) = s.queue.pop_front() {
+            let mut found = None;
+            self.for_each_in_range_of(NodeId(u), |vid| {
+                if found.is_some() || s.visited(vid.0) {
+                    return;
                 }
+                s.visit(vid.0);
+                if vid == b {
+                    found = Some(depth as usize + 1);
+                } else {
+                    s.queue.push_back((vid.0, depth + 1));
+                }
+            });
+            if found.is_some() {
+                return found;
             }
         }
         None
+    }
+
+    /// All nodes reachable from `origin` in at most `max_hops` hops of
+    /// the disc graph (excluding `origin` itself), in ascending id order.
+    ///
+    /// This is the *h-hop neighborhood* scale experiments use to build
+    /// local traffic pools: with TTL-scoped route discovery, exactly
+    /// these nodes are discoverable from `origin`. Reuses the same
+    /// generation-stamped BFS scratch as [`Field::hop_distance`].
+    pub fn nodes_within_hops(&self, origin: NodeId, max_hops: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if max_hops == 0 || origin.index() >= self.positions.len() {
+            return out;
+        }
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        s.begin(self.positions.len());
+        s.visit(origin.0);
+        s.queue.push_back((origin.0, 0));
+        while let Some((u, depth)) = s.queue.pop_front() {
+            if depth >= max_hops {
+                continue;
+            }
+            self.for_each_in_range_of(NodeId(u), |vid| {
+                if s.visited(vid.0) {
+                    return;
+                }
+                s.visit(vid.0);
+                out.push(vid);
+                s.queue.push_back((vid.0, depth + 1));
+            });
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Whether the disc graph over all nodes is connected.
@@ -215,18 +357,20 @@ impl Field {
         if n <= 1 {
             return true;
         }
-        let mut seen = vec![false; n];
-        let mut stack = vec![NodeId(0)];
-        seen[0] = true;
-        let mut count = 1;
-        while let Some(u) = stack.pop() {
-            for v in self.in_range_of(u) {
-                if !seen[v.index()] {
-                    seen[v.index()] = true;
+        let mut guard = self.scratch.borrow_mut();
+        let s = &mut *guard;
+        s.begin(n);
+        s.visit(0);
+        s.queue.push_back((0, 0));
+        let mut count = 1usize;
+        while let Some((u, _)) = s.queue.pop_front() {
+            self.for_each_in_range_of(NodeId(u), |vid| {
+                if !s.visited(vid.0) {
+                    s.visit(vid.0);
                     count += 1;
-                    stack.push(v);
+                    s.queue.push_back((vid.0, 0));
                 }
-            }
+            });
         }
         count == n
     }
@@ -277,6 +421,32 @@ mod tests {
         let f = line_field();
         assert_eq!(f.in_range_of(NodeId(2)), vec![NodeId(1), NodeId(3)]);
         assert_eq!(f.in_range_of(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn nodes_within_hops_matches_hop_distance() {
+        let f = line_field();
+        assert_eq!(f.nodes_within_hops(NodeId(0), 0), vec![]);
+        assert_eq!(f.nodes_within_hops(NodeId(0), 1), f.in_range_of(NodeId(0)));
+        assert_eq!(
+            f.nodes_within_hops(NodeId(0), 2),
+            vec![NodeId(1), NodeId(2)]
+        );
+        // On a random field, h-hop membership must agree with
+        // hop_distance for every node.
+        let mut rng = Pcg32::seed_from_u64(12);
+        let r = Field::with_average_neighbors(60, 8.0, 30.0, &mut rng);
+        for h in [1u32, 3] {
+            let got = r.nodes_within_hops(NodeId(0), h);
+            let want: Vec<NodeId> = (1..r.len() as u32)
+                .map(NodeId)
+                .filter(|&v| {
+                    r.hop_distance(NodeId(0), v)
+                        .is_some_and(|d| d <= h as usize)
+                })
+                .collect();
+            assert_eq!(got, want, "h = {h}");
+        }
     }
 
     #[test]

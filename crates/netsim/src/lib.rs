@@ -55,9 +55,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod fault;
 pub mod field;
 pub mod frame;
+mod grid;
 pub mod medium;
 pub mod metrics;
 pub mod node;

@@ -13,7 +13,10 @@
 //!   transmission's interference disc covers it.
 
 use crate::field::{NodeId, Position};
+use crate::grid::Buckets;
 use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One transmission on the air (or recently completed).
 #[derive(Debug, Clone)]
@@ -40,9 +43,32 @@ impl TxRecord {
 }
 
 /// Tracks transmissions long enough to answer collision queries.
+///
+/// Internally the live records are indexed four ways so no query walks the
+/// full record set: by sequence number (lookup), by end time (amortized
+/// pruning), by transmitter (the distance-independent half-duplex check),
+/// and — when constructed via [`Medium::with_geometry`] — by origin cell in
+/// a spatial [`Buckets`] grid (carrier sense and interference fan-in). Every
+/// spatial query still applies the exact disc predicate the pre-index code
+/// used, so answers are set-identical to a linear scan; `busy_until` (a max)
+/// and `collides` (an any) are order-independent aggregations on top.
 #[derive(Debug, Default)]
 pub struct Medium {
-    records: Vec<TxRecord>,
+    /// Live (and recently ended) transmissions keyed by `seq`. Iteration is
+    /// ascending `seq` = insertion order, matching the former `Vec` scan.
+    live: BTreeMap<u64, TxRecord>,
+    /// Min-heap of `(end, seq)` driving [`Medium::prune`].
+    by_end: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Live transmission seqs per transmitter, for the half-duplex check.
+    by_node: BTreeMap<NodeId, Vec<u64>>,
+    /// Spatial index over record origins; `None` means queries fall back to
+    /// scanning all live records (geometry-free construction via
+    /// [`Medium::new`], used by unit tests).
+    buckets: Option<Buckets<u64>>,
+    /// Multiset of live interference radii (`range * factor`, stored as
+    /// `f64` bits — positive finite, so bit order = numeric order). The
+    /// maximum bounds the candidate-cell ring for spatial queries.
+    reaches: BTreeMap<u64, usize>,
     max_airtime: SimDuration,
     interference_factor: f64,
 }
@@ -50,6 +76,9 @@ pub struct Medium {
 impl Medium {
     /// Creates a medium with the given interference-range factor
     /// (see [`crate::radio::RadioConfig::interference_factor`]).
+    ///
+    /// Spatial queries scan all live records; prefer
+    /// [`Medium::with_geometry`] when the deployment geometry is known.
     ///
     /// # Panics
     ///
@@ -60,10 +89,29 @@ impl Medium {
             "interference factor must be >= 1, got {interference_factor}"
         );
         Medium {
-            records: Vec::new(),
-            max_airtime: SimDuration::ZERO,
             interference_factor,
+            ..Medium::default()
         }
+    }
+
+    /// Creates a medium whose transmissions are spatially indexed over a
+    /// `side`-by-`side` field with grid cells of `cell` meters (normally
+    /// the nominal radio range). Query results are identical to
+    /// [`Medium::new`]; only the work per query changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interference_factor < 1.0`, or `side`/`cell` is not
+    /// positive.
+    pub fn with_geometry(interference_factor: f64, side: f64, cell: f64) -> Self {
+        let mut m = Medium::new(interference_factor);
+        m.buckets = Some(Buckets::new(side, cell));
+        m
+    }
+
+    /// The interference disc radius of a record.
+    fn reach(&self, record: &TxRecord) -> f64 {
+        record.range * self.interference_factor
     }
 
     /// Registers a transmission that is starting now.
@@ -72,23 +120,60 @@ impl Medium {
         if airtime > self.max_airtime {
             self.max_airtime = airtime;
         }
-        self.records.push(record);
+        if let Some(b) = &mut self.buckets {
+            b.insert(record.origin, record.seq);
+        }
+        let reach_bits = self.reach(&record).to_bits();
+        *self.reaches.entry(reach_bits).or_insert(0) += 1;
+        self.by_node
+            .entry(record.transmitter)
+            .or_default()
+            .push(record.seq);
+        self.by_end.push(Reverse((record.end, record.seq)));
+        self.live.insert(record.seq, record);
     }
 
     /// Looks up a transmission by sequence number.
     pub fn get(&self, seq: u64) -> Option<&TxRecord> {
-        self.records.iter().find(|r| r.seq == seq)
+        self.live.get(&seq)
+    }
+
+    /// Visits every live record whose interference disc could cover `pos`:
+    /// a superset of the true matches (callers apply the exact predicate).
+    /// Uses the spatial index when present, bounded by the largest live
+    /// interference radius; otherwise scans all records.
+    fn for_each_near(&self, pos: Position, mut f: impl FnMut(&TxRecord)) {
+        match (&self.buckets, self.reaches.keys().next_back()) {
+            (Some(b), Some(&reach_bits)) => {
+                b.for_each_candidate(pos, f64::from_bits(reach_bits), |seq| {
+                    if let Some(r) = self.live.get(&seq) {
+                        f(r);
+                    }
+                });
+            }
+            (Some(_), None) => {} // nothing on the air
+            (None, _) => {
+                for r in self.live.values() {
+                    f(r);
+                }
+            }
+        }
     }
 
     /// Carrier sense: if the channel is busy at `pos` at time `at`, returns
     /// the time the last currently-audible transmission ends.
     pub fn busy_until(&self, pos: Position, at: SimTime) -> Option<SimTime> {
-        self.records
-            .iter()
-            .filter(|r| r.start <= at && r.end > at)
-            .filter(|r| pos.distance_to(&r.origin) <= r.range * self.interference_factor)
-            .map(|r| r.end)
-            .max()
+        let mut latest: Option<SimTime> = None;
+        self.for_each_near(pos, |r| {
+            if r.start <= at
+                && r.end > at
+                && pos.distance_to(&r.origin) <= r.range * self.interference_factor
+                && latest.is_none_or(|l| r.end > l)
+            {
+                latest = Some(r.end);
+            }
+        });
+        latest
     }
 
     /// Whether the reception of transmission `seq` at `receiver` (located
@@ -104,29 +189,69 @@ impl Medium {
             // lint: allow(P002) invariant: queried only for live transmissions
             .expect("collision query for unknown transmission");
         let (start, end) = (subject.start, subject.end);
-        self.records.iter().any(|other| {
-            other.seq != seq && other.overlaps(start, end) && {
-                // Half duplex: the receiver's own transmissions block reception.
-                other.transmitter == receiver
-                    || pos.distance_to(&other.origin) <= other.range * self.interference_factor
+        // Half duplex: the receiver's own transmissions block reception
+        // regardless of distance, so this arm is answered from the
+        // per-transmitter index, not the spatial one.
+        if let Some(own) = self.by_node.get(&receiver) {
+            let busy = own
+                .iter()
+                .any(|&s| s != seq && self.live.get(&s).is_some_and(|r| r.overlaps(start, end)));
+            if busy {
+                return true;
             }
-        })
+        }
+        let mut hit = false;
+        self.for_each_near(pos, |other| {
+            if !hit
+                && other.seq != seq
+                && other.overlaps(start, end)
+                && pos.distance_to(&other.origin) <= other.range * self.interference_factor
+            {
+                hit = true;
+            }
+        });
+        hit
     }
 
     /// Discards records that can no longer affect any collision query.
     ///
     /// A record `B` is needed only while some in-flight transmission `A`
     /// could overlap it; since `A.end − A.start ≤ max_airtime`, any `B`
-    /// with `B.end ≤ now − max_airtime` is unreachable.
+    /// with `B.end ≤ now − max_airtime` is unreachable. The end-time heap
+    /// makes this O(pruned · log live) instead of a full scan.
     pub fn prune(&mut self, now: SimTime) {
         let keep_span = self.max_airtime + SimDuration::from_micros(1);
         let cutoff = SimTime::ZERO + now.saturating_since(SimTime::ZERO + keep_span);
-        self.records.retain(|r| r.end > cutoff);
+        while let Some(&Reverse((end, seq))) = self.by_end.peek() {
+            if end > cutoff {
+                break;
+            }
+            self.by_end.pop();
+            let Some(r) = self.live.remove(&seq) else {
+                continue;
+            };
+            if let Some(b) = &mut self.buckets {
+                b.remove(r.origin, seq);
+            }
+            let reach_bits = self.reach(&r).to_bits();
+            if let Some(count) = self.reaches.get_mut(&reach_bits) {
+                *count -= 1;
+                if *count == 0 {
+                    self.reaches.remove(&reach_bits);
+                }
+            }
+            if let Some(own) = self.by_node.get_mut(&r.transmitter) {
+                own.retain(|&s| s != seq);
+                if own.is_empty() {
+                    self.by_node.remove(&r.transmitter);
+                }
+            }
+        }
     }
 
     /// Number of records currently retained (for tests / diagnostics).
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.live.len()
     }
 }
 

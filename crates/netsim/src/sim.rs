@@ -46,6 +46,7 @@
 //! assert_eq!(listener.heard, 1);
 //! ```
 
+use crate::events::EventQueue;
 use crate::fault::{FaultHook, Reception};
 use crate::field::{Field, NodeId};
 use crate::frame::{Frame, FrameSpec};
@@ -55,7 +56,7 @@ use crate::node::{Action, Context, NodeLogic};
 use crate::radio::RadioConfig;
 use crate::time::{SimDuration, SimTime};
 use liteworp_runner::rng::{Pcg32, Rng};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 enum EventKind<P> {
     NodeStart(NodeId),
@@ -81,54 +82,38 @@ enum EventKind<P> {
     },
 }
 
-struct Scheduled<P> {
-    time: SimTime,
-    order: u64,
-    kind: EventKind<P>,
-}
-
-impl<P> PartialEq for Scheduled<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.order == other.order
-    }
-}
-impl<P> Eq for Scheduled<P> {}
-impl<P> PartialOrd for Scheduled<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Scheduled<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap: invert so the earliest event wins.
-        (other.time, other.order).cmp(&(self.time, self.order))
-    }
-}
-
 struct MacFrame<P> {
     spec: FrameSpec<P>,
     retries_used: u8,
 }
 
-struct Mac<P> {
-    queue: VecDeque<MacFrame<P>>,
-    attempt_pending: bool,
-    transmitting_until: Option<SimTime>,
+/// Per-node MAC state in column (SoA) layout: one flat `Vec` per field,
+/// all indexed by [`NodeId::index`]. At 100k nodes the event loop touches
+/// one or two of these columns per event; keeping each column contiguous
+/// avoids dragging a whole per-node struct through the cache for a
+/// single-flag check.
+struct MacArena<P> {
+    queues: Vec<VecDeque<MacFrame<P>>>,
+    attempt_pending: Vec<bool>,
+    transmitting_until: Vec<Option<SimTime>>,
 }
 
-impl<P> Default for Mac<P> {
+impl<P> Default for MacArena<P> {
     fn default() -> Self {
-        Mac {
-            queue: VecDeque::new(),
-            attempt_pending: false,
-            transmitting_until: None,
+        MacArena {
+            queues: Vec::new(),
+            attempt_pending: Vec::new(),
+            transmitting_until: Vec::new(),
         }
     }
 }
 
-struct NodeSlot<P> {
-    logic: Box<dyn NodeLogic<P>>,
-    mac: Mac<P>,
+impl<P> MacArena<P> {
+    fn push_node(&mut self) {
+        self.queues.push(VecDeque::new());
+        self.attempt_pending.push(false);
+        self.transmitting_until.push(None);
+    }
 }
 
 /// The discrete-event wireless network simulator.
@@ -137,9 +122,9 @@ struct NodeSlot<P> {
 pub struct Simulator<P> {
     field: Field,
     radio: RadioConfig,
-    nodes: Vec<NodeSlot<P>>,
-    queue: BinaryHeap<Scheduled<P>>,
-    next_order: u64,
+    logic: Vec<Box<dyn NodeLogic<P>>>,
+    mac: MacArena<P>,
+    queue: EventQueue<EventKind<P>>,
     next_tx_seq: u64,
     now: SimTime,
     medium: Medium,
@@ -149,6 +134,10 @@ pub struct Simulator<P> {
     started: bool,
     start_times: Vec<SimTime>,
     fault: Option<Box<dyn FaultHook>>,
+    /// Reusable buffer for node-hook actions (drained after every hook).
+    actions_scratch: Vec<Action<P>>,
+    /// Reusable buffer for the reception fan-out receiver list.
+    receivers_scratch: Vec<NodeId>,
 }
 
 impl<P: Clone + 'static> Simulator<P> {
@@ -167,22 +156,26 @@ impl<P: Clone + 'static> Simulator<P> {
             field.range(),
             radio.range_m
         );
-        let interference = radio.interference_factor;
+        // Cell size = nominal range: the medium's spatial index answers
+        // carrier-sense / interference queries from adjacent cells only.
+        let medium = Medium::with_geometry(radio.interference_factor, field.side(), field.range());
         Simulator {
             field,
             radio,
-            nodes: Vec::new(),
-            queue: BinaryHeap::new(),
-            next_order: 0,
+            logic: Vec::new(),
+            mac: MacArena::default(),
+            queue: EventQueue::new(),
             next_tx_seq: 0,
             now: SimTime::ZERO,
-            medium: Medium::new(interference),
+            medium,
             rng: Pcg32::seed_from_u64(seed),
             metrics: Metrics::default(),
             trace: Trace::default(),
             started: false,
             start_times: Vec::new(),
             fault: None,
+            actions_scratch: Vec::new(),
+            receivers_scratch: Vec::new(),
         }
     }
 
@@ -196,14 +189,12 @@ impl<P: Clone + 'static> Simulator<P> {
     pub fn push_node(&mut self, logic: Box<dyn NodeLogic<P>>) -> NodeId {
         assert!(!self.started, "cannot add nodes after the run started");
         assert!(
-            self.nodes.len() < self.field.len(),
+            self.logic.len() < self.field.len(),
             "more nodes than field positions"
         );
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot {
-            logic,
-            mac: Mac::default(),
-        });
+        let id = NodeId(self.logic.len() as u32);
+        self.logic.push(logic);
+        self.mac.push_node();
         self.start_times.push(SimTime::ZERO);
         id
     }
@@ -256,17 +247,17 @@ impl<P: Clone + 'static> Simulator<P> {
     /// Immutable access to a node's logic (downcast via
     /// [`NodeLogic::as_any`]).
     pub fn logic(&self, node: NodeId) -> &dyn NodeLogic<P> {
-        self.nodes[node.index()].logic.as_ref()
+        self.logic[node.index()].as_ref()
     }
 
     /// Mutable access to a node's logic.
     pub fn logic_mut(&mut self, node: NodeId) -> &mut dyn NodeLogic<P> {
-        self.nodes[node.index()].logic.as_mut()
+        self.logic[node.index()].as_mut()
     }
 
     /// Number of nodes added so far.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.logic.len()
     }
 
     /// Installs a fault-injection hook (see [`crate::fault`]).
@@ -286,7 +277,7 @@ impl<P: Clone + 'static> Simulator<P> {
     /// Schedules an external timer for a node — the hook experiments use
     /// to trigger behavior (e.g. "start the attack at t = 50 s").
     pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
-        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        assert!(node.index() < self.logic.len(), "unknown node {node}");
         self.push_event(at, EventKind::Timer { node, token });
     }
 
@@ -298,24 +289,24 @@ impl<P: Clone + 'static> Simulator<P> {
     pub fn run_until(&mut self, deadline: SimTime) {
         if !self.started {
             assert_eq!(
-                self.nodes.len(),
+                self.logic.len(),
                 self.field.len(),
                 "node logic missing for some field positions"
             );
             self.started = true;
-            for i in 0..self.nodes.len() {
+            for i in 0..self.logic.len() {
                 self.push_event(self.start_times[i], EventKind::NodeStart(NodeId(i as u32)));
             }
         }
-        while let Some(head) = self.queue.peek() {
-            if head.time > deadline {
+        while let Some(head_time) = self.queue.next_time() {
+            if head_time > deadline {
                 break;
             }
             // lint: allow(P002) invariant: peeked non-empty in the loop condition
-            let ev = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(ev.time >= self.now, "event queue went backwards");
-            self.now = ev.time;
-            self.dispatch(ev.kind);
+            let (time, kind) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.dispatch(kind);
         }
         if deadline > self.now {
             self.now = deadline;
@@ -328,9 +319,7 @@ impl<P: Clone + 'static> Simulator<P> {
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<P>) {
-        let order = self.next_order;
-        self.next_order += 1;
-        self.queue.push(Scheduled { time, order, kind });
+        self.queue.push(time, kind);
     }
 
     fn dispatch(&mut self, kind: EventKind<P>) {
@@ -392,13 +381,13 @@ impl<P: Clone + 'static> Simulator<P> {
     }
 
     /// Invokes a node hook with a fresh context, then applies its actions.
+    /// The action buffer is recycled across hooks (hooks never nest).
     fn with_logic<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut dyn NodeLogic<P>, &mut Context<'_, P>),
     {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.actions_scratch);
         {
-            let slot = &mut self.nodes[node.index()];
             let mut ctx = Context::new(
                 self.now,
                 node,
@@ -407,13 +396,14 @@ impl<P: Clone + 'static> Simulator<P> {
                 &mut self.trace,
                 &mut actions,
             );
-            f(slot.logic.as_mut(), &mut ctx);
+            f(self.logic[node.index()].as_mut(), &mut ctx);
         }
-        self.apply_actions(node, actions);
+        self.apply_actions(node, &mut actions);
+        self.actions_scratch = actions;
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action<P>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send(spec) => self.enqueue_frame(node, spec),
                 Action::Timer { delay, token } => {
@@ -428,7 +418,7 @@ impl<P: Clone + 'static> Simulator<P> {
                     payload,
                     latency,
                 } => {
-                    assert!(to.index() < self.nodes.len(), "tunnel to unknown node");
+                    assert!(to.index() < self.logic.len(), "tunnel to unknown node");
                     self.push_event(
                         self.now + latency,
                         EventKind::TunnelDeliver {
@@ -443,24 +433,21 @@ impl<P: Clone + 'static> Simulator<P> {
     }
 
     fn enqueue_frame(&mut self, node: NodeId, spec: FrameSpec<P>) {
-        let slot = &mut self.nodes[node.index()];
-        slot.mac.queue.push_back(MacFrame {
+        let i = node.index();
+        self.mac.queues[i].push_back(MacFrame {
             spec,
             retries_used: 0,
         });
-        if !slot.mac.attempt_pending && slot.mac.transmitting_until.is_none() {
+        if !self.mac.attempt_pending[i] && self.mac.transmitting_until[i].is_none() {
             self.schedule_attempt(node);
         }
     }
 
     /// Schedules the next transmission attempt for the node's queue head.
     fn schedule_attempt(&mut self, node: NodeId) {
-        let rushed = {
-            let mac = &self.nodes[node.index()].mac;
-            match mac.queue.front() {
-                Some(head) => head.spec.rushed,
-                None => return,
-            }
+        let rushed = match self.mac.queues[node.index()].front() {
+            Some(head) => head.spec.rushed,
+            None => return,
         };
         let delay = if rushed {
             SimDuration::ZERO
@@ -468,33 +455,29 @@ impl<P: Clone + 'static> Simulator<P> {
             let max = self.radio.max_backoff.as_micros();
             SimDuration::from_micros(self.rng.gen_range(0..=max))
         };
-        self.nodes[node.index()].mac.attempt_pending = true;
+        self.mac.attempt_pending[node.index()] = true;
         self.push_event(self.now + delay, EventKind::TxAttempt(node));
     }
 
     fn tx_attempt(&mut self, node: NodeId) {
         let pos = self.field.position(node);
-        {
-            let mac = &mut self.nodes[node.index()].mac;
-            mac.attempt_pending = false;
-            if mac.queue.is_empty() {
+        let i = node.index();
+        self.mac.attempt_pending[i] = false;
+        if self.mac.queues[i].is_empty() {
+            return;
+        }
+        // Still transmitting (shouldn't normally happen): retry after.
+        if let Some(until) = self.mac.transmitting_until[i] {
+            if until > self.now {
+                self.mac.attempt_pending[i] = true;
+                let at = until + self.radio.ifs;
+                self.push_event(at, EventKind::TxAttempt(node));
                 return;
             }
-            // Still transmitting (shouldn't normally happen): retry after.
-            if let Some(until) = mac.transmitting_until {
-                if until > self.now {
-                    mac.attempt_pending = true;
-                    let at = until + self.radio.ifs;
-                    self.push_event(at, EventKind::TxAttempt(node));
-                    return;
-                }
-                mac.transmitting_until = None;
-            }
+            self.mac.transmitting_until[i] = None;
         }
         // Carrier sense.
-        let rushed = self.nodes[node.index()]
-            .mac
-            .queue
+        let rushed = self.mac.queues[i]
             .front()
             .map(|f| f.spec.rushed)
             .unwrap_or(false);
@@ -507,14 +490,12 @@ impl<P: Clone + 'static> Simulator<P> {
                 SimDuration::from_micros(self.rng.gen_range(0..=max))
             };
             let at = busy_end + self.radio.ifs + backoff;
-            self.nodes[node.index()].mac.attempt_pending = true;
+            self.mac.attempt_pending[i] = true;
             self.push_event(at, EventKind::TxAttempt(node));
             return;
         }
         // Transmit.
-        let mac_frame = self.nodes[node.index()]
-            .mac
-            .queue
+        let mac_frame = self.mac.queues[i]
             .pop_front()
             // lint: allow(P002) invariant: TxEnd is scheduled with every TxStart
             .expect("queue emptied unexpectedly");
@@ -540,7 +521,7 @@ impl<P: Clone + 'static> Simulator<P> {
             range: spec.power.effective_range(self.radio.range_m),
         });
         self.metrics.frames_sent += 1;
-        self.nodes[node.index()].mac.transmitting_until = Some(end);
+        self.mac.transmitting_until[i] = Some(end);
         self.push_event(
             end,
             EventKind::TxEnd {
@@ -553,7 +534,7 @@ impl<P: Clone + 'static> Simulator<P> {
 
     fn tx_end(&mut self, seq: u64, frame: Frame<P>, retries_used: u8) {
         let tx = frame.transmitter;
-        self.nodes[tx.index()].mac.transmitting_until = None;
+        self.mac.transmitting_until[tx.index()] = None;
         let record = self
             .medium
             .get(seq)
@@ -561,20 +542,23 @@ impl<P: Clone + 'static> Simulator<P> {
             .expect("TxEnd for pruned transmission")
             .clone();
         // Deliver to every in-range node, in id order, applying the
-        // per-receiver collision and noise model.
+        // per-receiver collision and noise model. The spatial grid narrows
+        // the fan-out to the transmission's disc; `nodes_within_into`
+        // applies the same distance predicate the old all-nodes scan used
+        // and yields ascending ids, so the per-receiver RNG draw order is
+        // byte-identical to the pre-index code.
         let mut link_dst_got_it = true;
         if let crate::frame::Dest::Unicast(_) = frame.dest {
             link_dst_got_it = false;
         }
-        for i in 0..self.nodes.len() {
-            let receiver = NodeId(i as u32);
+        let mut receivers = std::mem::take(&mut self.receivers_scratch);
+        self.field
+            .nodes_within_into(record.origin, record.range, &mut receivers);
+        for &receiver in &receivers {
             if receiver == tx {
                 continue;
             }
             let rpos = self.field.position(receiver);
-            if rpos.distance_to(&record.origin) > record.range {
-                continue;
-            }
             let receiver_down = self
                 .fault
                 .as_deref()
@@ -646,6 +630,8 @@ impl<P: Clone + 'static> Simulator<P> {
             }
             self.with_logic(receiver, |logic, ctx| logic.on_frame(ctx, &frame));
         }
+        receivers.clear();
+        self.receivers_scratch = receivers;
         self.medium.prune(self.now);
         // ACK-timeout emulation: retransmit a unicast whose addressed
         // receiver missed it, up to the configured retry budget.
@@ -659,7 +645,7 @@ impl<P: Clone + 'static> Simulator<P> {
                     power: frame.power,
                     rushed: false,
                 };
-                self.nodes[tx.index()].mac.queue.push_front(MacFrame {
+                self.mac.queues[tx.index()].push_front(MacFrame {
                     spec,
                     retries_used: retries_used + 1,
                 });
@@ -668,9 +654,7 @@ impl<P: Clone + 'static> Simulator<P> {
             }
         }
         // Keep the transmitter's queue draining.
-        if !self.nodes[tx.index()].mac.queue.is_empty()
-            && !self.nodes[tx.index()].mac.attempt_pending
-        {
+        if !self.mac.queues[tx.index()].is_empty() && !self.mac.attempt_pending[tx.index()] {
             self.schedule_attempt(tx);
         }
     }

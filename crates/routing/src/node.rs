@@ -694,6 +694,16 @@ impl ProtocolNode {
             }
             return;
         }
+        // TTL-scoped discovery: a rebroadcast that would exceed the TTL
+        // is consumed here (the reverse path above still stands, and a
+        // destination at the edge already replied).
+        if self
+            .params
+            .rreq_ttl
+            .is_some_and(|ttl| hops.saturating_add(1) > ttl)
+        {
+            return;
+        }
         // Rebroadcast the flood, announcing the hop we got it from —
         // after the protocol-mandated random backoff (Section 3.5), which
         // spreads the flood in time and keeps collisions rare.
@@ -954,6 +964,22 @@ impl ProtocolNode {
     }
 
     fn pick_new_destination(&mut self, ctx: &mut Context<'_, Packet>) {
+        if let Some(pool) = &self.params.dest_pool {
+            // A pool with no usable entry (empty, or only ourselves)
+            // leaves the node destination-less: it relays and guards but
+            // originates nothing.
+            self.current_dest = None;
+            if pool.iter().all(|&d| d == self.me) {
+                return;
+            }
+            loop {
+                let candidate = pool[ctx.rng().gen_range(0..pool.len())];
+                if candidate != self.me {
+                    self.current_dest = Some(candidate);
+                    return;
+                }
+            }
+        }
         let n = self.params.total_nodes;
         if n < 2 {
             self.current_dest = None;

@@ -1,6 +1,7 @@
 //! Protocol-node parameters (the knobs of Table 2).
 
 use liteworp::config::Config;
+use liteworp::types::NodeId;
 use liteworp_netsim::time::SimDuration;
 
 /// How a node selects among multiple route replies for the same discovery.
@@ -81,6 +82,17 @@ pub struct NodeParams {
     /// common neighbor (one hop). Disabling this models the paper's bare
     /// "multiple unicasts" reading and is used by the ablation study.
     pub relay_alerts: bool,
+    /// Maximum hops a route-request flood may traverse (`None` =
+    /// network-wide, the paper-scale default). A request whose
+    /// rebroadcast would exceed the TTL is consumed — reverse-path state
+    /// and destination replies still work — but not re-flooded, like
+    /// AODV's expanding-ring search. Scale experiments use this to keep
+    /// per-discovery work independent of the network size.
+    pub rreq_ttl: Option<u8>,
+    /// Candidate data destinations (`None` = any node). Scale scenarios
+    /// restrict each source to the destinations a TTL-scoped discovery
+    /// can actually reach (its h-hop neighborhood).
+    pub dest_pool: Option<Vec<NodeId>>,
     /// Uniform random delay before this node's *first* data packet. A
     /// cold-start network where every node floods a route request in the
     /// same few seconds collapses any 40 kbps channel; real deployments
@@ -105,6 +117,8 @@ impl Default for NodeParams {
             rep_forward_jitter: SimDuration::from_millis(150),
             pending_queue_cap: 8,
             relay_alerts: true,
+            rreq_ttl: None,
+            dest_pool: None,
             traffic_warmup: SimDuration::from_secs(30),
         }
     }

@@ -32,6 +32,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 echo "==> bench regression gate (runs the release benches, compares baselines)"
 ./scripts/bench_gate.sh
 
+echo "==> scale smoke (10k-node wormhole run: bounds, digest, wall budget)"
+./scripts/scale_smoke.sh
+
 echo "==> chaos_fuzz smoke (fixed-seed fault-injection gate)"
 ./target/release/chaos_fuzz --smoke --no-cache
 
