@@ -27,6 +27,16 @@ pub const WALL_CLOCK_BOUNDARY: &[&str] = &[
     "crates/served/src/net.rs",
 ];
 
+/// The registered lock-nesting boundary: the only library/binary
+/// sources where a `C001` allow is legitimate. The work-stealing pool's
+/// injector→local refill deliberately holds both queue locks for one
+/// batch move in a fixed order; that is the whole list. A `C001` allow
+/// anywhere else is L005: restructure to one lock at a time (collect
+/// under the first guard, drop it, then apply), or — for a genuinely
+/// new two-tier structure with a documented lock order — extend this
+/// registry in the same change.
+pub const LOCK_NEST_BOUNDARY: &[&str] = &["crates/runner/src/pool.rs"];
+
 /// One parsed allow comment.
 #[derive(Debug, Clone)]
 pub struct Allow {
@@ -147,6 +157,23 @@ pub fn syntax_diagnostics(file: &SourceFile, allows: &[Allow]) -> Vec<Diagnostic
                      ({}); route timing through an existing seam or register this \
                      file in WALL_CLOCK_BOUNDARY alongside the read it justifies",
                     WALL_CLOCK_BOUNDARY.join(", ")
+                ),
+            });
+        }
+        if a.rule == "C001"
+            && matches!(file.class, FileClass::Lib | FileClass::Bin)
+            && !LOCK_NEST_BOUNDARY.contains(&file.path.as_str())
+        {
+            out.push(Diagnostic {
+                rule: "L005",
+                path: file.path.clone(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "`lint: allow(C001)` outside the registered lock-nesting boundary \
+                     ({}); restructure to one lock at a time, or register this file in \
+                     LOCK_NEST_BOUNDARY alongside the documented lock order it justifies",
+                    LOCK_NEST_BOUNDARY.join(", ")
                 ),
             });
         }

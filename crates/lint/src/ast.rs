@@ -1,0 +1,1059 @@
+//! Skeleton parser for the structural rule families (C/R).
+//!
+//! A recursive-descent pass over the [`crate::lexer`] token stream that
+//! recovers just enough shape for lock-discipline and determinism-taint
+//! analysis: items (functions, impl/trait methods, types with their
+//! derive lists), block structure, `let` bindings, and call/acquire
+//! events inside bodies. It is deliberately **not** a Rust grammar:
+//! unknown constructs degrade to token skips, never to parse failures,
+//! and imprecision is always in the "fewer events" direction so the
+//! rules built on top stay false-positive-averse.
+//!
+//! Temporary-lifetime modeling follows the language: `match` / `if let`
+//! / `while let` scrutinee temporaries and `for` iterator temporaries
+//! live through the body ([`Stmt::Scope::head_lives`]), `if` / `while`
+//! conditions are terminating scopes, and `let` initializer temporaries
+//! die at the statement's semicolon unless the binding captures them.
+
+use crate::lexer::{Kind, Lexed, Token};
+
+/// Result of skeleton-parsing one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Every function with a body: free fns, impl/trait methods, and
+    /// fns nested in blocks (hoisted here).
+    pub fns: Vec<FnDef>,
+    /// Every `struct` / `enum` / `union` item, with its derive list.
+    pub types: Vec<TypeDef>,
+}
+
+/// One entry of a `#[derive(...)]` list (`Debug, Clone` yields two).
+#[derive(Debug, Clone)]
+pub struct Derive {
+    /// Trait name as written.
+    pub name: String,
+    /// Byte offset of the name token.
+    pub lo: usize,
+}
+
+/// A `struct` / `enum` / `union` item.
+#[derive(Debug)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: String,
+    /// Entries of any `#[derive(...)]` attributes on the item.
+    pub derives: Vec<Derive>,
+}
+
+/// A function definition with a parsed body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// `Some(TypeName)` for `impl TypeName` / `trait TypeName` methods,
+    /// `None` for free functions.
+    pub owner: Option<String>,
+    /// Return-type text with no whitespace (empty for `()`); the call
+    /// graph matches `Guard` in it to find guard-returning helpers.
+    pub ret: String,
+    /// Parsed body.
+    pub body: Block,
+    /// Byte offset of the `fn` keyword.
+    pub lo: usize,
+}
+
+/// A `{ … }` body: a statement sequence.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// How a `let` binds its value, as far as guard tracking cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pat {
+    /// `let _ = …` — the value drops before the semicolon.
+    Underscore,
+    /// `let name = …` / `let mut name = …`.
+    Name(String),
+    /// Tuple / struct / reference patterns — tracked as an anonymous
+    /// live binding (held, but not addressable by `drop(name)`).
+    Other,
+}
+
+/// Statement kinds the guard walker distinguishes.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> (= <init>)? (else { … })?;`
+    Let {
+        /// Binding shape.
+        pat: Pat,
+        /// Events in the initializer, in source order.
+        init: Vec<Event>,
+        /// Diverging `else { … }` block of a let-else.
+        else_block: Option<Block>,
+        /// Byte offset of the `let` keyword.
+        lo: usize,
+    },
+    /// Any other expression statement (match arms included).
+    Expr {
+        /// Events in the expression, in source order.
+        events: Vec<Event>,
+    },
+    /// A control-flow construct with a head expression and a body.
+    Scope {
+        /// Which construct.
+        kind: ScopeKind,
+        /// Events in the head (condition / scrutinee / iterator).
+        head: Vec<Event>,
+        /// Whether head temporaries live through the body: true for
+        /// `match` / `if let` / `while let` scrutinees and `for`
+        /// iterators; false for `if` / `while` conditions, which are
+        /// terminating scopes.
+        head_lives: bool,
+        /// Body block.
+        body: Block,
+        /// Byte offset of the keyword.
+        lo: usize,
+    },
+}
+
+/// The control-flow construct of a [`Stmt::Scope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A bare `{ … }` (or `unsafe { … }`, or an `else` block).
+    Plain,
+    /// `if cond { … }`.
+    If,
+    /// `if let pat = scrutinee { … }`.
+    IfLet,
+    /// `while cond { … }`.
+    While,
+    /// `while let pat = scrutinee { … }`.
+    WhileLet,
+    /// `loop { … }`.
+    Loop,
+    /// `for pat in iter { … }`.
+    For,
+    /// `match scrutinee { … }` (arms parse as body statements).
+    Match,
+}
+
+/// What can happen inside an expression, as far as the rules care.
+#[derive(Debug)]
+pub enum Event {
+    /// `.lock()` / `.read()` / `.write()` with an empty argument list —
+    /// a guard acquisition (empty parens distinguish `RwLock::read`
+    /// from `io::Read::read(buf)`).
+    Acquire {
+        /// Byte offset of the method-name token.
+        lo: usize,
+        /// Whether a further (non-poison-recovery) method call consumes
+        /// the result in the same expression — a temporary that dies at
+        /// the enclosing statement, never a named binding.
+        chained: bool,
+        /// Whether the call sits at paren depth 0 of its statement, so
+        /// a `let` tail can actually bind it.
+        top: bool,
+    },
+    /// Any other call.
+    Call {
+        /// Callee shape for call-graph resolution.
+        callee: Callee,
+        /// Byte offset of the callee-name token.
+        lo: usize,
+        /// See [`Event::Acquire::chained`].
+        chained: bool,
+        /// See [`Event::Acquire::top`].
+        top: bool,
+    },
+    /// `drop(x)` / `mem::drop(x)` — explicit early release.
+    Drop {
+        /// The dropped identifier, when syntactically a plain name.
+        name: Option<String>,
+    },
+    /// `.wait(guard)` / `.wait_timeout(guard, …)` — a Condvar park.
+    Wait {
+        /// First identifier in the argument list: the guard the wait
+        /// atomically releases and re-acquires.
+        arg: Option<String>,
+        /// Byte offset of the method-name token.
+        lo: usize,
+    },
+    /// A nested `{ … }` in expression position: match-arm bodies,
+    /// block expressions, closure bodies.
+    Block(Block),
+}
+
+/// Callee shape, as much of the path as resolution needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(…)`.
+    Free(String),
+    /// `seg::name(…)` — only the last two path segments are kept.
+    Path(String, String),
+    /// `.name(…)`.
+    Method(String),
+}
+
+impl Callee {
+    /// The callee's final name segment.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Free(n) | Callee::Method(n) | Callee::Path(_, n) => n,
+        }
+    }
+}
+
+/// Method names that recover a poisoned lock result rather than consume
+/// the guard: chaining through these keeps the acquisition bindable.
+const POISON_CHAIN: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unwrap_or", "ok"];
+
+/// Parses one lexed file into its structural skeleton. Never fails.
+pub fn parse(src: &str, lexed: &Lexed) -> FileAst {
+    let mut p = Parser {
+        src,
+        toks: &lexed.tokens,
+        fns: Vec::new(),
+        types: Vec::new(),
+    };
+    p.items(0, lexed.tokens.len(), None);
+    FileAst {
+        fns: p.fns,
+        types: p.types,
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: &'a [Token],
+    fns: Vec<FnDef>,
+    types: Vec<TypeDef>,
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        let src = self.src;
+        match self.toks.get(i) {
+            Some(t) => &src[t.lo..t.hi],
+            None => "",
+        }
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == Kind::Punct(c))
+    }
+
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        let src = self.src;
+        self.toks
+            .get(i)
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| &src[t.lo..t.hi])
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.ident(i) == Some(name)
+    }
+
+    fn lo(&self, i: usize) -> usize {
+        self.toks.get(i).map(|t| t.lo).unwrap_or(0)
+    }
+
+    /// `toks[open]` is an opening delimiter; index just past its match.
+    fn skip_group(&self, open: usize, lo: char, hi: char) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                Kind::Punct(c) if c == lo => depth += 1,
+                Kind::Punct(c) if c == hi => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.toks.len()
+    }
+
+    /// `toks[i]` is `<`; index just past the matching `>`, `->`-aware.
+    /// Bails at `{` / `;` so malformed generics cannot swallow a body.
+    fn skip_angles(&self, mut i: usize) -> usize {
+        let mut depth = 0i32;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                Kind::Punct('<') => depth += 1,
+                Kind::Punct('>') if !self.punct(i.wrapping_sub(1), '-') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                Kind::Punct('{') | Kind::Punct(';') => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Item-level scan of `[i, end)`; `owner` names the enclosing
+    /// impl/trait, if any.
+    fn items(&mut self, mut i: usize, end: usize, owner: Option<&str>) {
+        let mut pending: Vec<Derive> = Vec::new();
+        while i < end {
+            if self.punct(i, '#') {
+                let mut j = i + 1;
+                if self.punct(j, '!') {
+                    j += 1;
+                }
+                if !self.punct(j, '[') {
+                    i += 1;
+                    continue;
+                }
+                let attr_end = self.skip_group(j, '[', ']');
+                if self.is_ident(j + 1, "derive") && self.punct(j + 2, '(') {
+                    let list_end = self.skip_group(j + 2, '(', ')');
+                    for k in j + 3..list_end.saturating_sub(1) {
+                        if let Some(name) = self.ident(k) {
+                            pending.push(Derive {
+                                name: name.to_string(),
+                                lo: self.lo(k),
+                            });
+                        }
+                    }
+                }
+                i = attr_end;
+                continue;
+            }
+            match self.ident(i) {
+                Some("struct") | Some("enum") | Some("union") => {
+                    if let Some(name) = self.ident(i + 1) {
+                        self.types.push(TypeDef {
+                            name: name.to_string(),
+                            derives: std::mem::take(&mut pending),
+                        });
+                    }
+                    pending.clear();
+                    let mut j = i + 2;
+                    while j < end {
+                        if self.punct(j, '{') {
+                            j = self.skip_group(j, '{', '}');
+                            break;
+                        }
+                        if self.punct(j, '(') {
+                            j = self.skip_group(j, '(', ')');
+                            continue;
+                        }
+                        if self.punct(j, ';') {
+                            j += 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
+                Some("fn") => {
+                    pending.clear();
+                    i = self.parse_fn(i, owner);
+                }
+                Some("impl") => {
+                    pending.clear();
+                    i = self.parse_impl(i, end);
+                }
+                Some("trait") => {
+                    pending.clear();
+                    let name = self.ident(i + 1).map(str::to_string);
+                    let mut j = i + 2;
+                    while j < end && !self.punct(j, '{') && !self.punct(j, ';') {
+                        if self.punct(j, '<') {
+                            j = self.skip_angles(j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if self.punct(j, '{') {
+                        let body_end = self.skip_group(j, '{', '}');
+                        self.items(j + 1, body_end.saturating_sub(1), name.as_deref());
+                        i = body_end;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                Some("mod") => {
+                    pending.clear();
+                    let mut j = i + 2;
+                    while j < end && !self.punct(j, '{') && !self.punct(j, ';') {
+                        j += 1;
+                    }
+                    if self.punct(j, '{') {
+                        let body_end = self.skip_group(j, '{', '}');
+                        self.items(j + 1, body_end.saturating_sub(1), owner);
+                        i = body_end;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                Some("macro_rules") => {
+                    pending.clear();
+                    let mut j = i + 1;
+                    while j < end && !self.punct(j, '{') {
+                        j += 1;
+                    }
+                    i = self.skip_group(j, '{', '}');
+                }
+                _ => match self.toks.get(i).map(|t| t.kind) {
+                    Some(Kind::Punct('{')) => i = self.skip_group(i, '{', '}'),
+                    Some(Kind::Punct('(')) => i = self.skip_group(i, '(', ')'),
+                    Some(Kind::Punct('[')) => i = self.skip_group(i, '[', ']'),
+                    _ => i += 1,
+                },
+            }
+        }
+    }
+
+    /// `toks[i]` is `impl`; parses the header, recurses into the body
+    /// with the self-type's last path segment as owner.
+    fn parse_impl(&mut self, i: usize, end: usize) -> usize {
+        let mut j = i + 1;
+        if self.punct(j, '<') {
+            j = self.skip_angles(j);
+        }
+        let mut names: Vec<String> = Vec::new();
+        while j < end {
+            if self.punct(j, '{') || self.punct(j, ';') {
+                break;
+            }
+            match self.ident(j) {
+                Some("for") => {
+                    names.clear();
+                    j += 1;
+                }
+                Some("where") => {
+                    while j < end && !self.punct(j, '{') && !self.punct(j, ';') {
+                        j += 1;
+                    }
+                }
+                Some(seg) => {
+                    names.push(seg.to_string());
+                    j += 1;
+                }
+                None => {
+                    if self.punct(j, '<') {
+                        j = self.skip_angles(j);
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        if self.punct(j, '{') {
+            let body_end = self.skip_group(j, '{', '}');
+            let owner = names.last().cloned();
+            self.items(j + 1, body_end.saturating_sub(1), owner.as_deref());
+            body_end
+        } else {
+            j + 1
+        }
+    }
+
+    /// `toks[i]` is `fn`; parses signature and body, records the def.
+    fn parse_fn(&mut self, i: usize, owner: Option<&str>) -> usize {
+        let Some(name) = self.ident(i + 1) else {
+            return i + 1;
+        };
+        let mut j = i + 2;
+        if self.punct(j, '<') {
+            j = self.skip_angles(j);
+        }
+        while j < self.toks.len() && !self.punct(j, '(') {
+            if self.punct(j, '{') || self.punct(j, ';') {
+                return j; // malformed signature; bail before the body
+            }
+            j += 1;
+        }
+        j = self.skip_group(j, '(', ')');
+        let mut ret = String::new();
+        if self.punct(j, '-') && self.punct(j + 1, '>') {
+            j += 2;
+            while j < self.toks.len()
+                && !self.punct(j, '{')
+                && !self.punct(j, ';')
+                && !self.is_ident(j, "where")
+            {
+                ret.push_str(self.text(j));
+                j += 1;
+            }
+        }
+        if self.is_ident(j, "where") {
+            while j < self.toks.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+                j += 1;
+            }
+        }
+        if !self.punct(j, '{') {
+            return j + 1; // required trait method / extern decl: no body
+        }
+        let (body, next) = self.block(j);
+        self.fns.push(FnDef {
+            name: name.to_string(),
+            owner: owner.map(str::to_string),
+            ret,
+            body,
+            lo: self.lo(i),
+        });
+        next
+    }
+
+    /// `toks[open]` is `{`; parses statements to the matching `}`.
+    fn block(&mut self, open: usize) -> (Block, usize) {
+        let mut stmts = Vec::new();
+        let mut i = open + 1;
+        while i < self.toks.len() {
+            if self.punct(i, '}') {
+                return (Block { stmts }, i + 1);
+            }
+            if self.punct(i, ';') || self.punct(i, ',') {
+                i += 1;
+                continue;
+            }
+            if self.punct(i, '#') {
+                let mut j = i + 1;
+                if self.punct(j, '!') {
+                    j += 1;
+                }
+                i = if self.punct(j, '[') {
+                    self.skip_group(j, '[', ']')
+                } else {
+                    i + 1
+                };
+                continue;
+            }
+            if self.punct(i, '{') {
+                let lo = self.lo(i);
+                let (body, next) = self.block(i);
+                stmts.push(Stmt::Scope {
+                    kind: ScopeKind::Plain,
+                    head: Vec::new(),
+                    head_lives: false,
+                    body,
+                    lo,
+                });
+                i = next;
+                continue;
+            }
+            let start = i;
+            match self.ident(i) {
+                Some("let") => i = self.parse_let(i, &mut stmts),
+                Some("if") | Some("while") => {
+                    let is_if = self.is_ident(i, "if");
+                    let is_let = self.is_ident(i + 1, "let");
+                    let kind = match (is_if, is_let) {
+                        (true, true) => ScopeKind::IfLet,
+                        (true, false) => ScopeKind::If,
+                        (false, true) => ScopeKind::WhileLet,
+                        (false, false) => ScopeKind::While,
+                    };
+                    let lo = self.lo(i);
+                    let (head, j) = self.collect_events(i + 1, true);
+                    if self.punct(j, '{') {
+                        let (body, next) = self.block(j);
+                        stmts.push(Stmt::Scope {
+                            kind,
+                            head,
+                            head_lives: is_let,
+                            body,
+                            lo,
+                        });
+                        i = next;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                Some("for") => {
+                    let lo = self.lo(i);
+                    let mut j = i + 1;
+                    while j < self.toks.len() && !self.is_ident(j, "in") && !self.punct(j, '{') {
+                        if self.punct(j, '(') {
+                            j = self.skip_group(j, '(', ')');
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    let (head, k) = self.collect_events(j + 1, true);
+                    if self.punct(k, '{') {
+                        let (body, next) = self.block(k);
+                        stmts.push(Stmt::Scope {
+                            kind: ScopeKind::For,
+                            head,
+                            head_lives: true,
+                            body,
+                            lo,
+                        });
+                        i = next;
+                    } else {
+                        i = k + 1;
+                    }
+                }
+                Some("loop") => {
+                    let lo = self.lo(i);
+                    if self.punct(i + 1, '{') {
+                        let (body, next) = self.block(i + 1);
+                        stmts.push(Stmt::Scope {
+                            kind: ScopeKind::Loop,
+                            head: Vec::new(),
+                            head_lives: false,
+                            body,
+                            lo,
+                        });
+                        i = next;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Some("match") => {
+                    let lo = self.lo(i);
+                    let (head, j) = self.collect_events(i + 1, true);
+                    if self.punct(j, '{') {
+                        let (body, next) = self.block(j);
+                        stmts.push(Stmt::Scope {
+                            kind: ScopeKind::Match,
+                            head,
+                            head_lives: true,
+                            body,
+                            lo,
+                        });
+                        i = next;
+                    } else {
+                        i = j + 1;
+                    }
+                }
+                Some("unsafe") if self.punct(i + 1, '{') => {
+                    let lo = self.lo(i);
+                    let (body, next) = self.block(i + 1);
+                    stmts.push(Stmt::Scope {
+                        kind: ScopeKind::Plain,
+                        head: Vec::new(),
+                        head_lives: false,
+                        body,
+                        lo,
+                    });
+                    i = next;
+                }
+                Some("else") => {
+                    if self.punct(i + 1, '{') {
+                        let lo = self.lo(i);
+                        let (body, next) = self.block(i + 1);
+                        stmts.push(Stmt::Scope {
+                            kind: ScopeKind::Plain,
+                            head: Vec::new(),
+                            head_lives: false,
+                            body,
+                            lo,
+                        });
+                        i = next;
+                    } else {
+                        i += 1; // `else if`: next iteration parses the if
+                    }
+                }
+                Some("fn") => i = self.parse_fn(i, None),
+                _ => {
+                    let (events, j) = self.collect_events(i, false);
+                    if !events.is_empty() {
+                        stmts.push(Stmt::Expr { events });
+                    }
+                    i = j;
+                }
+            }
+            if i <= start {
+                i = start + 1; // progress guarantee on malformed input
+            }
+        }
+        (Block { stmts }, i)
+    }
+
+    /// `toks[i]` is `let`; parses the whole statement.
+    fn parse_let(&mut self, i: usize, stmts: &mut Vec<Stmt>) -> usize {
+        let lo = self.lo(i);
+        let mut j = i + 1;
+        if self.is_ident(j, "mut") {
+            j += 1;
+        }
+        // Pattern: a single bare identifier is Name/Underscore; anything
+        // else (tuples, structs, refs, paths) is Other.
+        let pat_start = j;
+        let mut single: Option<&str> = self.ident(j);
+        // Scan to the `=` (or `;` for `let x;`) at depth 0.
+        let mut k = j;
+        while k < self.toks.len() {
+            match self.toks[k].kind {
+                Kind::Punct('=') => break,
+                Kind::Punct(';') => break,
+                Kind::Punct('(') => k = self.skip_group(k, '(', ')'),
+                Kind::Punct('[') => k = self.skip_group(k, '[', ']'),
+                Kind::Punct('{') => k = self.skip_group(k, '{', '}'),
+                Kind::Punct('<') => k = self.skip_angles(k),
+                _ => k += 1,
+            }
+        }
+        // The pattern region is `pat_start..first ':' or '='`; a single
+        // ident followed directly by `:` or `=` (or `;`) keeps its name.
+        if !(self.punct(pat_start + 1, ':')
+            || self.punct(pat_start + 1, '=')
+            || self.punct(pat_start + 1, ';'))
+        {
+            single = None;
+        }
+        let pat = match single {
+            Some("_") => Pat::Underscore,
+            Some(name) => Pat::Name(name.to_string()),
+            None => Pat::Other,
+        };
+        if self.punct(k, ';') {
+            stmts.push(Stmt::Let {
+                pat,
+                init: Vec::new(),
+                else_block: None,
+                lo,
+            });
+            return k + 1;
+        }
+        let (init, m) = self.collect_events(k + 1, false);
+        let (else_block, next) = if self.is_ident(m, "else") && self.punct(m + 1, '{') {
+            let (eb, n) = self.block(m + 1);
+            (Some(eb), n)
+        } else {
+            (None, m)
+        };
+        stmts.push(Stmt::Let {
+            pat,
+            init,
+            else_block,
+            lo,
+        });
+        next
+    }
+
+    /// Collects events from `i` to the statement boundary: depth-0 `;`,
+    /// `,`, `}` or `else` (none consumed). A depth-0 `{` terminates the
+    /// scan when `brace_ends` (scope heads) and otherwise recurses as a
+    /// nested [`Event::Block`].
+    fn collect_events(&mut self, mut i: usize, brace_ends: bool) -> (Vec<Event>, usize) {
+        let mut events = Vec::new();
+        let mut depth = 0usize;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                Kind::Punct('(') | Kind::Punct('[') => {
+                    depth += 1;
+                    i += 1;
+                }
+                Kind::Punct(')') | Kind::Punct(']') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    i += 1;
+                }
+                Kind::Punct(';') | Kind::Punct(',') if depth == 0 => break,
+                Kind::Punct('}') if depth == 0 => break,
+                Kind::Punct('{') => {
+                    if depth == 0 && brace_ends {
+                        break;
+                    }
+                    let (body, next) = self.block(i);
+                    events.push(Event::Block(body));
+                    i = next;
+                }
+                Kind::Ident => {
+                    let name = self.text(i);
+                    if depth == 0 && name == "else" {
+                        break;
+                    }
+                    i = self.ident_in_expr(i, name, depth, &mut events);
+                }
+                _ => i += 1,
+            }
+        }
+        (events, i)
+    }
+
+    /// Handles one identifier inside an expression, emitting an event
+    /// when it heads a call. Returns the next scan index.
+    fn ident_in_expr(
+        &mut self,
+        i: usize,
+        name: &'a str,
+        depth: usize,
+        events: &mut Vec<Event>,
+    ) -> usize {
+        let lo = self.lo(i);
+        let top = depth == 0;
+        let is_method = i > 0 && self.punct(i - 1, '.');
+        let called = self.punct(i + 1, '(');
+        if is_method && called {
+            if matches!(name, "lock" | "read" | "write") && self.punct(i + 2, ')') {
+                events.push(Event::Acquire {
+                    lo,
+                    chained: self.is_chained(i + 3),
+                    top,
+                });
+                return i + 3;
+            }
+            if matches!(name, "wait" | "wait_timeout" | "wait_while") {
+                events.push(Event::Wait {
+                    arg: self.ident(i + 2).map(str::to_string),
+                    lo,
+                });
+                return i + 1;
+            }
+            if POISON_CHAIN.contains(&name) {
+                return i + 1;
+            }
+            let group_end = self.skip_group(i + 1, '(', ')');
+            events.push(Event::Call {
+                callee: Callee::Method(name.to_string()),
+                lo,
+                chained: self.is_chained(group_end),
+                top,
+            });
+            return i + 1;
+        }
+        if !is_method && self.punct(i + 1, '!') {
+            // Macro: treat as a free call for sink detection.
+            if self.punct(i + 2, '{') {
+                events.push(Event::Call {
+                    callee: Callee::Free(name.to_string()),
+                    lo,
+                    chained: false,
+                    top,
+                });
+                return self.skip_group(i + 2, '{', '}');
+            }
+            if self.punct(i + 2, '(') || self.punct(i + 2, '[') {
+                events.push(Event::Call {
+                    callee: Callee::Free(name.to_string()),
+                    lo,
+                    chained: false,
+                    top,
+                });
+                return i + 2;
+            }
+            return i + 1;
+        }
+        if !is_method && called {
+            if name == "drop" {
+                events.push(Event::Drop {
+                    name: self
+                        .ident(i + 2)
+                        .filter(|_| self.punct(i + 3, ')'))
+                        .map(str::to_string),
+                });
+                return i + 1;
+            }
+            let pathed = i >= 3 && self.punct(i - 1, ':') && self.punct(i - 2, ':');
+            let callee = match (pathed, self.ident(i - 3)) {
+                (true, Some(seg)) => Callee::Path(seg.to_string(), name.to_string()),
+                _ => Callee::Free(name.to_string()),
+            };
+            let group_end = self.skip_group(i + 1, '(', ')');
+            events.push(Event::Call {
+                callee,
+                lo,
+                chained: self.is_chained(group_end),
+                top,
+            });
+            return i + 1;
+        }
+        i + 1
+    }
+
+    /// `j` is just past a call's closing paren: is the result consumed
+    /// by further chaining (after `?` and poison-recovery links)?
+    fn is_chained(&self, mut j: usize) -> bool {
+        loop {
+            while self.punct(j, '?') {
+                j += 1;
+            }
+            if !self.punct(j, '.') {
+                return false;
+            }
+            let Some(name) = self.ident(j + 1) else {
+                return false;
+            };
+            if POISON_CHAIN.contains(&name) && self.punct(j + 2, '(') {
+                j = self.skip_group(j + 2, '(', ')');
+                continue;
+            }
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexed;
+
+    fn ast(src: &str) -> FileAst {
+        parse(src, &Lexed::lex(src))
+    }
+
+    #[test]
+    fn items_and_derives() {
+        let a = ast(r#"
+            #[derive(Debug, Clone)]
+            pub struct Scenario { pub nodes: u32 }
+            pub enum Kind { A, B }
+            impl Scenario {
+                pub fn build(&self) -> u32 { self.nodes }
+            }
+            fn free() {}
+        "#);
+        assert_eq!(a.types.len(), 2);
+        assert_eq!(a.types[0].name, "Scenario");
+        let derives: Vec<&str> = a.types[0].derives.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(derives, ["Debug", "Clone"]);
+        assert!(a.types[1].derives.is_empty());
+        assert_eq!(a.fns.len(), 2);
+        assert_eq!(a.fns[0].name, "build");
+        assert_eq!(a.fns[0].owner.as_deref(), Some("Scenario"));
+        assert_eq!(a.fns[1].owner, None);
+    }
+
+    #[test]
+    fn impl_trait_for_type_owner_is_the_type() {
+        let a = ast("impl std::fmt::Debug for NodeParams { fn fmt(&self) {} }");
+        assert_eq!(a.fns[0].owner.as_deref(), Some("NodeParams"));
+    }
+
+    #[test]
+    fn guard_return_type_is_captured() {
+        let a = ast("fn lock<'a>(m: &'a Mutex<u32>) -> MutexGuard<'a, u32> { m.lock().unwrap_or_else(PoisonError::into_inner) }");
+        assert_eq!(a.fns[0].name, "lock");
+        assert!(a.fns[0].ret.contains("Guard"));
+    }
+
+    #[test]
+    fn acquire_chaining_and_binding() {
+        let a = ast(r#"
+            fn f(m: &Mutex<Vec<u32>>) {
+                let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+                let n = m.lock().unwrap().len();
+            }
+        "#);
+        let body = &a.fns[0].body;
+        let Stmt::Let { pat, init, .. } = &body.stmts[0] else {
+            panic!("expected let: {body:?}");
+        };
+        assert_eq!(*pat, Pat::Name("g".to_string()));
+        assert!(matches!(
+            init.as_slice(),
+            [Event::Acquire {
+                chained: false,
+                top: true,
+                ..
+            }]
+        ));
+        let Stmt::Let { init, .. } = &body.stmts[1] else {
+            panic!("expected let");
+        };
+        // `.lock().unwrap().len()`: a chained acquire, then the `.len()`
+        // method-call event.
+        assert!(matches!(
+            init.first(),
+            Some(Event::Acquire { chained: true, .. })
+        ));
+    }
+
+    #[test]
+    fn scope_heads_and_liveness() {
+        let a = ast(r#"
+            fn f(m: &Mutex<u32>) {
+                if check(m) { work(); }
+                match fetch(m) { Some(x) => { use_it(x); } None => {} }
+                for e in std::fs::read_dir(d) { sink(e); }
+            }
+        "#);
+        let body = &a.fns[0].body;
+        let kinds: Vec<(ScopeKind, bool)> = body
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Scope {
+                    kind, head_lives, ..
+                } => (*kind, *head_lives),
+                other => panic!("expected scope: {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (ScopeKind::If, false),
+                (ScopeKind::Match, true),
+                (ScopeKind::For, true)
+            ]
+        );
+        let Stmt::Scope { head, .. } = &body.stmts[2] else {
+            unreachable!()
+        };
+        assert!(head.iter().any(|e| matches!(
+            e,
+            Event::Call { callee, .. } if callee == &Callee::Path("fs".into(), "read_dir".into())
+        )));
+    }
+
+    #[test]
+    fn drop_wait_and_let_else() {
+        let a = ast(r#"
+            fn f(s: &S) {
+                let mut q = s.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                q = s.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+                drop(q);
+                let Some(v) = s.get() else { return; };
+            }
+        "#);
+        let body = &a.fns[0].body;
+        let Stmt::Expr { events } = &body.stmts[1] else {
+            panic!("expected expr: {body:?}");
+        };
+        assert!(matches!(
+            events.as_slice(),
+            [Event::Wait { arg: Some(a), .. }] if a == "q"
+        ));
+        let Stmt::Expr { events } = &body.stmts[2] else {
+            panic!("expected drop expr");
+        };
+        assert!(matches!(
+            events.as_slice(),
+            [Event::Drop { name: Some(n) }] if n == "q"
+        ));
+        let Stmt::Let {
+            pat, else_block, ..
+        } = &body.stmts[3]
+        else {
+            panic!("expected let-else");
+        };
+        assert_eq!(*pat, Pat::Other);
+        assert!(else_block.is_some());
+    }
+
+    #[test]
+    fn nested_fn_is_hoisted_and_block_expr_nests() {
+        let a = ast(r#"
+            fn outer() {
+                fn inner(m: &Mutex<u32>) { let _g = m.lock().unwrap(); }
+                let task = { step_one(); step_two() };
+            }
+        "#);
+        assert_eq!(a.fns.len(), 2);
+        assert_eq!(a.fns[0].name, "inner");
+        let outer = &a.fns[1];
+        let Stmt::Let { init, .. } = &outer.body.stmts[0] else {
+            panic!("expected let: {outer:?}");
+        };
+        assert!(matches!(init.as_slice(), [Event::Block(_)]));
+    }
+}

@@ -1,0 +1,330 @@
+//! Intra-workspace call graph for the C-rule family.
+//!
+//! Built from the skeleton ASTs of every scanned file: each function
+//! contributes its (name, owner) pair, whether it returns a guard,
+//! whether it acquires a lock directly, and the calls it makes. A
+//! bounded fixpoint then closes "acquires" transitively.
+//!
+//! # Resolution contract (what it can and cannot resolve)
+//!
+//! * Free calls (`name(…)`) resolve against free functions only;
+//!   `seg::name(…)` prefers methods of `seg`, then free functions.
+//! * Method calls (`.name(…)`) resolve against impl/trait methods of
+//!   that name across the workspace — except names on the std-method
+//!   blocklist ([`STD_METHOD_NAMES`]), which are far more likely to be
+//!   `Vec::push` than a workspace method and are never resolved.
+//! * A call only counts as acquiring when the candidate set is
+//!   **non-empty and every candidate acquires**: unresolved or
+//!   ambiguous calls degrade to intra-fn analysis and can never create
+//!   a false positive.
+//! * The closure is cycle-tolerant (a recursion cycle with no direct
+//!   acquisition inside it never becomes "acquires") and bounded at
+//!   [`MAX_DEPTH`] propagation rounds, so pathological graphs cannot
+//!   blow up the scan.
+
+use crate::ast::{Block, Callee, Event, FileAst, FnDef, Stmt};
+
+/// Method names resolution skips: common std container/sync/io method
+/// names that would otherwise shadow-resolve to unrelated workspace
+/// methods of the same name.
+pub const STD_METHOD_NAMES: &[&str] = &[
+    "load", "store", "set", "get", "len", "push", "pop", "insert", "remove", "clear", "iter",
+    "next", "clone", "send", "recv", "join", "take", "append", "extend", "contains", "parse",
+    "write", "read", "flush",
+];
+
+/// Propagation rounds for the transitive "acquires" closure: call
+/// chains deeper than this are not followed.
+pub const MAX_DEPTH: usize = 6;
+
+/// One function node in the graph.
+#[derive(Debug)]
+struct FnNode {
+    name: String,
+    owner: Option<String>,
+    ret_guard: bool,
+    direct_acquire: bool,
+    calls: Vec<Callee>,
+}
+
+/// The workspace call graph, with the transitive acquire set closed.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    fns: Vec<FnNode>,
+    acquires: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every fn in `asts` and closes the
+    /// "acquires transitively" relation.
+    pub fn build(asts: &[&FileAst]) -> CallGraph {
+        let mut fns = Vec::new();
+        for ast in asts {
+            for f in &ast.fns {
+                let (calls, direct_acquire) = collect_calls(f);
+                fns.push(FnNode {
+                    name: f.name.clone(),
+                    owner: f.owner.clone(),
+                    ret_guard: is_lock_guard_ty(&f.ret),
+                    direct_acquire,
+                    calls,
+                });
+            }
+        }
+        let mut graph = CallGraph {
+            acquires: vec![false; fns.len()],
+            fns,
+        };
+        // Direct layer: an explicit `.lock()`-style acquire, or a call
+        // to a guard-returning helper (acquiring at the call site).
+        for i in 0..graph.fns.len() {
+            let has_event_acquire = graph.fns[i].direct_acquire;
+            let calls_guard_fn = graph.fns[i].calls.iter().any(|c| graph.is_guard_call(c));
+            graph.acquires[i] = has_event_acquire || calls_guard_fn;
+        }
+        // Bounded fixpoint for the transitive layer. Cycles are
+        // naturally tolerated: a cycle only turns true when some member
+        // already acquires directly.
+        for _ in 0..MAX_DEPTH {
+            let mut changed = false;
+            for i in 0..graph.fns.len() {
+                if graph.acquires[i] {
+                    continue;
+                }
+                let now = graph.fns[i].calls.iter().any(|c| graph.callee_acquires(c));
+                if now {
+                    graph.acquires[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        graph
+    }
+
+    /// Candidate fn indices a callee may resolve to (empty when the
+    /// call is out-of-workspace, blocklisted, or otherwise unknown).
+    fn candidates(&self, callee: &Callee) -> Vec<usize> {
+        match callee {
+            Callee::Free(name) => self
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.owner.is_none() && &f.name == name)
+                .map(|(i, _)| i)
+                .collect(),
+            Callee::Method(name) => {
+                if STD_METHOD_NAMES.contains(&name.as_str()) {
+                    return Vec::new();
+                }
+                self.fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.owner.is_some() && &f.name == name)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            Callee::Path(seg, name) => {
+                let owned: Vec<usize> = self
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.owner.as_deref() == Some(seg.as_str()) && &f.name == name)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !owned.is_empty() {
+                    return owned;
+                }
+                self.fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.owner.is_none() && &f.name == name)
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether a call to `callee` yields a lock guard: resolvable, and
+    /// every candidate returns a `…Guard` type.
+    pub fn is_guard_call(&self, callee: &Callee) -> bool {
+        let cands = self.candidates(callee);
+        !cands.is_empty() && cands.iter().all(|&i| self.fns[i].ret_guard)
+    }
+
+    /// Whether calling `callee` acquires a lock somewhere on the
+    /// (bounded) call graph: resolvable, and every candidate acquires.
+    pub fn callee_acquires(&self, callee: &Callee) -> bool {
+        let cands = self.candidates(callee);
+        !cands.is_empty() && cands.iter().all(|&i| self.acquires[i])
+    }
+
+    /// Number of fn nodes (for tests and reporting).
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+/// Whether a return-type text names a *lock* guard. Requiring a
+/// lock-ish word next to `Guard` keeps RAII guards that are not locks —
+/// the obs crate's `SpanGuard` timer, gauge holds — from turning every
+/// instrumented function into a C001 acquire site.
+fn is_lock_guard_ty(ret: &str) -> bool {
+    ret.contains("Guard")
+        && (ret.contains("Mutex") || ret.contains("RwLock") || ret.contains("Lock"))
+}
+
+/// Flattens every call in a fn body (nested blocks and closure bodies
+/// included); the second component is whether the body has an explicit
+/// `.lock()`-style acquire event anywhere.
+fn collect_calls(f: &FnDef) -> (Vec<Callee>, bool) {
+    let mut calls = Vec::new();
+    let mut direct = false;
+    flatten_block(&f.body, &mut calls, &mut direct);
+    (calls, direct)
+}
+
+fn flatten_block(b: &Block, calls: &mut Vec<Callee>, direct: &mut bool) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                flatten_events(init, calls, direct);
+                if let Some(eb) = else_block {
+                    flatten_block(eb, calls, direct);
+                }
+            }
+            Stmt::Expr { events } => flatten_events(events, calls, direct),
+            Stmt::Scope { head, body, .. } => {
+                flatten_events(head, calls, direct);
+                flatten_block(body, calls, direct);
+            }
+        }
+    }
+}
+
+fn flatten_events(events: &[Event], calls: &mut Vec<Callee>, direct: &mut bool) {
+    for e in events {
+        match e {
+            Event::Acquire { .. } => *direct = true,
+            Event::Call { callee, .. } => calls.push(callee.clone()),
+            Event::Block(b) => flatten_block(b, calls, direct),
+            Event::Drop { .. } | Event::Wait { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::Lexed;
+
+    fn graph(src: &str) -> (ast::FileAst, CallGraph) {
+        let lexed = Lexed::lex(src);
+        let a = ast::parse(src, &lexed);
+        let g = CallGraph::build(&[&a]);
+        (a, g)
+    }
+
+    #[test]
+    fn direct_and_transitive_acquire() {
+        let (_, g) = graph(
+            r#"
+            fn leaf(m: &Mutex<u32>) { let _g = m.lock().unwrap(); }
+            fn middle(m: &Mutex<u32>) { leaf(m); }
+            fn top(m: &Mutex<u32>) { middle(m); }
+            fn unrelated() { helper_elsewhere(); }
+            "#,
+        );
+        assert!(g.callee_acquires(&Callee::Free("leaf".into())));
+        assert!(g.callee_acquires(&Callee::Free("middle".into())));
+        assert!(g.callee_acquires(&Callee::Free("top".into())));
+        assert!(!g.callee_acquires(&Callee::Free("unrelated".into())));
+        // Unresolved name: degrades to "does not acquire".
+        assert!(!g.callee_acquires(&Callee::Free("helper_elsewhere".into())));
+    }
+
+    #[test]
+    fn cycles_without_acquire_stay_false() {
+        let (_, g) = graph(
+            r#"
+            fn ping(n: u32) { if n > 0 { pong(n - 1); } }
+            fn pong(n: u32) { if n > 0 { ping(n - 1); } }
+            "#,
+        );
+        assert!(!g.callee_acquires(&Callee::Free("ping".into())));
+        assert!(!g.callee_acquires(&Callee::Free("pong".into())));
+    }
+
+    #[test]
+    fn cycle_with_acquire_propagates() {
+        let (_, g) = graph(
+            r#"
+            fn ping(m: &Mutex<u32>, n: u32) { let _g = m.lock().unwrap(); pong(m, n); }
+            fn pong(m: &Mutex<u32>, n: u32) { if n > 0 { ping(m, n - 1); } }
+            "#,
+        );
+        assert!(g.callee_acquires(&Callee::Free("pong".into())));
+    }
+
+    #[test]
+    fn ambiguous_candidates_never_flag() {
+        let (_, g) = graph(
+            r#"
+            impl A { fn poke(&self) { let _g = self.m.lock().unwrap(); } }
+            impl B { fn poke(&self) { self.counter += 1; } }
+            "#,
+        );
+        // Two candidates, only one acquires: conservative no.
+        assert!(!g.callee_acquires(&Callee::Method("poke".into())));
+    }
+
+    #[test]
+    fn std_method_names_are_blocklisted() {
+        let (_, g) = graph(
+            r#"
+            impl Wal { fn append(&self) { let _g = self.m.lock().unwrap(); } }
+            "#,
+        );
+        assert!(!g.callee_acquires(&Callee::Method("append".into())));
+        // But a path call naming the owner still resolves.
+        assert!(g.callee_acquires(&Callee::Path("Wal".into(), "append".into())));
+    }
+
+    #[test]
+    fn guard_returning_helper_is_an_acquire_site() {
+        let (_, g) = graph(
+            r#"
+            fn lock<'a>(m: &'a Mutex<u32>) -> MutexGuard<'a, u32> {
+                m.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+            fn user(m: &Mutex<u32>) { let g = lock(m); drop(g); }
+            "#,
+        );
+        assert!(g.is_guard_call(&Callee::Free("lock".into())));
+        assert!(g.callee_acquires(&Callee::Free("user".into())));
+    }
+
+    /// RAII guards that are not locks — span timers, gauge holds — must
+    /// not count as acquire sites, or every instrumented fn nests.
+    #[test]
+    fn non_lock_raii_guards_are_not_acquires() {
+        let (_, g) = graph(
+            r#"
+            fn span(name: &'static str) -> SpanGuard { SpanGuard::enter(name) }
+            fn instrumented() { let _s = span("job"); }
+            "#,
+        );
+        assert!(!g.is_guard_call(&Callee::Free("span".into())));
+        assert!(!g.callee_acquires(&Callee::Free("instrumented".into())));
+    }
+}

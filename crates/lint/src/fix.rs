@@ -1,0 +1,84 @@
+//! `--fix`: mechanical removal of stale allow comments (L003).
+//!
+//! An L003 diagnostic anchors at the start of a `// lint: allow(…)`
+//! comment that no longer suppresses anything. The fix is textual and
+//! loses nothing else: a standalone allow line is deleted whole; a
+//! trailing allow is cut from its line, keeping the code before it.
+
+use crate::diag::Diagnostic;
+
+/// Rewrites `src` with the stale allow comments at the given L003
+/// diagnostic positions removed. Positions are 1-based `(line, col)`
+/// pairs as reported; anything out of bounds is ignored. Returns the
+/// new contents and how many allows were removed.
+pub fn strip_stale_allows(src: &str, diags: &[&Diagnostic]) -> (String, usize) {
+    let mut lines: Vec<Option<String>> = src.split('\n').map(|l| Some(l.to_string())).collect();
+    let mut removed = 0usize;
+    for d in diags {
+        if d.rule != "L003" {
+            continue;
+        }
+        let idx = d.line as usize;
+        if idx == 0 || idx > lines.len() {
+            continue;
+        }
+        let Some(line) = lines[idx - 1].clone() else {
+            continue;
+        };
+        let cut = (d.col as usize).saturating_sub(1);
+        if cut > line.len() || !line.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &line[..cut];
+        if prefix.trim().is_empty() {
+            lines[idx - 1] = None; // standalone allow: drop the line
+        } else {
+            lines[idx - 1] = Some(prefix.trim_end().to_string());
+        }
+        removed += 1;
+    }
+    let kept: Vec<String> = lines.into_iter().flatten().collect();
+    (kept.join("\n"), removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostic;
+
+    fn l003(line: u32, col: u32) -> Diagnostic {
+        Diagnostic {
+            rule: "L003",
+            path: "x.rs".to_string(),
+            line,
+            col,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn standalone_allow_line_is_deleted() {
+        let src = "fn f() {}\n// lint: allow(P001) stale\nfn g() {}\n";
+        let (out, n) = strip_stale_allows(src, &[&l003(2, 1)]);
+        assert_eq!(out, "fn f() {}\nfn g() {}\n");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn trailing_allow_keeps_the_code() {
+        let src = "fn f() { g(); } // lint: allow(P001) stale\n";
+        let (out, n) = strip_stale_allows(src, &[&l003(1, 17)]);
+        assert_eq!(out, "fn f() { g(); }\n");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn non_l003_and_out_of_bounds_are_ignored() {
+        let src = "fn f() {}\n";
+        let mut other = l003(1, 1);
+        other.rule = "P001";
+        let (out, n) = strip_stale_allows(src, &[&other, &l003(99, 1)]);
+        assert_eq!(out, src);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,22 +1,27 @@
 //! The `lint` binary: the workspace determinism / protocol-invariant gate.
 //!
 //! ```text
-//! lint [--root <dir>] [--json] [--list-rules]
+//! lint [--root <dir>] [--json] [--list-rules] [--fix]
 //! ```
+//!
+//! `--fix` auto-removes stale allow comments (L003) and re-scans; other
+//! diagnostics still have to be fixed by hand.
 //!
 //! Exit codes: `0` clean, `1` diagnostics found, `2` usage or IO error.
 
-use liteworp_lint::{check_workspace, report};
-use std::path::PathBuf;
+use liteworp_lint::{check_workspace, fix, report, Diagnostic};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut apply_fix = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--fix" => apply_fix = true,
             "--list-rules" => {
                 print!("{}", report::rule_table());
                 return ExitCode::SUCCESS;
@@ -29,11 +34,20 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: lint [--root <dir>] [--json] [--list-rules]");
+                println!("usage: lint [--root <dir>] [--json] [--list-rules] [--fix]");
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if apply_fix {
+        match check_workspace(&root).and_then(|(diags, _)| fix_stale_allows(&root, &diags)) {
+            Ok(fixed) => eprintln!("lint: --fix removed {fixed} stale allow(s)"),
+            Err(err) => {
+                eprintln!("lint: {err}");
                 return ExitCode::from(2);
             }
         }
@@ -56,4 +70,32 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Rewrites every file with L003 diagnostics, stripping the stale allow
+/// comments. Returns the number of allows removed.
+fn fix_stale_allows(root: &Path, diags: &[Diagnostic]) -> Result<usize, String> {
+    let mut total = 0usize;
+    let mut paths: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "L003")
+        .map(|d| d.path.as_str())
+        .collect();
+    paths.sort_unstable();
+    paths.dedup();
+    for path in paths {
+        let full = root.join(path);
+        let src =
+            std::fs::read_to_string(&full).map_err(|e| format!("read {path} for --fix: {e}"))?;
+        let stale: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.rule == "L003" && d.path == path)
+            .collect();
+        let (out, removed) = fix::strip_stale_allows(&src, &stale);
+        if removed > 0 {
+            std::fs::write(&full, out).map_err(|e| format!("write {path} for --fix: {e}"))?;
+            total += removed;
+        }
+    }
+    Ok(total)
 }

@@ -56,6 +56,32 @@ pub const RULES: &[RuleInfo] = &[
         invariant: "library crates return typed errors instead of aborting",
     },
     RuleInfo {
+        id: "C001",
+        summary: "nested lock acquisition while a guard is live (directly or via a callee)",
+        invariant: "served/runner lock discipline is one lock at a time",
+    },
+    RuleInfo {
+        id: "C002",
+        summary:
+            "blocking call (fsync, accept, frame IO, Condvar::wait on another lock) under a guard",
+        invariant: "critical sections never park or block on IO",
+    },
+    RuleInfo {
+        id: "C003",
+        summary: "lock guard bound to `_` (drops immediately — a no-op critical section)",
+        invariant: "every acquired guard protects an actual critical section",
+    },
+    RuleInfo {
+        id: "R001",
+        summary: "#[derive(Debug)] on a seed-hash registry type (Scenario, NodeParams)",
+        invariant: "Debug strings that feed seed hashing are hand-written and stable",
+    },
+    RuleInfo {
+        id: "R002",
+        summary: "iteration over an unordered read_dir/vars stream feeding a digest or JSONL sink",
+        invariant: "serialized and hashed output bytes are independent of OS enumeration order",
+    },
+    RuleInfo {
         id: "S001",
         summary: "crate root missing #![forbid(unsafe_code)]",
         invariant: "the whole workspace is forbid-unsafe",
@@ -89,6 +115,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "L004",
         summary: "lint: allow(D001) outside the registered wall-clock boundary",
         invariant: "wall-clock reads stay confined to the registered profiling and timeout seams",
+    },
+    RuleInfo {
+        id: "L005",
+        summary: "lint: allow(C001) outside the registered lock-nesting boundary",
+        invariant: "deliberate nested locking stays confined to the registered two-tier queues",
     },
 ];
 
@@ -371,9 +402,10 @@ fn macro_bang(toks: &[Token], i: usize) -> bool {
 }
 
 /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items (the attribute
-/// through the close of the following brace block). D- and P-rules skip
-/// these: test code may unwrap and may use wall-clock helpers.
-fn test_regions(src: &str, toks: &[Token]) -> Vec<(usize, usize)> {
+/// through the close of the following brace block). D-, P-, C- and
+/// R-rules skip these: test code may unwrap, use wall-clock helpers,
+/// and hold overlapping guards.
+pub(crate) fn test_regions(src: &str, toks: &[Token]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {

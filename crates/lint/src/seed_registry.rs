@@ -1,0 +1,23 @@
+//! The seed-hash type registry (R001).
+//!
+//! Experiment seeds derive from the `Debug` rendering of scenario
+//! configuration (`exec::SimCell::descriptor` hashes
+//! `format!("{:?}", scenario)`), so the byte-for-byte shape of those
+//! `Debug` strings is part of the reproducibility contract. PR 8 proved
+//! the failure mode: replacing `Scenario`'s hand-written `Debug` with a
+//! derived one silently re-seeded every experiment in the workspace,
+//! because the derived output included fields the hand-written impl
+//! deliberately elides at their defaults.
+//!
+//! Any type listed here must keep a hand-written `Debug` impl; R001
+//! flags `#[derive(Debug)]` on them. Extend the list in the same change
+//! that makes a new type's `Debug` string seed-bearing.
+
+/// Types whose `Debug` output feeds seed hashing and must therefore be
+/// hand-written, never derived.
+pub const SEED_HASH_TYPES: &[&str] = &["Scenario", "NodeParams"];
+
+/// Whether `name` is a registered seed-hash type.
+pub fn is_seed_hash_type(name: &str) -> bool {
+    SEED_HASH_TYPES.contains(&name)
+}

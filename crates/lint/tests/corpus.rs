@@ -176,6 +176,66 @@ fn l004_d001_allow_outside_wall_clock_boundary() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+/// C001 both ways: a second `.lock()` while a named guard is live, and
+/// a call to a helper that acquires on the call graph.
+#[test]
+fn c001_nested_lock_direct_and_via_callee() {
+    assert_bad("C001_bad.rs", &[("C001", 17, 18), ("C001", 23, 5)]);
+    assert_clean("C001_clean.rs");
+}
+
+/// C002 both ways: `sync_data` under a live file guard, and a
+/// `Condvar::wait` that parks while a *different* lock is held.
+#[test]
+fn c002_blocking_under_guard() {
+    assert_bad("C002_bad.rs", &[("C002", 15, 7), ("C002", 21, 24)]);
+    assert_clean("C002_clean.rs");
+}
+
+#[test]
+fn c003_guard_bound_to_underscore() {
+    assert_bad("C003_bad.rs", &[("C003", 6, 15)]);
+    assert_clean("C003_clean.rs");
+}
+
+#[test]
+fn r001_derived_debug_on_seed_hash_type() {
+    assert_bad("R001_bad.rs", &[("R001", 3, 10)]);
+    assert_clean("R001_clean.rs");
+}
+
+#[test]
+fn r002_unordered_iteration_into_sink() {
+    assert_bad("R002_bad.rs", &[("R002", 8, 27)]);
+    assert_clean("R002_clean.rs");
+}
+
+/// L005 binds the C001 escape hatch to the registered lock-nesting
+/// boundary, exactly as L004 does for D001: a reasoned, genuinely
+/// suppressing allow is rejected outside the boundary and clean inside
+/// it.
+#[test]
+fn l005_c001_allow_outside_lock_nest_boundary() {
+    assert_bad("L005_bad.rs", &[("L005", 14, 5)]);
+    let diags = check_file(&fixture_at("L005_clean.rs", "crates/runner/src/pool.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// The `--fix` round trip: stripping the stale allow from the L003
+/// fixture leaves a file the checker accepts unchanged.
+#[test]
+fn fix_strips_stale_allows_round_trip() {
+    let mut f = fixture("L003_bad.rs", false);
+    let diags = check_file(&f);
+    let stale: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L003").collect();
+    assert_eq!(stale.len(), 1, "{diags:?}");
+    let (rewritten, removed) = liteworp_lint::fix::strip_stale_allows(&f.src, &stale);
+    assert_eq!(removed, 1);
+    f.src = rewritten;
+    let diags = check_file(&f);
+    assert!(diags.is_empty(), "after --fix: {diags:?}");
+}
+
 /// Every rule in the registry has both a bad and a clean fixture, so a
 /// newly added rule cannot ship without corpus coverage.
 #[test]

@@ -1,0 +1,25 @@
+//! Corpus: C001 — nested lock acquisition, directly and via a callee.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+fn bump(s: &Shared) {
+    let mut g = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *g += 1;
+}
+
+pub fn nested_direct(s: &Shared) {
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = *gb + *ga;
+}
+
+pub fn nested_via_callee(s: &Shared) {
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    bump(s);
+    drop(ga);
+}

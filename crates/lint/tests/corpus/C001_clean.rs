@@ -1,0 +1,29 @@
+//! Corpus: C001 clean — one lock at a time: drop first, or scope out.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+fn bump(s: &Shared) {
+    let mut g = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *g += 1;
+}
+
+pub fn sequential(s: &Shared) {
+    let ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+    let snapshot = *ga;
+    drop(ga);
+    let mut gb = s.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *gb += snapshot;
+}
+
+pub fn scoped(s: &Shared) {
+    {
+        let mut ga = s.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *ga += 1;
+    }
+    bump(s);
+}

@@ -1,0 +1,23 @@
+//! Corpus: C002 — blocking while a guard is live: fsync under a file
+//! guard, and a `Condvar::wait` that parks with a *different* lock held.
+
+use std::fs::File;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+pub struct Wal {
+    pub file: Mutex<File>,
+    pub state: Mutex<u32>,
+    pub cv: Condvar,
+}
+
+pub fn fsync_under_guard(w: &Wal) -> std::io::Result<()> {
+    let f = w.file.lock().unwrap_or_else(PoisonError::into_inner);
+    f.sync_data()?;
+    Ok(())
+}
+
+pub fn park_with_foreign_guard(w: &Wal, g: MutexGuard<'_, u32>) {
+    let s = w.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let _parked = w.cv.wait(g);
+    drop(s);
+}

@@ -1,0 +1,26 @@
+//! Corpus: C002 clean — the IO happens after release, and the wait
+//! re-binds the same lock it parks on.
+
+use std::fs::File;
+use std::io::Write;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+pub struct Wal {
+    pub file: Mutex<File>,
+    pub state: Mutex<u32>,
+    pub cv: Condvar,
+}
+
+pub fn write_then_release(w: &Wal, buf: &[u8]) -> std::io::Result<()> {
+    let mut f = w.file.lock().unwrap_or_else(PoisonError::into_inner);
+    f.write_all(buf)?;
+    drop(f);
+    Ok(())
+}
+
+pub fn wait_same_lock(w: &Wal) {
+    let mut s = w.state.lock().unwrap_or_else(PoisonError::into_inner);
+    while *s == 0 {
+        s = w.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+}

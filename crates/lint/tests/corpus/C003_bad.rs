@@ -1,0 +1,7 @@
+//! Corpus: C003 — a guard bound to `_` drops before the semicolon.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn no_op_critical_section(m: &Mutex<u32>) {
+    let _ = m.lock().unwrap_or_else(PoisonError::into_inner);
+}

@@ -1,0 +1,13 @@
+//! Corpus: C003 clean — a named guard holds the critical section, and
+//! `let _ =` on a non-guard value stays out of scope.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn guarded_section(m: &Mutex<u32>, tick: fn()) {
+    let _guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    tick();
+}
+
+pub fn underscore_non_guard(v: u64) {
+    let _ = v.checked_add(1);
+}

@@ -1,0 +1,17 @@
+//! Corpus: the same shape is clean when the file *is* a registered
+//! lock-nesting seam — the test presents this fixture to the checker
+//! under the registered path `crates/runner/src/pool.rs`.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn drain(p: &Pair) {
+    let ga = p.a.lock().unwrap_or_else(PoisonError::into_inner);
+    // lint: allow(C001) two-level deque handoff: registered seam
+    let mut gb = p.b.lock().unwrap_or_else(PoisonError::into_inner);
+    *gb += *ga;
+}

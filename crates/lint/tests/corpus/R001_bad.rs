@@ -1,0 +1,7 @@
+//! Corpus: R001 — derived `Debug` on a seed-hash registry type.
+
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub nodes: u32,
+    pub seed: u64,
+}

@@ -1,0 +1,20 @@
+//! Corpus: R001 clean — seed-hash registry types hand-write `Debug`, so
+//! the seed string is an explicit contract rather than a derive side
+//! effect.
+
+use std::fmt;
+
+#[derive(Clone)]
+pub struct Scenario {
+    pub nodes: u32,
+    pub seed: u64,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("nodes", &self.nodes)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}

@@ -1,0 +1,11 @@
+//! Corpus: R002 — an unordered `read_dir` stream feeding a
+//! serialization sink inside the loop body.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn digest_dir(dir: &Path, out: &mut Vec<u8>) {
+    for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+        let _ = writeln!(out, "{}", entry.path().display());
+    }
+}

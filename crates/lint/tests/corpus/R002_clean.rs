@@ -1,0 +1,18 @@
+//! Corpus: R002 clean — collect the directory entries, sort, then
+//! serialize in the stable order.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+pub fn digest_dir_sorted(dir: &Path, out: &mut Vec<u8>) {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    names.sort();
+    for name in names {
+        let _ = writeln!(out, "{}", name.display());
+    }
+}

@@ -85,6 +85,11 @@ pub struct ProtocolNode {
     params: NodeParams,
     lw: Option<Liteworp>,
     monitoring: bool,
+    /// Whether an EXPIRE timer is outstanding. The tick is armed lazily
+    /// when the watch buffer first becomes non-empty and lapses when it
+    /// drains, so idle nodes (most of a large network, most of the
+    /// time) schedule no periodic events at all.
+    expire_armed: bool,
     seq: u64,
     seen_reqs: BTreeSet<(NodeId, u64)>,
     replied: BTreeSet<(NodeId, u64)>,
@@ -114,6 +119,7 @@ impl ProtocolNode {
             params,
             lw,
             monitoring: true,
+            expire_armed: false,
             seq: 0,
             seen_reqs: BTreeSet::new(),
             replied: BTreeSet::new(),
@@ -202,9 +208,9 @@ impl ProtocolNode {
             self.emit_discovery(ctx, out);
             ctx.set_timer(collect, timer::encode(timer::ANNOUNCE, 0));
         }
-        if self.lw.is_some() {
-            ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
-        }
+        // The EXPIRE tick is not armed here: the watch buffer starts
+        // empty, and `monitor_packet` arms the timer the moment the
+        // first entry appears.
         if let Some(mean) = self.params.data_interval_mean {
             self.pick_new_destination(ctx);
             let warmup_us = self.params.traffic_warmup.as_micros();
@@ -367,7 +373,18 @@ impl ProtocolNode {
                         self.apply_effects(ctx, effects);
                     }
                 }
-                ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
+                // Re-arm only while entries remain (even with monitoring
+                // paused, so a re-enabled monitor still expires them);
+                // otherwise the tick lapses until the next observation.
+                if self
+                    .lw
+                    .as_ref()
+                    .is_some_and(|lw| !lw.monitor().watch().is_empty())
+                {
+                    ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
+                } else {
+                    self.expire_armed = false;
+                }
             }
             timer::TRAFFIC => {
                 self.generate_data(ctx);
@@ -509,6 +526,15 @@ impl ProtocolNode {
             lw.observe_packet(&obs, micros(ctx.now()))
         };
         self.apply_effects(ctx, effects);
+        if !self.expire_armed
+            && self
+                .lw
+                .as_ref()
+                .is_some_and(|lw| !lw.monitor().watch().is_empty())
+        {
+            self.expire_armed = true;
+            ctx.set_timer(self.params.expire_tick, timer::encode(timer::EXPIRE, 0));
+        }
     }
 
     /// Defers a control send by a uniform random delay in `[0, jitter]`.

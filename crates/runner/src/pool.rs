@@ -163,6 +163,9 @@ fn next_job(
         let mut inj = injector.lock().unwrap_or_else(PoisonError::into_inner);
         if !inj.is_empty() {
             let take = batch_size(inj.len(), threads);
+            // lint: allow(C001) injector→local batch refill holds both queue
+            // locks in a fixed order; this file is the registered
+            // LOCK_NEST_BOUNDARY seam
             let mut local = locals[w].lock().unwrap_or_else(PoisonError::into_inner);
             for _ in 0..take {
                 match inj.pop_front() {

@@ -274,8 +274,14 @@ impl Server {
 /// persisted, so a restarted daemon replays `done` requests without
 /// them.
 fn replay(state: &DaemonState, records: Vec<WalRecord>) {
+    // `restore_phase` takes each request's own lock, so restores are
+    // collected under the registry guard and applied after it drops —
+    // one lock at a time (the C001 discipline). Order is preserved, and
+    // each restore only touches its own request, so the final state is
+    // identical to interleaved application.
     let mut registry = lock(&state.registry);
     let mut order: Vec<u64> = Vec::new();
+    let mut restores: Vec<(Arc<RequestState>, ReqPhase)> = Vec::new();
     for record in records {
         match record {
             WalRecord::Submitted {
@@ -284,29 +290,32 @@ fn replay(state: &DaemonState, records: Vec<WalRecord>) {
                 params,
                 trace,
             } => {
-                registry
+                let req = registry
                     .entry(key)
-                    .or_insert_with(|| Arc::new(RequestState::new(key, kind, params, trace)))
-                    .restore_phase(ReqPhase::Queued);
+                    .or_insert_with(|| Arc::new(RequestState::new(key, kind, params, trace)));
+                restores.push((Arc::clone(req), ReqPhase::Queued));
                 if !order.contains(&key) {
                     order.push(key);
                 }
             }
             WalRecord::Done { key, info } => {
                 if let Some(req) = registry.get(&key) {
-                    req.restore_phase(ReqPhase::Done(info));
+                    restores.push((Arc::clone(req), ReqPhase::Done(info)));
                 }
                 order.retain(|k| *k != key);
             }
             WalRecord::Cancelled { key } => {
                 if let Some(req) = registry.get(&key) {
-                    req.restore_phase(ReqPhase::Cancelled);
+                    restores.push((Arc::clone(req), ReqPhase::Cancelled));
                 }
                 order.retain(|k| *k != key);
             }
         }
     }
     drop(registry);
+    for (req, phase) in restores {
+        req.restore_phase(phase);
+    }
     let mut queue = lock(&state.queue);
     queue.extend(order);
     if !queue.is_empty() {
@@ -641,7 +650,10 @@ fn handle_connection(stream: TcpStream, state: Arc<DaemonState>) -> std::io::Res
                 write_frame(&mut writer, &ok_response(stats_pairs(&state)))?;
             }
             Request::Cancel { req } => {
-                let response = match lock(&state.registry).get(&req).cloned() {
+                // Like Status: clone the entry out of the registry guard
+                // before touching the request's own lock in `cancel()`.
+                let entry = lock(&state.registry).get(&req).cloned();
+                let response = match entry {
                     Some(r) => {
                         let cancelled = r.cancel();
                         if cancelled {

@@ -391,6 +391,8 @@ impl RequestWal {
     pub fn append(&self, record: &WalRecord) -> std::io::Result<()> {
         let mut file = self.file.lock().unwrap_or_else(PoisonError::into_inner);
         file.write_all(format!("{}\n", record.to_json().dump()).as_bytes())?;
+        // lint: allow(C002) WAL durability contract: the fsync *must* be
+        // serialized under the file lock so records hit disk in append order
         file.sync_data()
     }
 

@@ -20,8 +20,20 @@ cargo test --workspace --offline -q
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> lint (determinism / panic-hygiene / structure gate)"
+echo "==> lint (determinism / panic-hygiene / lock-discipline / structure gate)"
+# The thread-chunked scan keeps the whole-workspace pass cheap even with
+# the call-graph families; hold it to a wall-clock budget so an
+# accidentally quadratic rule (or a lost parallel phase) fails CI
+# instead of silently eating minutes. Override with LINT_BUDGET_SECS.
+LINT_BUDGET_SECS="${LINT_BUDGET_SECS:-30}"
+lint_start_ns=$(date +%s%N)
 ./target/release/lint --root .
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_start_ns) / 1000000 ))
+echo "lint: whole-workspace scan in ${lint_elapsed_ms} ms (budget ${LINT_BUDGET_SECS}s)"
+if [ "$lint_elapsed_ms" -gt $(( LINT_BUDGET_SECS * 1000 )) ]; then
+    echo "lint: scan blew the ${LINT_BUDGET_SECS}s wall-clock budget" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy (all targets, warnings are errors)"
 cargo clippy --all-targets --offline -- -D warnings

@@ -86,11 +86,17 @@ fn chaos_injected_trace_is_byte_identical() {
 /// indexing changes: every query answer, every RNG draw, and every event
 /// order must be exactly what the O(N²) code produced. A digest change
 /// here means the refactor altered behavior, not just speed.
-const PRE_INDEX_CHAOS_TRACE_FNV: &str = "5f92a9e34c2de41f";
+///
+/// Re-pinned when the watch-expiry tick became demand-armed: the tick
+/// grid is now anchored at each node's first observation instead of at
+/// t=0, which shifts expiry timestamps (never verdicts) within one
+/// `expire_tick` and re-bases the event-sequence numbers in the trace.
+const PRE_INDEX_CHAOS_TRACE_FNV: &str = "6fb3518194a33114";
 
 /// Digest of a clean (fault-free) run fingerprint, captured on the same
-/// pre-refactor code. Covers the no-hook fast path.
-const PRE_INDEX_CLEAN_FNV: &str = "1622348a65f5a487";
+/// pre-refactor code (re-pinned with the demand-armed expiry tick, as
+/// above). Covers the no-hook fast path.
+const PRE_INDEX_CLEAN_FNV: &str = "1afc7086215b1426";
 
 /// The index swap is behavior-preserving: same-seed runs digest to the
 /// values captured before the refactor. Unlike `same_seed_same_world`
