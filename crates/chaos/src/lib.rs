@@ -19,6 +19,11 @@
 //!   per-attempt job failures (io / panic / invariant) so the
 //!   supervisor's retry, quarantine, and journal paths are exercised
 //!   deterministically.
+//! * [`process_faults::ProcessFaultPlan`] — chaos for the *service
+//!   fabric*: kill -9 a shard worker mid-drain, stall its accept loop,
+//!   or tear its request-WAL tail, sampled and shrunk like every other
+//!   plan. The shard front (`liteworp-served --front`) must drain to
+//!   byte-identical digests under any sampled plan.
 //! * [`oracle`] — replays a [`liteworp_telemetry::EventLog`] and asserts
 //!   the protocol invariants (alert quorum, `MalC` provenance, watch
 //!   bound, absorbing isolation, honest immunity). See the module docs
@@ -35,8 +40,10 @@ pub mod engine_faults;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
+pub mod process_faults;
 
 pub use engine_faults::EngineFaultPlan;
 pub use inject::Injector;
 pub use oracle::{check, Immunity, Invariant, OracleConfig, ReplayStats, Violation};
 pub use plan::{parse_crashes, parse_drifts, ClockDrift, CrashWindow, FaultPlan, FuzzProfile};
+pub use process_faults::{parse_process_faults, ProcessFault, ProcessFaultPlan};

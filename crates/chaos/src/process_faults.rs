@@ -1,0 +1,345 @@
+//! Process-level fault plans for the shard fabric.
+//!
+//! [`FaultPlan`](crate::plan::FaultPlan) breaks *frames inside a
+//! simulation*; [`ProcessFaultPlan`] breaks the *service processes that
+//! run simulations*: kill -9 a worker daemon mid-drain, stall a worker's
+//! accept loop (alive process, dead socket — exactly what a protocol
+//! ping catches and an exit-status check misses), or corrupt the tail
+//! of a worker's request WAL before it resumes. The shard front must
+//! survive every sampled plan with a byte-identical sorted digest set —
+//! the `shard` integration tests and `scripts/shard_smoke.sh` assert
+//! exactly that.
+//!
+//! Like every chaos plan in this crate, a [`ProcessFaultPlan`] is pure
+//! data: sampled deterministically from a seed, validated, shrinkable
+//! toward a minimal counterexample, and round-trippable through a
+//! reproducer command line. The *mechanics* live next to the victims —
+//! `--stall-accept-secs` on the daemon binary, `kill -9` by pid from the
+//! front's `shards.json` manifest, a file truncation/garbage append for
+//! WAL corruption — so this module stays dependency-free data.
+
+use liteworp_runner::rng::{Pcg32, Rng};
+
+/// One process-level fault against a shard worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessFault {
+    /// SIGKILL the worker once it has drained `after_done` requests —
+    /// no flush, no goodbye; the supervisor finds out via exit status
+    /// and a failed ping.
+    Kill {
+        /// The victim shard's ring index.
+        shard: usize,
+        /// How many completed requests to wait for before the kill
+        /// (0 = kill as soon as the worker is up).
+        after_done: u64,
+    },
+    /// Start the worker with its accept loop stalling this many
+    /// milliseconds after each accepted connection: the process stays
+    /// alive while new connections starve, so only the protocol ping
+    /// can catch it.
+    StallAccept {
+        /// The victim shard's ring index.
+        shard: usize,
+        /// Stall duration per accepted connection, milliseconds.
+        millis: u64,
+    },
+    /// Append a torn, garbage tail to the worker's `requests.jsonl`
+    /// after killing it, before the supervisor restarts it with
+    /// `--resume` — the WAL loader must truncate it back to the last
+    /// clean record.
+    CorruptWalTail {
+        /// The victim shard's ring index.
+        shard: usize,
+        /// How many garbage bytes to append (no trailing newline).
+        bytes: usize,
+    },
+}
+
+impl ProcessFault {
+    /// The victim shard's ring index.
+    pub fn shard(&self) -> usize {
+        match self {
+            ProcessFault::Kill { shard, .. }
+            | ProcessFault::StallAccept { shard, .. }
+            | ProcessFault::CorruptWalTail { shard, .. } => *shard,
+        }
+    }
+}
+
+/// A complete process-level fault plan against a front with `shards`
+/// workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessFaultPlan {
+    /// Seed the plan was sampled from (kept for the reproducer line).
+    pub seed: u64,
+    /// Ring size the plan was sampled for.
+    pub shards: usize,
+    /// The faults, in injection order.
+    pub faults: Vec<ProcessFault>,
+}
+
+impl ProcessFaultPlan {
+    /// Draws a plan with up to `max_faults` faults against a ring of
+    /// `shards` workers. Deterministic per `(seed, shards, max_faults)`.
+    /// At most one fault per shard, so a plan never asks for the same
+    /// victim twice (a killed worker cannot also stall).
+    pub fn sample(seed: u64, shards: usize, max_faults: usize) -> ProcessFaultPlan {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let budget = max_faults.min(shards);
+        let count = if budget > 0 {
+            rng.gen_range(1..=budget as u64) as usize
+        } else {
+            0
+        };
+        let mut victims: Vec<usize> = (0..shards).collect();
+        for _ in 0..count {
+            let pick = rng.gen_range(0..victims.len() as u64) as usize;
+            let shard = victims.swap_remove(pick);
+            let fault = match rng.gen_range(0..3u64) {
+                0 => ProcessFault::Kill {
+                    shard,
+                    after_done: rng.gen_range(0..=4u64),
+                },
+                1 => ProcessFault::StallAccept {
+                    shard,
+                    millis: rng.gen_range(100..=2_000u64),
+                },
+                _ => ProcessFault::CorruptWalTail {
+                    shard,
+                    bytes: rng.gen_range(1..=64u64) as usize,
+                },
+            };
+            faults.push(fault);
+        }
+        let plan = ProcessFaultPlan {
+            seed,
+            shards,
+            faults,
+        };
+        debug_assert!(plan.validate().is_ok());
+        plan
+    }
+
+    /// Validates shard indices, per-shard uniqueness, and fault shapes.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.shards];
+        for fault in &self.faults {
+            let shard = fault.shard();
+            if shard >= self.shards {
+                return Err(format!("fault targets shard {shard} of {}", self.shards));
+            }
+            if std::mem::replace(&mut seen[shard], true) {
+                return Err(format!("shard {shard} targeted twice"));
+            }
+            match fault {
+                ProcessFault::StallAccept { millis: 0, .. } => {
+                    return Err("zero-length accept stall injects nothing".into());
+                }
+                ProcessFault::CorruptWalTail { bytes: 0, .. } => {
+                    return Err("zero-byte WAL corruption injects nothing".into());
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Ordered simplification candidates for greedy shrinking: drop a
+    /// fault, or weaken one (kill later → kill sooner is *not* simpler,
+    /// so only list shortening and stall/garbage halving qualify).
+    pub fn shrink_candidates(&self) -> Vec<ProcessFaultPlan> {
+        let mut out = Vec::new();
+        for drop in 0..self.faults.len() {
+            let mut faults = self.faults.clone();
+            faults.remove(drop);
+            out.push(ProcessFaultPlan {
+                faults,
+                ..self.clone()
+            });
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            let weakened = match fault {
+                ProcessFault::StallAccept { shard, millis } if *millis > 1 => {
+                    Some(ProcessFault::StallAccept {
+                        shard: *shard,
+                        millis: millis / 2,
+                    })
+                }
+                ProcessFault::CorruptWalTail { shard, bytes } if *bytes > 1 => {
+                    Some(ProcessFault::CorruptWalTail {
+                        shard: *shard,
+                        bytes: bytes / 2,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(weakened) = weakened {
+                let mut faults = self.faults.clone();
+                faults[i] = weakened;
+                out.push(ProcessFaultPlan {
+                    faults,
+                    ..self.clone()
+                });
+            }
+        }
+        out
+    }
+
+    /// A reproducer command-line fragment: `--proc-seed S --shards N
+    /// --proc-faults kill:SHARD@DONE,stall:SHARD@MS,waltear:SHARD@BYTES`.
+    pub fn cli_args(&self) -> String {
+        let mut s = format!("--proc-seed {} --shards {}", self.seed, self.shards);
+        if !self.faults.is_empty() {
+            let spec: Vec<String> = self
+                .faults
+                .iter()
+                .map(|f| match f {
+                    ProcessFault::Kill { shard, after_done } => {
+                        format!("kill:{shard}@{after_done}")
+                    }
+                    ProcessFault::StallAccept { shard, millis } => {
+                        format!("stall:{shard}@{millis}")
+                    }
+                    ProcessFault::CorruptWalTail { shard, bytes } => {
+                        format!("waltear:{shard}@{bytes}")
+                    }
+                })
+                .collect();
+            s.push_str(&format!(" --proc-faults {}", spec.join(",")));
+        }
+        s
+    }
+}
+
+/// Parses a `--proc-faults` spec back into faults (see
+/// [`ProcessFaultPlan::cli_args`]).
+pub fn parse_process_faults(spec: &str) -> Result<Vec<ProcessFault>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (kind, rest) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault entry {part:?} (want kind:shard@arg)"))?;
+        let (shard, arg) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("bad fault target {rest:?} (want shard@arg)"))?;
+        let shard: usize = shard
+            .parse()
+            .map_err(|e| format!("bad shard {shard:?}: {e}"))?;
+        let arg: u64 = arg.parse().map_err(|e| format!("bad arg {arg:?}: {e}"))?;
+        out.push(match kind {
+            "kill" => ProcessFault::Kill {
+                shard,
+                after_done: arg,
+            },
+            "stall" => ProcessFault::StallAccept { shard, millis: arg },
+            "waltear" => ProcessFault::CorruptWalTail {
+                shard,
+                bytes: arg as usize,
+            },
+            other => return Err(format!("unknown fault kind {other:?}")),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        for seed in 0..50 {
+            let plan = ProcessFaultPlan::sample(seed, 3, 2);
+            plan.validate().expect("sampled plan must validate");
+            assert!(
+                !plan.faults.is_empty(),
+                "max_faults >= 1 draws at least one"
+            );
+            assert!(plan.faults.len() <= 2);
+            assert_eq!(plan, ProcessFaultPlan::sample(seed, 3, 2));
+        }
+        assert_ne!(
+            ProcessFaultPlan::sample(1, 3, 2),
+            ProcessFaultPlan::sample(2, 3, 2)
+        );
+    }
+
+    #[test]
+    fn each_shard_is_targeted_at_most_once() {
+        for seed in 0..50 {
+            let plan = ProcessFaultPlan::sample(seed, 2, 5);
+            let mut shards: Vec<usize> = plan.faults.iter().map(ProcessFault::shard).collect();
+            shards.sort_unstable();
+            shards.dedup();
+            assert_eq!(shards.len(), plan.faults.len(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let plan = ProcessFaultPlan {
+            seed: 0,
+            shards: 2,
+            faults: vec![ProcessFault::Kill {
+                shard: 2,
+                after_done: 0,
+            }],
+        };
+        assert!(plan.validate().is_err(), "out-of-range shard");
+        let plan = ProcessFaultPlan {
+            seed: 0,
+            shards: 2,
+            faults: vec![
+                ProcessFault::Kill {
+                    shard: 0,
+                    after_done: 0,
+                },
+                ProcessFault::StallAccept {
+                    shard: 0,
+                    millis: 100,
+                },
+            ],
+        };
+        assert!(plan.validate().is_err(), "double-targeted shard");
+        let plan = ProcessFaultPlan {
+            seed: 0,
+            shards: 2,
+            faults: vec![ProcessFault::StallAccept {
+                shard: 0,
+                millis: 0,
+            }],
+        };
+        assert!(plan.validate().is_err(), "null stall");
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler_and_valid() {
+        let plan = ProcessFaultPlan::sample(9, 3, 3);
+        for cand in plan.shrink_candidates() {
+            assert_ne!(cand, plan);
+            cand.validate().expect("shrunk plan must validate");
+        }
+        let empty = ProcessFaultPlan {
+            seed: 0,
+            shards: 1,
+            faults: Vec::new(),
+        };
+        assert!(empty.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn cli_args_round_trip() {
+        for seed in 0..20 {
+            let plan = ProcessFaultPlan::sample(seed, 3, 3);
+            let args = plan.cli_args();
+            let spec = args
+                .split("--proc-faults ")
+                .nth(1)
+                .expect("sampled plans have at least one fault");
+            assert_eq!(parse_process_faults(spec).unwrap(), plan.faults, "{args}");
+        }
+        assert!(parse_process_faults("explode:0@1").is_err());
+        assert!(parse_process_faults("kill:0").is_err());
+    }
+}

@@ -19,12 +19,19 @@ pub const SPAN_NAMES: &[&str] = &[
     "job",
     "neighbor_discovery",
     "request",
+    "route",
     "sweep",
     "watch_buffer",
 ];
 
 /// Every registered metric name (counters and gauges).
 pub const METRIC_NAMES: &[&str] = &[
+    "front.ping_failures",
+    "front.reroutes",
+    "front.restarts",
+    "front.shards_up",
+    "front.submits",
+    "front.submits_local",
     "served.active_drains",
     "served.cache_hits",
     "served.cache_misses",

@@ -283,6 +283,60 @@ pub fn backoff_us(derived_seed: u64, attempt: u32, base_us: u64, cap_us: u64) ->
     rng.gen_range(exp / 2..=exp)
 }
 
+/// A bounded, seeded restart budget: the reusable face of [`backoff_us`]
+/// for supervisors that restart *processes* (or any failure domain)
+/// rather than jobs. Each draw consumes one attempt and yields the
+/// deterministic pause before that attempt; once `max_restarts` draws
+/// have been taken the budget is exhausted and the caller should
+/// quarantine the domain instead of restarting it.
+///
+/// Two budgets built from the same `(derived_seed, max_restarts, base,
+/// cap)` yield identical pause sequences, so a rerun of a supervised
+/// fabric restarts on the same schedule.
+#[derive(Debug, Clone)]
+pub struct RestartBudget {
+    derived_seed: u64,
+    max_restarts: u32,
+    used: u32,
+    base_us: u64,
+    cap_us: u64,
+}
+
+impl RestartBudget {
+    /// A budget of `max_restarts` attempts paced by
+    /// [`backoff_us`]`(derived_seed, attempt, base_us, cap_us)`.
+    pub fn new(derived_seed: u64, max_restarts: u32, base_us: u64, cap_us: u64) -> RestartBudget {
+        RestartBudget {
+            derived_seed,
+            max_restarts,
+            used: 0,
+            base_us,
+            cap_us,
+        }
+    }
+
+    /// Attempts consumed so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// Attempts left before the budget is exhausted.
+    pub fn remaining(&self) -> u32 {
+        self.max_restarts.saturating_sub(self.used)
+    }
+
+    /// Draws the next attempt: `Some(pause_us)` to restart after that
+    /// pause, `None` when the budget is exhausted.
+    pub fn next_backoff_us(&mut self) -> Option<u64> {
+        if self.used >= self.max_restarts {
+            return None;
+        }
+        let pause = backoff_us(self.derived_seed, self.used, self.base_us, self.cap_us);
+        self.used += 1;
+        Some(pause)
+    }
+}
+
 /// Aggregated failure accounting for one batch, embedded in the
 /// [`Manifest`] as the `failures` block.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -801,6 +855,39 @@ mod tests {
     use super::*;
     use crate::cache::ResultCache;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn restart_budget_is_deterministic_and_bounded() {
+        let draws = |seed: u64| -> Vec<u64> {
+            let mut b = RestartBudget::new(seed, 3, 1_000, 50_000);
+            std::iter::from_fn(|| b.next_backoff_us()).collect()
+        };
+        let a = draws(7);
+        assert_eq!(a.len(), 3, "budget of 3 yields exactly 3 draws");
+        assert_eq!(a, draws(7), "same seed, same pause schedule");
+        assert_ne!(a, draws(8), "different seed, different jitter");
+        for (attempt, pause) in a.iter().enumerate() {
+            assert_eq!(*pause, backoff_us(7, attempt as u32, 1_000, 50_000));
+        }
+
+        let mut b = RestartBudget::new(7, 3, 1_000, 50_000);
+        assert_eq!((b.used(), b.remaining()), (0, 3));
+        b.next_backoff_us();
+        assert_eq!((b.used(), b.remaining()), (1, 2));
+    }
+
+    #[test]
+    fn restart_budget_edge_cases() {
+        // A zero budget quarantines immediately.
+        let mut none = RestartBudget::new(1, 0, 1_000, 50_000);
+        assert_eq!(none.next_backoff_us(), None);
+        assert_eq!(none.remaining(), 0);
+        // A zero base means restart immediately (backoff_us contract).
+        let mut eager = RestartBudget::new(1, 2, 0, 50_000);
+        assert_eq!(eager.next_backoff_us(), Some(0));
+        assert_eq!(eager.next_backoff_us(), Some(0));
+        assert_eq!(eager.next_backoff_us(), None);
+    }
 
     #[derive(Debug, Clone, PartialEq)]
     struct Val(f64);

@@ -14,11 +14,16 @@
 //!        --connections K (8), --seed S (42), --cancel-fraction P (0.0),
 //!        --digests PATH (stdout), --stats-json PATH (off; fetch the
 //!        daemon's `stats` response after the drain and write it there),
-//!        --shutdown
+//!        --shards N (off; the target is a shard front — verify the
+//!        `shards` op reports exactly N workers with well-formed health
+//!        blocks), --shutdown
 //!
 //! Exits 0 only if every request got an `ok` response, every experiment
 //! reached `done`, and every duplicated submission was deduplicated at
-//! least once.
+//! least once. The dedup assertion is the sharded-mode acid test: the
+//! same key submitted over *different* front connections must answer
+//! `dedup` from the front's own registry even while the owning shard is
+//! down or restarting — worker amnesia must never leak to clients.
 
 use liteworp_bench::cli::Flags;
 use liteworp_runner::{Json, Pcg32, Rng};
@@ -336,6 +341,40 @@ fn run() -> Result<(), String> {
         tally.dedups.iter().sum::<u64>(),
         digests.len()
     );
+
+    // Sharded mode: the target must be a front reporting exactly the
+    // expected ring, every shard with a well-formed health block.
+    if let Some(expected_shards) = flags.get_opt_usize("shards") {
+        let response = client.expect_ok(r#"{"op":"shards"}"#)?;
+        let shards = match response.get("shards") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => return Err(format!("'shards' op answered no shard array: {other:?}")),
+        };
+        if shards.len() != expected_shards {
+            return Err(format!(
+                "front reports {} shard(s), expected {expected_shards}",
+                shards.len()
+            ));
+        }
+        for entry in &shards {
+            let id = entry.get("id").and_then(Json::as_u64);
+            let health = entry.get("health").and_then(Json::as_str);
+            let well_formed = id.is_some()
+                && matches!(health, Some("up" | "degraded" | "quarantined"))
+                && entry.get("restarts").and_then(Json::as_u64).is_some()
+                && entry.get("reroutes").and_then(Json::as_u64).is_some();
+            if !well_formed {
+                return Err(format!("malformed shard health block: {}", entry.dump()));
+            }
+        }
+        eprintln!(
+            "liteworp-load: shard fabric verified — {expected_shards} shard(s), health {:?}",
+            shards
+                .iter()
+                .filter_map(|s| s.get("health").and_then(Json::as_str))
+                .collect::<Vec<_>>()
+        );
+    }
 
     if let Some(path) = flags.get_str("stats-json").map(std::path::PathBuf::from) {
         let stats = client.expect_ok(r#"{"op":"stats"}"#)?;

@@ -9,8 +9,19 @@
 //! Frames larger than [`MAX_FRAME`] are rejected before their payload is
 //! read, so a hostile or buggy client cannot make the daemon buffer
 //! unbounded input.
+//!
+//! ## Pacing
+//!
+//! [`read_frame_paced`] accepts a [`ReadPacer`] that is consulted every
+//! time the transport reports a read timeout (`WouldBlock`/`TimedOut`).
+//! The daemon pairs this with a short socket read timeout so a
+//! slow-loris client — one that opens a frame and then trickles bytes —
+//! is bounded by a per-frame deadline ([`FrameError::FrameTimeout`])
+//! instead of holding a handler thread for the connection lifetime.
+//! This module stays clock-free: the pacer implementation that actually
+//! reads a clock lives in `net.rs`, inside the `WALL_CLOCK_BOUNDARY`.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, ErrorKind, Write};
 
 /// Maximum accepted payload size in bytes (1 MiB).
 pub const MAX_FRAME: usize = 1 << 20;
@@ -25,6 +36,9 @@ pub enum FrameError {
     BadLength(String),
     /// The stream ended mid-frame (declared length, fewer bytes).
     Torn,
+    /// A frame was started but not completed within the per-frame read
+    /// deadline (slow-loris defence; see [`ReadPacer`]).
+    FrameTimeout,
     /// The underlying transport failed.
     Io(String),
 }
@@ -37,8 +51,32 @@ impl std::fmt::Display for FrameError {
             }
             FrameError::BadLength(line) => write!(f, "bad frame length line: {line:?}"),
             FrameError::Torn => write!(f, "stream ended mid-frame"),
+            FrameError::FrameTimeout => write!(f, "frame not completed within the read deadline"),
             FrameError::Io(e) => write!(f, "io error: {e}"),
         }
+    }
+}
+
+/// Decides whether a stalled read may continue.
+///
+/// `tick` is called once per transport read timeout while a frame is
+/// being awaited (`mid_frame == false`) or assembled (`mid_frame ==
+/// true`). Returning `Err` aborts the read with that error; returning
+/// `Ok(())` retries the read. Implementations hold whatever notion of
+/// time they like — the framing layer itself never reads a clock.
+pub trait ReadPacer {
+    /// One transport timeout elapsed; decide whether to keep waiting.
+    fn tick(&self, mid_frame: bool) -> Result<(), FrameError>;
+}
+
+/// The pacer behind plain [`read_frame`]: any transport timeout is
+/// surfaced as an `Io` error, preserving the historical behavior where
+/// the socket read timeout *was* the frame deadline.
+struct FailFast;
+
+impl ReadPacer for FailFast {
+    fn tick(&self, _mid_frame: bool) -> Result<(), FrameError> {
+        Err(FrameError::Io("read timed out".to_string()))
     }
 }
 
@@ -50,19 +88,61 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Pulls the next byte off the reader, consulting the pacer on every
+/// transport timeout. `Ok(None)` is end of stream.
+fn next_byte(
+    r: &mut impl BufRead,
+    pacer: &impl ReadPacer,
+    mid_frame: bool,
+) -> Result<Option<u8>, FrameError> {
+    loop {
+        let got = match r.fill_buf() {
+            Ok([]) => return Ok(None),
+            Ok(buf) => Some(buf[0]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => None,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        };
+        match got {
+            Some(b) => {
+                r.consume(1);
+                return Ok(Some(b));
+            }
+            None => pacer.tick(mid_frame)?,
+        }
+    }
+}
+
 /// Reads one frame. Returns `Ok(None)` on a clean end of stream (EOF
 /// before any byte of a new frame), `Ok(Some(payload))` on success.
 /// Blank lines between frames are skipped so interactive sessions can
 /// hit return freely.
 pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
+    read_frame_paced(r, &FailFast)
+}
+
+/// [`read_frame`] with an explicit [`ReadPacer`]. The pacer is ticked
+/// on every transport read timeout, with `mid_frame` true once at least
+/// one byte of the current frame has been consumed — so an
+/// implementation can allow a long idle wait between frames while
+/// bounding how long a single frame may take to arrive.
+pub fn read_frame_paced(
+    r: &mut impl BufRead,
+    pacer: &impl ReadPacer,
+) -> Result<Option<String>, FrameError> {
     let header = loop {
-        let mut line = String::new();
-        match r.read_line(&mut line) {
-            Ok(0) => return Ok(None),
-            Ok(_) => {}
-            Err(e) => return Err(FrameError::Io(e.to_string())),
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            match next_byte(r, pacer, !line.is_empty())? {
+                None if line.is_empty() => return Ok(None),
+                None => break,
+                Some(b'\n') => break,
+                Some(b) => line.push(b),
+            }
         }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
+        let text = String::from_utf8(line)
+            .map_err(|_| FrameError::BadLength("header is not valid UTF-8".to_string()))?;
+        let trimmed = text.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() {
             continue;
         }
@@ -79,20 +159,20 @@ pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
     if len > MAX_FRAME {
         return Err(FrameError::Oversized(len));
     }
-    let mut payload = vec![0u8; len];
-    if let Err(e) = r.read_exact(&mut payload) {
-        return Err(match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => FrameError::Torn,
-            _ => FrameError::Io(e.to_string()),
-        });
+    let mut payload = Vec::with_capacity(len);
+    while payload.len() < len {
+        match next_byte(r, pacer, true)? {
+            None => return Err(FrameError::Torn),
+            Some(b) => payload.push(b),
+        }
     }
-    // Consume the trailing newline (tolerate a missing one at EOF).
-    let mut nl = [0u8; 1];
-    match r.read_exact(&mut nl) {
-        Ok(()) if nl[0] != b'\n' => {
+    // Consume the trailing newline. A missing one (EOF, or a pacer that
+    // gives up waiting for the courtesy byte) is tolerated: the payload
+    // is already complete.
+    match next_byte(r, pacer, true) {
+        Ok(Some(b)) if b != b'\n' => {
             return Err(FrameError::BadLength(format!(
-                "expected newline after {len}-byte payload, got byte {:#04x}",
-                nl[0]
+                "expected newline after {len}-byte payload, got byte {b:#04x}"
             )))
         }
         _ => {}
@@ -105,7 +185,8 @@ pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufReader;
+    use std::cell::Cell;
+    use std::io::{BufReader, Read};
 
     fn round_trip(payloads: &[&str]) -> Vec<String> {
         let mut buf = Vec::new();
@@ -160,5 +241,93 @@ mod tests {
     fn missing_trailing_newline_at_eof_is_tolerated() {
         let mut r = BufReader::new(&b"5\nhello"[..]);
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), "hello");
+    }
+
+    /// A transport that yields one byte per read, with a read timeout
+    /// reported between every byte — the shape of a slow-loris client.
+    struct Trickle<'a> {
+        bytes: &'a [u8],
+        pos: Cell<usize>,
+        ready: Cell<bool>,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos.get() >= self.bytes.len() {
+                return Ok(0);
+            }
+            if !self.ready.get() {
+                self.ready.set(true);
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "not yet"));
+            }
+            self.ready.set(false);
+            out[0] = self.bytes[self.pos.get()];
+            self.pos.set(self.pos.get() + 1);
+            Ok(1)
+        }
+    }
+
+    /// A pacer that allows `budget` mid-frame ticks before expiring.
+    struct CountdownPacer {
+        budget: Cell<u32>,
+    }
+
+    impl ReadPacer for CountdownPacer {
+        fn tick(&self, mid_frame: bool) -> Result<(), FrameError> {
+            if !mid_frame {
+                return Ok(());
+            }
+            if self.budget.get() == 0 {
+                return Err(FrameError::FrameTimeout);
+            }
+            self.budget.set(self.budget.get() - 1);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn slow_loris_frame_hits_the_typed_deadline() {
+        let wire = b"5\nhello\n";
+        // Enough budget: the trickled frame completes.
+        let mut r = BufReader::new(Trickle {
+            bytes: wire,
+            pos: Cell::new(0),
+            ready: Cell::new(false),
+        });
+        let pacer = CountdownPacer {
+            budget: Cell::new(64),
+        };
+        assert_eq!(read_frame_paced(&mut r, &pacer).unwrap().unwrap(), "hello");
+
+        // Budget exhausted mid-frame: typed FrameTimeout, not a generic
+        // io error.
+        let mut r = BufReader::new(Trickle {
+            bytes: wire,
+            pos: Cell::new(0),
+            ready: Cell::new(false),
+        });
+        let pacer = CountdownPacer {
+            budget: Cell::new(2),
+        };
+        assert_eq!(
+            read_frame_paced(&mut r, &pacer),
+            Err(FrameError::FrameTimeout)
+        );
+    }
+
+    #[test]
+    fn idle_waits_between_frames_do_not_count_against_the_frame_budget() {
+        // The first ticks happen before any frame byte arrives; a pacer
+        // that only limits mid-frame ticks must still read the frame.
+        let wire = b"3\nabc\n";
+        let mut r = BufReader::new(Trickle {
+            bytes: wire,
+            pos: Cell::new(0),
+            ready: Cell::new(false),
+        });
+        let pacer = CountdownPacer {
+            budget: Cell::new(32),
+        };
+        assert_eq!(read_frame_paced(&mut r, &pacer).unwrap().unwrap(), "abc");
     }
 }

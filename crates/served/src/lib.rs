@@ -15,12 +15,23 @@
 //! submissions, cancellations, or a crash + `--resume` restart in
 //! between. The `liteworp-load` companion binary drives a daemon with
 //! thousands of mixed requests and checks exactly that.
+//!
+//! For horizontal scale and fault isolation, `liteworp-served --front`
+//! runs the same binary as a *shard front*: it spawns N worker daemons
+//! (each a failure domain with its own pool, cache, and journals),
+//! routes submits by the content-addressed request key, supervises the
+//! workers (bounded seeded-backoff restarts, quarantine + deterministic
+//! rerouting beyond the budget), and degrades onto an in-process engine
+//! rather than refuse work. See [`front`] and [`shard`], and
+//! DESIGN.md §13.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod front;
 pub mod net;
 pub mod proto;
 pub mod server;
+pub mod shard;
 pub mod state;

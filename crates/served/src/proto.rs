@@ -42,6 +42,9 @@ pub enum Request {
     /// Live daemon introspection: queue depth, drain concurrency, cache
     /// hit/miss counters, WAL size, per-phase latency quantiles, uptime.
     Stats,
+    /// Per-shard health block of a shard front (health, restart and
+    /// reroute counters, worker pids). A plain daemon answers an error.
+    Shards,
     /// Liveness probe.
     Ping,
     /// Stop accepting work and shut the daemon down cleanly.
@@ -91,11 +94,12 @@ impl Request {
                 req: req_field(&json)?,
             }),
             "stats" => Ok(Request::Stats),
+            "shards" => Ok(Request::Shards),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (known: submit, status, cancel, subscribe, stats, ping, \
-                 shutdown)"
+                "unknown op {other:?} (known: submit, status, cancel, subscribe, stats, shards, \
+                 ping, shutdown)"
             )),
         }
     }
@@ -208,6 +212,16 @@ mod tests {
         assert_eq!(Request::parse(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         let hint = Request::parse(r#"{"op":"nope"}"#).unwrap_err();
         assert!(hint.contains("stats"), "{hint}");
+    }
+
+    #[test]
+    fn shards_parses_and_is_listed_in_the_unknown_op_hint() {
+        assert_eq!(
+            Request::parse(r#"{"op":"shards"}"#).unwrap(),
+            Request::Shards
+        );
+        let hint = Request::parse(r#"{"op":"nope"}"#).unwrap_err();
+        assert!(hint.contains("shards"), "{hint}");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! request registry, queue, and request WAL are daemon-global. Per-client
 //! state is only the connection handler's socket.
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame_paced, write_frame, FrameError};
 use crate::net;
 use crate::proto::{err_response, format_key, ok_response, request_key, Request};
 use crate::state::{DoneInfo, ReqPhase, RequestState, RequestWal, WalRecord};
@@ -56,6 +56,11 @@ pub struct ServerConfig {
     /// Broadcast a `{"stream":"metrics",…}` frame to every subscriber
     /// this often (seconds). `None` disables the periodic stream.
     pub metrics_interval: Option<f64>,
+    /// Chaos hook: sleep this long inside the accept loop after every
+    /// accepted connection, simulating a stalled/overwhelmed acceptor so
+    /// the shard front's liveness probes can be tested. Never set it in
+    /// production.
+    pub stall_accept: Option<std::time::Duration>,
 }
 
 impl ServerConfig {
@@ -70,6 +75,7 @@ impl ServerConfig {
             resume: false,
             no_cache: false,
             metrics_interval: None,
+            stall_accept: None,
         }
     }
 }
@@ -192,7 +198,13 @@ impl Server {
             let _ = std::fs::remove_file(&wal_path);
             let _ = std::fs::remove_dir_all(cfg.state_dir.join("journals"));
         }
-        let records = RequestWal::load(&wal_path);
+        let (records, torn_bytes) = RequestWal::load_truncating(&wal_path);
+        if torn_bytes > 0 {
+            eprintln!(
+                "liteworp-served: request WAL ended mid-append; truncated {torn_bytes} torn \
+                 byte(s) before replay"
+            );
+        }
         let wal = RequestWal::open(&wal_path)?;
 
         let cache = (!cfg.no_cache).then(|| ResultCache::new(cfg.state_dir.join("cache")));
@@ -218,7 +230,8 @@ impl Server {
 
         let accept = {
             let state = Arc::clone(&state);
-            std::thread::spawn(move || accept_loop(listener, state))
+            let stall = cfg.stall_accept;
+            std::thread::spawn(move || accept_loop(listener, state, stall))
         };
         let drainers = (0..cfg.drainers.max(1))
             .map(|_| {
@@ -323,12 +336,20 @@ fn replay(state: &DaemonState, records: Vec<WalRecord>) {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<DaemonState>) {
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<DaemonState>,
+    stall_accept: Option<std::time::Duration>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if state.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(stall) = stall_accept {
+                    // Chaos hook: a deliberately unresponsive acceptor.
+                    std::thread::sleep(stall);
                 }
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || {
@@ -519,6 +540,7 @@ fn stats_pairs(state: &DaemonState) -> Vec<(String, Json)> {
         .collect();
     let m = &state.metrics;
     vec![
+        ("role".to_string(), Json::from("server")),
         (
             "uptime_ms".to_string(),
             Json::from(obs::clock::now_micros().saturating_sub(state.started_us) / 1_000),
@@ -605,7 +627,11 @@ fn handle_connection(stream: TcpStream, state: Arc<DaemonState>) -> std::io::Res
         if state.shutdown.load(Ordering::SeqCst) || deadline.expired() {
             return Ok(());
         }
-        let payload = match read_frame(&mut reader) {
+        // A fresh pacer per frame: idle waits between frames get the
+        // idle budget, and a started frame must complete within the
+        // frame budget (slow-loris defence, `FrameError::FrameTimeout`).
+        let pacer = net::FramePacer::new();
+        let payload = match read_frame_paced(&mut reader, &pacer) {
             Ok(Some(payload)) => payload,
             Ok(None) => return Ok(()),               // client hung up
             Err(FrameError::Io(_)) => return Ok(()), // idle timeout / transport death
@@ -691,6 +717,12 @@ fn handle_connection(stream: TcpStream, state: Arc<DaemonState>) -> std::io::Res
                 for frame in rx {
                     write_frame(&mut writer, &frame)?;
                 }
+            }
+            Request::Shards => {
+                write_frame(
+                    &mut writer,
+                    &err_response("this daemon is not a shard front (run with --front)"),
+                )?;
             }
             Request::Ping => {
                 write_frame(&mut writer, &ok_response([("pong", Json::from(true))]))?;

@@ -418,6 +418,51 @@ impl RequestWal {
         }
         records
     }
+
+    /// [`RequestWal::load`] plus repair: when the log ends in a torn or
+    /// malformed tail (the daemon died mid-append), the file is
+    /// truncated back to its last well-formed record — mirroring
+    /// `runner/journal.rs` — so the next [`RequestWal::open`] appends
+    /// after clean bytes instead of corrupting the record stream.
+    /// Returns the records kept and how many torn bytes were cut.
+    pub fn load_truncating(path: &Path) -> (Vec<WalRecord>, u64) {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return (Vec::new(), 0);
+        };
+        let mut records = Vec::new();
+        let mut good_bytes = 0usize;
+        for line in text.split_inclusive('\n') {
+            if line.trim().is_empty() {
+                good_bytes += line.len();
+                continue;
+            }
+            let Some(record) = Json::parse(line.trim_end())
+                .ok()
+                .and_then(|j| WalRecord::from_json(&j))
+            else {
+                break;
+            };
+            records.push(record);
+            good_bytes += line.len();
+        }
+        let torn_bytes = (text.len() - good_bytes) as u64;
+        if torn_bytes > 0 {
+            let truncated = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|file| {
+                    file.set_len(good_bytes as u64)?;
+                    file.sync_data()
+                });
+            if let Err(e) = truncated {
+                eprintln!(
+                    "liteworp-served: failed to truncate torn WAL tail of {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        (records, torn_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +576,75 @@ mod tests {
         assert_eq!(RequestWal::load(&path), records);
 
         assert!(RequestWal::load(Path::new("/nonexistent/wal.jsonl")).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_truncating_cuts_the_torn_tail_back_to_clean_bytes() {
+        let dir = std::env::temp_dir().join(format!(
+            "liteworp-wal-trunc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("requests.jsonl");
+        let records = vec![
+            WalRecord::Submitted {
+                key: 3,
+                kind: "fig9".into(),
+                params: Json::parse(r#"{"seeds":2}"#).unwrap(),
+                trace: false,
+            },
+            WalRecord::Done {
+                key: 3,
+                info: info(),
+            },
+        ];
+        {
+            let wal = RequestWal::open(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate dying mid-append: a partial record with no newline.
+        let torn_tail = r#"{"rec":"submitted","key":"dead"#;
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(torn_tail.as_bytes()).unwrap();
+        }
+
+        let (loaded, torn_bytes) = RequestWal::load_truncating(&path);
+        assert_eq!(loaded, records);
+        assert_eq!(torn_bytes, torn_tail.len() as u64);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            clean_len,
+            "torn tail physically removed"
+        );
+
+        // A clean log is untouched and reports zero torn bytes.
+        let (loaded, torn_bytes) = RequestWal::load_truncating(&path);
+        assert_eq!(loaded, records);
+        assert_eq!(torn_bytes, 0);
+
+        // Appending after repair yields a well-formed log again.
+        let extra = WalRecord::Cancelled { key: 9 };
+        RequestWal::open(&path).unwrap().append(&extra).unwrap();
+        let (loaded, torn_bytes) = RequestWal::load_truncating(&path);
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[2], extra);
+        assert_eq!(torn_bytes, 0);
+
+        assert_eq!(
+            RequestWal::load_truncating(Path::new("/nonexistent/wal.jsonl")),
+            (Vec::new(), 0)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -56,6 +56,9 @@ echo "==> resilience smoke (resume / deterministic retries / cache self-heal)"
 echo "==> served smoke (daemon + load generator drain determinism)"
 ./scripts/served_smoke.sh
 
+echo "==> shard smoke (front + workers, kill -9 mid-sweep, digest identity)"
+./scripts/shard_smoke.sh
+
 echo "==> obs smoke (daemon stats op, folded self-profile, span overhead)"
 ./scripts/obs_smoke.sh
 

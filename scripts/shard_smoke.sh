@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Shard-fabric smoke: the front's failure ladder, end to end against the
+# release binaries.
+#
+#   1. Run the seeded load generator against a plain daemon — the
+#      reference digest set.
+#   2. Start a shard front with 2 workers and a zero restart budget,
+#      start the same seeded load in the background, and kill -9 one
+#      worker mid-sweep (pid read from the front's shards.json
+#      manifest). The front must quarantine the victim, reroute its
+#      orphaned requests to the survivor (or the embedded local engine),
+#      and the load run must still pass — with the reference digest set,
+#      byte for byte.
+#   3. Require the front's stats to confess the damage: a non-empty
+#      reroutes_total counter and a quarantined shard in the health
+#      block.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVED=./target/release/liteworp-served
+LOAD=./target/release/liteworp-load
+TMP=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    # The front reaps its workers on shutdown; a stray kill here only
+    # matters if the front itself died mid-smoke.
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+start_served() {
+    local out=$2
+    "$SERVED" "${@:3}" --addr 127.0.0.1:0 --state-dir "$1" >"$out" 2>"$out.err" &
+    DAEMON_PID=$!
+    ADDR=""
+    for _ in $(seq 1 400); do
+        ADDR=$(sed -n 's/^listening on //p' "$out" | head -n 1)
+        [ -n "$ADDR" ] && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || {
+            echo "liteworp-served died on startup:" >&2
+            cat "$out" "$out.err" >&2
+            exit 1
+        }
+        sleep 0.05
+    done
+    echo "liteworp-served never announced its address" >&2
+    exit 1
+}
+
+echo "==> shard smoke reference (plain daemon + seeded load)"
+start_served "$TMP/state-ref" "$TMP/ref.out"
+"$LOAD" --addr "$ADDR" --requests 60 --connections 4 --seed 42 \
+    --cancel-fraction 0.2 --digests "$TMP/digests-ref.txt" --shutdown
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "==> shard smoke fabric (front + 2 workers, kill -9 one mid-sweep)"
+start_served "$TMP/state-front" "$TMP/front.out" \
+    --front --shards 2 --max-restarts 0 --worker-drainers 2 \
+    --ping-interval-ms 200 --ping-timeout-ms 1000 --seed 42
+"$LOAD" --addr "$ADDR" --requests 60 --connections 4 --seed 42 \
+    --cancel-fraction 0.2 --digests "$TMP/digests-fabric.txt" \
+    --shards 2 --stats-json "$TMP/stats.json" --shutdown &
+LOAD_PID=$!
+
+# Let the fabric take real work, then murder worker 0 mid-sweep.
+sleep 1
+MANIFEST="$TMP/state-front/shards.json"
+[ -f "$MANIFEST" ] || { echo "front never wrote $MANIFEST" >&2; exit 1; }
+VICTIM_PID=$(python3 - "$MANIFEST" <<'EOF'
+import json, sys
+manifest = json.load(open(sys.argv[1]))
+print(manifest["shards"][0]["pid"])
+EOF
+)
+echo "    killing worker 0 (pid $VICTIM_PID)"
+kill -9 "$VICTIM_PID"
+
+wait "$LOAD_PID" || { echo "load generator failed against the fabric" >&2; cat "$TMP/front.out.err" >&2; exit 1; }
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+[ -s "$TMP/digests-ref.txt" ] || { echo "reference run produced no digests" >&2; exit 1; }
+if ! cmp -s "$TMP/digests-ref.txt" "$TMP/digests-fabric.txt"; then
+    echo "fabric determinism violated — digest sets differ from the plain daemon:" >&2
+    diff "$TMP/digests-ref.txt" "$TMP/digests-fabric.txt" >&2 || true
+    exit 1
+fi
+
+python3 - "$TMP/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats.get("role") == "front", f"stats came from a {stats.get('role')}, not a front"
+reroutes = stats.get("reroutes_total", 0)
+assert reroutes >= 1, f"kill -9 left no trace: reroutes_total={reroutes}"
+health = [s.get("health") for s in stats.get("shards", [])]
+assert "quarantined" in health, f"victim not quarantined: {health}"
+print(f"    stats OK: reroutes_total={reroutes}, health={health}")
+EOF
+
+echo "shard smoke OK ($(wc -l < "$TMP/digests-fabric.txt") digests identical to the plain daemon, kill -9 absorbed)"
